@@ -1,0 +1,66 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"analogfold/internal/circuit"
+	"analogfold/internal/extract"
+	"analogfold/internal/grid"
+	"analogfold/internal/guidance"
+	"analogfold/internal/place"
+	"analogfold/internal/route"
+	"analogfold/internal/tech"
+)
+
+// cmdBode writes schematic and post-layout AC sweeps (Bode data) as CSV and
+// prints the phase margins.
+func cmdBode(args []string) error {
+	fs := flag.NewFlagSet("bode", flag.ExitOnError)
+	bench := fs.String("bench", "OTA1-A", "benchmark")
+	outDir := fs.String("out", ".", "output directory")
+	seed := fs.Int64("seed", 1, "placement seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, prof, err := parseBench(*bench)
+	if err != nil {
+		return err
+	}
+	p, err := place.Place(c, place.Config{Profile: prof, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	g, err := grid.Build(p, tech.Sim40())
+	if err != nil {
+		return err
+	}
+	res, err := route.Route(g, guidance.Uniform(len(c.Nets)), route.Config{})
+	if err != nil {
+		return err
+	}
+	par := extract.Extract(g, res)
+
+	emit := func(label string, pr *extract.Parasitics) error {
+		s, err := circuit.NewSimulator(c, pr)
+		if err != nil {
+			return err
+		}
+		sweep, err := s.ACSweep(1, 1e10, 16)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(*outDir, fmt.Sprintf("bode_%s_%s.csv", c.Name, label))
+		if err := os.WriteFile(path, []byte(circuit.SweepCSV(sweep)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%-12s phase margin %.1f°  (%s)\n", label, circuit.PhaseMarginDeg(sweep), path)
+		return nil
+	}
+	if err := emit("schematic", nil); err != nil {
+		return err
+	}
+	return emit("postlayout", par)
+}

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"analogfold/internal/circuit"
+	"analogfold/internal/core"
+	"analogfold/internal/export"
+	"analogfold/internal/extract"
+	"analogfold/internal/grid"
+	"analogfold/internal/guidance"
+	"analogfold/internal/place"
+	"analogfold/internal/route"
+	"analogfold/internal/tech"
+)
+
+// cmdAblate runs the design-choice ablation study of DESIGN.md §4.
+func cmdAblate(args []string) error {
+	fs := flag.NewFlagSet("ablate", flag.ExitOnError)
+	bench := fs.String("bench", "OTA1-A", "benchmark")
+	opts := optionsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, p, err := parseBench(*bench)
+	if err != nil {
+		return err
+	}
+	f, err := core.NewFlow(c, p, opts())
+	if err != nil {
+		return err
+	}
+	a, err := f.RunAblation()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Benchmark %s\n", *bench)
+	fmt.Print(core.FormatAblation(a))
+	return nil
+}
+
+// cmdExport writes the SPICE netlist, SPEF parasitics and DEF layout of a
+// routed benchmark.
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	bench := fs.String("bench", "OTA1-A", "benchmark")
+	outDir := fs.String("out", ".", "output directory")
+	seed := fs.Int64("seed", 1, "placement seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, prof, err := parseBench(*bench)
+	if err != nil {
+		return err
+	}
+	p, err := place.Place(c, place.Config{Profile: prof, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	g, err := grid.Build(p, tech.Sim40())
+	if err != nil {
+		return err
+	}
+	res, err := route.Route(g, guidance.Uniform(len(c.Nets)), route.Config{})
+	if err != nil {
+		return err
+	}
+	par := extract.Extract(g, res)
+
+	write := func(name string, fn func(f *os.File) error) error {
+		path := filepath.Join(*outDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+		return nil
+	}
+	if err := write(c.Name+".sp", func(f *os.File) error { return export.WriteSpice(f, c) }); err != nil {
+		return err
+	}
+	if err := write(c.Name+".spef", func(f *os.File) error { return export.WriteSPEF(f, c, par) }); err != nil {
+		return err
+	}
+	return write(c.Name+".def", func(f *os.File) error { return export.WriteDEF(f, g, res) })
+}
+
+// cmdTransient prints the small-signal step response of a benchmark before
+// and after routing.
+func cmdTransient(args []string) error {
+	fs := flag.NewFlagSet("transient", flag.ExitOnError)
+	bench := fs.String("bench", "OTA1-A", "benchmark")
+	seed := fs.Int64("seed", 1, "placement seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, prof, err := parseBench(*bench)
+	if err != nil {
+		return err
+	}
+	p, err := place.Place(c, place.Config{Profile: prof, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	g, err := grid.Build(p, tech.Sim40())
+	if err != nil {
+		return err
+	}
+	res, err := route.Route(g, guidance.Uniform(len(c.Nets)), route.Config{})
+	if err != nil {
+		return err
+	}
+	par := extract.Extract(g, res)
+
+	const step = 1e-5
+	show := func(label string, pr *extract.Parasitics) error {
+		s, err := circuit.NewSimulator(c, pr)
+		if err != nil {
+			return err
+		}
+		tr, err := s.StepResponse(step, 2000)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s final %.4g V, settling %.1f ns, overshoot %.1f%%\n",
+			label, tr.FinalValue, tr.SettlingTimeNs, tr.OvershootPct)
+		return nil
+	}
+	fmt.Printf("%s step response (%.0f µV differential step)\n", *bench, step*1e6)
+	if err := show("schematic", nil); err != nil {
+		return err
+	}
+	return show("post-layout", par)
+}
+
+// cmdMC runs Monte Carlo offset analysis on a routed benchmark.
+func cmdMC(args []string) error {
+	fs := flag.NewFlagSet("mc", flag.ExitOnError)
+	bench := fs.String("bench", "OTA1-A", "benchmark")
+	n := fs.Int("n", 1000, "Monte Carlo samples")
+	seed := fs.Int64("seed", 1, "seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, prof, err := parseBench(*bench)
+	if err != nil {
+		return err
+	}
+	p, err := place.Place(c, place.Config{Profile: prof, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	g, err := grid.Build(p, tech.Sim40())
+	if err != nil {
+		return err
+	}
+	res, err := route.Route(g, guidance.Uniform(len(c.Nets)), route.Config{})
+	if err != nil {
+		return err
+	}
+	s, err := circuit.NewSimulator(c, extract.Extract(g, res))
+	if err != nil {
+		return err
+	}
+	mc, err := s.MonteCarloOffset(*n, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s Monte Carlo offset (%d samples):\n", *bench, mc.Samples)
+	fmt.Printf("  mean |Vos| %.1f µV, sigma %.1f µV, p99 %.1f µV, worst %.1f µV\n",
+		mc.MeanUV, mc.StdUV, mc.P99UV, mc.WorstUV)
+	return nil
+}

@@ -1,0 +1,357 @@
+// Command analogfold reproduces the paper's experiments from the command
+// line:
+//
+//	analogfold table1                    # benchmark statistics (Table 1)
+//	analogfold table2 [-bench OTA1-A]    # method comparison (Table 2)
+//	analogfold fig5   [-bench OTA1-A]    # runtime breakdown (Figure 5)
+//	analogfold fig6   [-bench OTA1-A]    # routing solution SVGs (Figure 6)
+//	analogfold fig1   [-bench OTA1-A]    # non-uniform guidance viz (Figure 1)
+//	analogfold route  [-bench OTA1-A]    # route once, print stats + DRC
+//	analogfold dataset [-bench OTA1-A]   # generate and save a training set
+//	analogfold ablate [-bench OTA1-A]    # design-choice ablation study
+//	analogfold export [-bench OTA1-A]    # SPICE + SPEF + DEF artifacts
+//	analogfold transient [-bench OTA1-A] # step response before/after routing
+//	analogfold validate [-bench OTA1-A]  # 3DGNN held-out generalization report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"analogfold/internal/core"
+	"analogfold/internal/dataset"
+	"analogfold/internal/drc"
+	"analogfold/internal/grid"
+	"analogfold/internal/guidance"
+	"analogfold/internal/netlist"
+	"analogfold/internal/place"
+	"analogfold/internal/route"
+	"analogfold/internal/tech"
+	"analogfold/internal/viz"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	args := os.Args[2:]
+	var err error
+	switch cmd {
+	case "table1":
+		err = cmdTable1()
+	case "table2":
+		err = cmdTable2(args)
+	case "fig5":
+		err = cmdFig5(args)
+	case "fig6":
+		err = cmdFig6(args)
+	case "fig1":
+		err = cmdFig1(args)
+	case "route":
+		err = cmdRoute(args)
+	case "dataset":
+		err = cmdDataset(args)
+	case "ablate":
+		err = cmdAblate(args)
+	case "export":
+		err = cmdExport(args)
+	case "transient":
+		err = cmdTransient(args)
+	case "validate":
+		err = cmdValidate(args)
+	case "bode":
+		err = cmdBode(args)
+	case "mc":
+		err = cmdMC(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analogfold:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: analogfold <table1|table2|fig5|fig6|fig1|route|dataset|ablate|export|transient|validate|bode|mc> [flags]`)
+}
+
+// benchFlag parses "-bench OTA1-A" into a (circuit, profile) pair; empty
+// means all Table-2 benchmarks.
+func parseBench(name string) (*netlist.Circuit, place.Profile, error) {
+	parts := strings.SplitN(name, "-", 2)
+	var c *netlist.Circuit
+	switch parts[0] {
+	case "OTA1":
+		c = netlist.OTA1()
+	case "OTA2":
+		c = netlist.OTA2()
+	case "OTA3":
+		c = netlist.OTA3()
+	case "OTA4":
+		c = netlist.OTA4()
+	case "OTA5":
+		c = netlist.OTA5()
+	default:
+		return nil, "", fmt.Errorf("unknown circuit %q", parts[0])
+	}
+	prof := place.ProfileA
+	if len(parts) == 2 {
+		prof = place.Profile(parts[1])
+	}
+	switch prof {
+	case place.ProfileA, place.ProfileB, place.ProfileC, place.ProfileD:
+	default:
+		return nil, "", fmt.Errorf("unknown profile %q", parts[1])
+	}
+	return c, prof, nil
+}
+
+func optionsFlags(fs *flag.FlagSet) func() core.Options {
+	samples := fs.Int("samples", 48, "database size")
+	epochs := fs.Int("epochs", 30, "3DGNN training epochs")
+	restarts := fs.Int("restarts", 10, "relaxation restarts")
+	seed := fs.Int64("seed", 1, "experiment seed")
+	quick := fs.Bool("quick", false, "small fast settings for smoke runs")
+	return func() core.Options {
+		o := core.Options{
+			Samples: *samples, TrainEpochs: *epochs,
+			RelaxRestarts: *restarts, Seed: *seed,
+		}
+		if *quick {
+			o.Samples, o.TrainEpochs, o.RelaxRestarts = 12, 8, 4
+			o.PlaceIters, o.VAECorpus, o.VAEEpochs = 1500, 2, 10
+		}
+		return o
+	}
+}
+
+func cmdTable1() error {
+	fmt.Println("Table 1: Benchmark circuits information.")
+	fmt.Printf("%-10s %7s %7s %6s %6s %7s %6s %7s\n",
+		"Benchmark", "#PMOS", "#NMOS", "#Cap", "#Res", "#Dev", "#Nets", "#Total")
+	for _, c := range netlist.Benchmarks() {
+		s := c.Stats()
+		fmt.Printf("%-10s %7d %7d %6d %6d %7d %6d %7d\n",
+			c.Name, s.NumPMOS, s.NumNMOS, s.NumCap, s.NumRes, s.NumDevices, s.NumNets, s.Total)
+	}
+	return nil
+}
+
+func cmdTable2(args []string) error {
+	fs := flag.NewFlagSet("table2", flag.ExitOnError)
+	bench := fs.String("bench", "", "single benchmark (e.g. OTA1-A); empty = all ten")
+	jsonOut := fs.String("json", "", "also write a machine-readable report to this path")
+	opts := optionsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var rows []*core.Row
+	run := func(c *netlist.Circuit, p place.Profile) error {
+		fmt.Fprintf(os.Stderr, "running %s-%s ...\n", c.Name, p)
+		row, err := core.RunBenchmark(c, p, opts())
+		if err != nil {
+			return fmt.Errorf("%s-%s: %w", c.Name, p, err)
+		}
+		fmt.Print(core.FormatRow(row))
+		rows = append(rows, row)
+		return nil
+	}
+	if *bench != "" {
+		c, p, err := parseBench(*bench)
+		if err != nil {
+			return err
+		}
+		if err := run(c, p); err != nil {
+			return err
+		}
+	} else {
+		for _, b := range core.Table2Benchmarks() {
+			if err := run(b.Circuit, b.Profile); err != nil {
+				return err
+			}
+		}
+	}
+	if len(rows) > 1 {
+		fmt.Print(core.FormatSummary(core.Summarize(rows)))
+		fmt.Print(core.FormatHeadline(core.HeadlineImprovements(rows)))
+	}
+	if *jsonOut != "" {
+		rep := core.BuildJSONReport(rows, time.Now())
+		if err := rep.WriteJSON(*jsonOut); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "wrote", *jsonOut)
+	}
+	return nil
+}
+
+func cmdFig5(args []string) error {
+	fs := flag.NewFlagSet("fig5", flag.ExitOnError)
+	bench := fs.String("bench", "OTA1-A", "benchmark")
+	opts := optionsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, p, err := parseBench(*bench)
+	if err != nil {
+		return err
+	}
+	f, err := core.NewFlow(c, p, opts())
+	if err != nil {
+		return err
+	}
+	out, err := f.RunAnalogFold()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Benchmark %s, total %s\n", *bench, out.Times.Total())
+	fmt.Print(core.FormatBreakdown(core.BreakdownOf(out.Times)))
+	return nil
+}
+
+func cmdFig6(args []string) error {
+	fs := flag.NewFlagSet("fig6", flag.ExitOnError)
+	bench := fs.String("bench", "OTA1-A", "benchmark")
+	outDir := fs.String("out", ".", "output directory for SVGs")
+	opts := optionsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, p, err := parseBench(*bench)
+	if err != nil {
+		return err
+	}
+	f, err := core.NewFlow(c, p, opts())
+	if err != nil {
+		return err
+	}
+	// GeniusRoute solution.
+	gen, err := f.RunGeniusRouted()
+	if err != nil {
+		return err
+	}
+	ours, err := f.RunAnalogFoldRouted()
+	if err != nil {
+		return err
+	}
+	for name, pair := range map[string]struct {
+		res   *route.Result
+		title string
+	}{
+		"fig6_genius.svg":     {gen, *bench + " GeniusRoute"},
+		"fig6_analogfold.svg": {ours, *bench + " AnalogFold"},
+	} {
+		path := *outDir + "/" + name
+		if err := os.WriteFile(path, []byte(viz.RoutingSVG(f.Grid, pair.res, pair.title)), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	return nil
+}
+
+func cmdFig1(args []string) error {
+	fs := flag.NewFlagSet("fig1", flag.ExitOnError)
+	bench := fs.String("bench", "OTA1-A", "benchmark")
+	outDir := fs.String("out", ".", "output directory")
+	opts := optionsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, p, err := parseBench(*bench)
+	if err != nil {
+		return err
+	}
+	f, err := core.NewFlow(c, p, opts())
+	if err != nil {
+		return err
+	}
+	gd, err := f.DeriveGuidance()
+	if err != nil {
+		return err
+	}
+	svgPath := *outDir + "/fig1_guidance.svg"
+	csvPath := *outDir + "/fig1_guidance.csv"
+	if err := os.WriteFile(svgPath, []byte(viz.GuidanceSVG(f.Grid, gd, *bench+" non-uniform guidance")), 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(csvPath, []byte(viz.GuidanceCSV(f.Grid, gd)), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", svgPath)
+	fmt.Println("wrote", csvPath)
+	return nil
+}
+
+func cmdRoute(args []string) error {
+	fs := flag.NewFlagSet("route", flag.ExitOnError)
+	bench := fs.String("bench", "OTA1-A", "benchmark")
+	seed := fs.Int64("seed", 1, "placement seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, prof, err := parseBench(*bench)
+	if err != nil {
+		return err
+	}
+	p, err := place.Place(c, place.Config{Profile: prof, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	g, err := grid.Build(p, tech.Sim40())
+	if err != nil {
+		return err
+	}
+	res, err := route.Route(g, guidance.Uniform(len(c.Nets)), route.Config{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: routed in %d iterations\n", *bench, res.Iterations)
+	fmt.Print(route.Report(g, res).String())
+	vs := drc.Check(g, res)
+	fmt.Printf("DRC: %d violations\n", len(vs))
+	for _, v := range vs {
+		fmt.Println("  ", v)
+	}
+	return nil
+}
+
+func cmdDataset(args []string) error {
+	fs := flag.NewFlagSet("dataset", flag.ExitOnError)
+	bench := fs.String("bench", "OTA1-A", "benchmark")
+	n := fs.Int("n", 48, "number of samples")
+	out := fs.String("out", "dataset.json", "output file")
+	seed := fs.Int64("seed", 1, "seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, prof, err := parseBench(*bench)
+	if err != nil {
+		return err
+	}
+	p, err := place.Place(c, place.Config{Profile: prof, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	g, err := grid.Build(p, tech.Sim40())
+	if err != nil {
+		return err
+	}
+	ds, err := dataset.Generate(g, dataset.Config{Samples: *n, Seed: *seed, IncludeUniform: true})
+	if err != nil {
+		return err
+	}
+	if err := ds.Save(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d samples to %s\n", len(ds.Entries), *out)
+	return nil
+}

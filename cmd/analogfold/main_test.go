@@ -1,0 +1,66 @@
+package main
+
+import (
+	"flag"
+	"testing"
+
+	"analogfold/internal/place"
+)
+
+func TestParseBench(t *testing.T) {
+	cases := []struct {
+		in      string
+		circuit string
+		profile place.Profile
+		ok      bool
+	}{
+		{"OTA1-A", "OTA1", place.ProfileA, true},
+		{"OTA2-B", "OTA2", place.ProfileB, true},
+		{"OTA3-C", "OTA3", place.ProfileC, true},
+		{"OTA4-D", "OTA4", place.ProfileD, true},
+		{"OTA1", "OTA1", place.ProfileA, true}, // default profile
+		{"OTA9-A", "", "", false},
+		{"OTA1-Z", "", "", false},
+		{"", "", "", false},
+	}
+	for _, tc := range cases {
+		c, p, err := parseBench(tc.in)
+		if tc.ok {
+			if err != nil {
+				t.Errorf("parseBench(%q) unexpected error %v", tc.in, err)
+				continue
+			}
+			if c.Name != tc.circuit || p != tc.profile {
+				t.Errorf("parseBench(%q) = %s-%s", tc.in, c.Name, p)
+			}
+		} else if err == nil {
+			t.Errorf("parseBench(%q) should fail", tc.in)
+		}
+	}
+}
+
+func TestCmdTable1(t *testing.T) {
+	if err := cmdTable1(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptionsFlagsQuick(t *testing.T) {
+	// -quick must produce strictly smaller settings than the defaults.
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	get := optionsFlags(fs)
+	if err := fs.Parse([]string{"-quick"}); err != nil {
+		t.Fatal(err)
+	}
+	q := get()
+
+	fs2 := flag.NewFlagSet("t2", flag.ContinueOnError)
+	get2 := optionsFlags(fs2)
+	if err := fs2.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	d := get2()
+	if q.Samples >= d.Samples || q.TrainEpochs >= d.TrainEpochs {
+		t.Errorf("-quick not smaller: %+v vs %+v", q, d)
+	}
+}

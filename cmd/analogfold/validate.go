@@ -1,0 +1,86 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"analogfold/internal/core"
+	"analogfold/internal/dataset"
+	"analogfold/internal/gnn3d"
+	"analogfold/internal/hetgraph"
+	"analogfold/internal/stats"
+	"analogfold/internal/tensor"
+)
+
+// metricLabels for validation reporting.
+var metricLabels = [gnn3d.NumMetrics]string{"offset", "CMRR", "bandwidth", "gain", "noise"}
+
+// cmdValidate measures the trained performance model's generalization: it
+// trains on one corpus, labels a fresh held-out corpus, and reports per-
+// metric Pearson and Spearman correlation between predictions and
+// measurements. The Spearman column is the one the relaxation depends on —
+// it only needs guidance candidates to be *ordered* correctly.
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	bench := fs.String("bench", "OTA1-A", "benchmark")
+	trainN := fs.Int("train", 200, "training corpus size")
+	testN := fs.Int("test", 40, "held-out corpus size")
+	seed := fs.Int64("seed", 1, "seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, prof, err := parseBench(*bench)
+	if err != nil {
+		return err
+	}
+	f, err := core.NewFlow(c, prof, core.Options{Seed: *seed})
+	if err != nil {
+		return err
+	}
+
+	trainDS, err := dataset.Generate(f.Grid, dataset.Config{
+		Samples: *trainN, Seed: *seed, IncludeUniform: true,
+	})
+	if err != nil {
+		return err
+	}
+	testDS, err := dataset.Generate(f.Grid, dataset.Config{
+		Samples: *testN, Seed: *seed + 10_000,
+	})
+	if err != nil {
+		return err
+	}
+
+	hg, err := hetgraph.Build(f.Grid, hetgraph.Config{})
+	if err != nil {
+		return err
+	}
+	model := gnn3d.New(gnn3d.Config{Seed: *seed})
+	rep, err := model.Fit(hg, trainDS.Samples(), gnn3d.TrainConfig{Epochs: 60, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: trained on %d samples (%d epochs run), val loss %.4f\n",
+		*bench, len(trainDS.Entries), len(rep.TrainLoss), rep.FinalVal())
+
+	var pred, meas [gnn3d.NumMetrics][]float64
+	for _, e := range testDS.Entries {
+		ct := tensor.FromSlice(append([]float64(nil), e.C...), testDS.NumNets, 3)
+		y, err := model.Predict(hg, ct)
+		if err != nil {
+			return err
+		}
+		for k := 0; k < gnn3d.NumMetrics; k++ {
+			pred[k] = append(pred[k], y[k])
+			meas[k] = append(meas[k], e.Y[k])
+		}
+	}
+	fmt.Printf("held-out correlation over %d fresh samples:\n", len(testDS.Entries))
+	fmt.Printf("  %-10s %9s %9s %12s\n", "metric", "pearson", "spearman", "label spread")
+	for k := 0; k < gnn3d.NumMetrics; k++ {
+		spread := stats.Std(meas[k]) / (1e-12 + stats.Mean(meas[k]))
+		fmt.Printf("  %-10s %9.3f %9.3f %11.2f%%\n",
+			metricLabels[k], stats.Pearson(pred[k], meas[k]), stats.Spearman(pred[k], meas[k]), 100*spread)
+	}
+	return nil
+}

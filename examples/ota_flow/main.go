@@ -1,0 +1,66 @@
+// ota_flow runs the full three-way Table-2 comparison on one benchmark:
+// MagicalRoute (unguided), GeniusRoute (VAE imitation guidance) and
+// AnalogFold (3DGNN + potential relaxation), printing the paper-style block
+// and the Figure-5 runtime breakdown.
+//
+// Run with:
+//
+//	go run ./examples/ota_flow            # quick settings
+//	go run ./examples/ota_flow -full      # paper-scale learning settings
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"analogfold/internal/core"
+	"analogfold/internal/netlist"
+	"analogfold/internal/place"
+)
+
+func main() {
+	full := flag.Bool("full", false, "use full-scale learning settings")
+	flag.Parse()
+
+	opts := core.Options{
+		Seed: 1, Samples: 24, TrainEpochs: 12, RelaxRestarts: 5,
+		PlaceIters: 2000, VAECorpus: 3, VAEEpochs: 15,
+	}
+	if *full {
+		opts = core.Options{Seed: 1}
+	}
+
+	row, err := core.RunBenchmark(netlist.OTA2(), place.ProfileA, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(core.FormatRow(row))
+	fmt.Println()
+	fmt.Print(core.FormatBreakdown(core.BreakdownOf(row.Ours.Times)))
+
+	// Who won each metric?
+	fmt.Println()
+	best := func(name string, mag, gen, ours float64, lower bool) {
+		win := "AnalogFold"
+		b := ours
+		better := func(x, y float64) bool {
+			if lower {
+				return x < y
+			}
+			return x > y
+		}
+		if better(mag, b) {
+			win, b = "MagicalRoute", mag
+		}
+		if better(gen, b) {
+			win = "GeniusRoute"
+		}
+		fmt.Printf("  %-16s best: %s\n", name, win)
+	}
+	best("offset", row.Magical.Metrics.OffsetUV, row.Genius.Metrics.OffsetUV, row.Ours.Metrics.OffsetUV, true)
+	best("CMRR", row.Magical.Metrics.CMRRdB, row.Genius.Metrics.CMRRdB, row.Ours.Metrics.CMRRdB, false)
+	best("bandwidth", row.Magical.Metrics.BandwidthMHz, row.Genius.Metrics.BandwidthMHz, row.Ours.Metrics.BandwidthMHz, false)
+	best("gain", row.Magical.Metrics.GainDB, row.Genius.Metrics.GainDB, row.Ours.Metrics.GainDB, false)
+	best("noise", row.Magical.Metrics.NoiseUVrms, row.Genius.Metrics.NoiseUVrms, row.Ours.Metrics.NoiseUVrms, true)
+}

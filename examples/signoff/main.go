@@ -1,0 +1,107 @@
+// signoff runs the verification artifacts an analog layout goes through
+// after routing: DRC, LVS, parasitic extraction to SPEF, AC sweep with phase
+// margin, step response, and Monte Carlo offset analysis. It demonstrates
+// the substrate packages as a standalone sign-off toolkit, independent of the
+// ML flow.
+//
+// Run with:
+//
+//	go run ./examples/signoff [-out DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"analogfold/internal/circuit"
+	"analogfold/internal/drc"
+	"analogfold/internal/export"
+	"analogfold/internal/extract"
+	"analogfold/internal/grid"
+	"analogfold/internal/guidance"
+	"analogfold/internal/lvs"
+	"analogfold/internal/netlist"
+	"analogfold/internal/place"
+	"analogfold/internal/route"
+	"analogfold/internal/tech"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory for artifacts")
+	flag.Parse()
+
+	c := netlist.OTA3()
+	p, err := place.Place(c, place.Config{Profile: place.ProfileA, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := grid.Build(p, tech.Sim40())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := route.Route(g, guidance.Uniform(len(c.Nets)), route.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(route.Report(g, res).String())
+
+	// Physical verification.
+	if vs := drc.Check(g, res); len(vs) == 0 {
+		fmt.Println("DRC: clean")
+	} else {
+		fmt.Printf("DRC: %d violations\n", len(vs))
+	}
+	if rep := lvs.Check(g, res); rep.Clean() {
+		fmt.Printf("LVS: clean (%d/%d nets verified)\n", rep.NetsOK, rep.NetsTotal)
+	} else {
+		fmt.Printf("LVS: %d violations\n", len(rep.Violations))
+	}
+
+	// Extraction artifacts.
+	par := extract.Extract(g, res)
+	spef := filepath.Join(*out, c.Name+".spef")
+	f, err := os.Create(spef)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := export.WriteSPEF(f, c, par); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Println("extraction: wrote", spef)
+
+	// Electrical sign-off.
+	sim, err := circuit.NewSimulator(c, par)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sweep, err := sim.ACSweep(1, 1e10, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("AC: phase margin %.1f°\n", circuit.PhaseMarginDeg(sweep))
+
+	tr, err := sim.StepResponse(1e-5, 2000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("transient: settles in %.1f ns (±1%%), overshoot %.1f%%\n",
+		tr.SettlingTimeNs, tr.OvershootPct)
+
+	mc, err := sim.MonteCarloOffset(1000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Monte Carlo offset: sigma %.1f µV, p99 %.1f µV over %d samples\n",
+		mc.StdUV, mc.P99UV, mc.Samples)
+
+	m, err := sim.Evaluate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("metrics: offset %.0f µV, CMRR %.1f dB, UGB %.1f MHz, gain %.1f dB, noise %.1f µVrms\n",
+		m.OffsetUV, m.CMRRdB, m.BandwidthMHz, m.GainDB, m.NoiseUVrms)
+}

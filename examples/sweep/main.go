@@ -1,0 +1,41 @@
+// sweep routes every benchmark under all four placement profiles with the
+// unguided router, showing how strongly the placement's net-weight profile
+// moves post-layout performance — the effect the paper's Table 2 samples via
+// its A/B/C placements, including the "corner" placements where an unguided
+// router loses a large fraction of the schematic performance.
+//
+// Run with:
+//
+//	go run ./examples/sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"analogfold/internal/core"
+	"analogfold/internal/netlist"
+	"analogfold/internal/place"
+)
+
+func main() {
+	profiles := []place.Profile{place.ProfileA, place.ProfileB, place.ProfileC, place.ProfileD}
+	fmt.Printf("%-10s %10s %10s %10s %10s %10s\n",
+		"bench", "offset µV", "CMRR dB", "UGB MHz", "gain dB", "WL µm")
+	for _, c := range netlist.Benchmarks() {
+		for _, p := range profiles {
+			flow, err := core.NewFlow(c, p, core.Options{Seed: 1, PlaceIters: 2500})
+			if err != nil {
+				log.Fatal(err)
+			}
+			out, err := flow.RunMagical()
+			if err != nil {
+				log.Fatal(err)
+			}
+			m := out.Metrics
+			fmt.Printf("%-10s %10.0f %10.2f %10.1f %10.2f %10.1f\n",
+				flow.Name(), m.OffsetUV, m.CMRRdB, m.BandwidthMHz, m.GainDB,
+				float64(out.WirelengthNm)/1000)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module analogfold
+
+go 1.22

@@ -1,0 +1,105 @@
+package analogfold_bench
+
+import (
+	"testing"
+
+	"analogfold/internal/core"
+	"analogfold/internal/drc"
+	"analogfold/internal/lvs"
+	"analogfold/internal/netlist"
+	"analogfold/internal/place"
+	"analogfold/internal/route"
+)
+
+// TestEndToEndVerified runs the complete three-method flow on OTA1-A at
+// reduced learning scale and independently verifies every routed layout with
+// the DRC and LVS checkers — the integration test across all modules.
+func TestEndToEndVerified(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test in -short mode")
+	}
+	f, err := core.NewFlow(netlist.OTA1(), place.ProfileA, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	verify := func(name string, res *route.Result) {
+		t.Helper()
+		if vs := drc.Check(f.Grid, res); len(vs) > 0 {
+			t.Errorf("%s: %d DRC violations, first: %v", name, len(vs), vs[0])
+		}
+		if rep := lvs.Check(f.Grid, res); !rep.Clean() {
+			t.Errorf("%s: %d LVS violations, first: %v", name, len(rep.Violations), rep.Violations[0])
+		}
+	}
+
+	genius, err := f.RunGeniusRouted()
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify("genius", genius)
+
+	ours, err := f.RunAnalogFoldRouted()
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify("analogfold", ours)
+
+	// Metrics must be produced by all methods and stay physical.
+	sch, err := f.Schematic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, runner := range []func() (*core.Outcome, error){f.RunMagical} {
+		out, err := runner()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := out.Metrics
+		if m.BandwidthMHz <= 0 || m.BandwidthMHz > sch.BandwidthMHz*1.05 {
+			t.Errorf("%s bandwidth %.1f vs schematic %.1f", out.Method, m.BandwidthMHz, sch.BandwidthMHz)
+		}
+		if m.OffsetUV <= 0 {
+			t.Errorf("%s offset %.1f must be positive post-layout", out.Method, m.OffsetUV)
+		}
+		if m.NoiseUVrms < sch.NoiseUVrms*0.5 || m.NoiseUVrms > sch.NoiseUVrms*2 {
+			t.Errorf("%s noise %.1f far from schematic %.1f", out.Method, m.NoiseUVrms, sch.NoiseUVrms)
+		}
+	}
+}
+
+// TestCrossCircuitConsistency checks invariants that must hold across all
+// four benchmarks: schematic metrics are reproducible and post-layout offset
+// is strictly positive.
+func TestCrossCircuitConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test in -short mode")
+	}
+	for _, c := range netlist.Benchmarks() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			f, err := core.NewFlow(c, place.ProfileB, quickOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			s1, err := f.Schematic()
+			if err != nil {
+				t.Fatal(err)
+			}
+			s2, err := f.Schematic()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s1 != s2 {
+				t.Errorf("schematic evaluation not reproducible")
+			}
+			out, err := f.RunMagical()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Metrics.OffsetUV <= 0 {
+				t.Errorf("post-layout offset %.2f", out.Metrics.OffsetUV)
+			}
+		})
+	}
+}

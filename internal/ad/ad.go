@@ -1,0 +1,473 @@
+// Package ad implements reverse-mode automatic differentiation over
+// tensor.Tensor values — the reproduction's replacement for torch autograd.
+// The 3DGNN needs gradients both for training (w.r.t. weights) and for the
+// paper's potential relaxation (w.r.t. the *input* routing guidance C), which
+// a tape of Vars provides uniformly.
+package ad
+
+import (
+	"fmt"
+	"math"
+
+	"analogfold/internal/tensor"
+)
+
+// Var is one node of the computation graph.
+type Var struct {
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+
+	requires bool
+	deps     []*Var
+	back     func(v *Var)
+}
+
+// Leaf creates a graph input. requiresGrad leaves accumulate gradients.
+func Leaf(t *tensor.Tensor, requiresGrad bool) *Var {
+	return &Var{Value: t, requires: requiresGrad}
+}
+
+// Const creates a non-differentiable graph input.
+func Const(t *tensor.Tensor) *Var { return Leaf(t, false) }
+
+// RequiresGrad reports whether gradients flow into this node.
+func (v *Var) RequiresGrad() bool { return v.requires }
+
+func newNode(val *tensor.Tensor, deps []*Var, back func(v *Var)) *Var {
+	req := false
+	for _, d := range deps {
+		if d.requires {
+			req = true
+			break
+		}
+	}
+	n := &Var{Value: val, requires: req, deps: deps}
+	if req {
+		n.back = back
+	}
+	return n
+}
+
+// accum adds g into v.Grad, allocating on first use.
+func (v *Var) accum(g *tensor.Tensor) {
+	if !v.requires {
+		return
+	}
+	if v.Grad == nil {
+		v.Grad = tensor.New(v.Value.Shape...)
+	}
+	for i, x := range g.Data {
+		v.Grad.Data[i] += x
+	}
+}
+
+// Backward runs reverse-mode differentiation from a scalar output.
+func Backward(out *Var) error {
+	if out.Value.Len() != 1 {
+		return fmt.Errorf("ad: backward requires a scalar output, got shape %v", out.Value.Shape)
+	}
+	// Topological order by DFS.
+	var order []*Var
+	seen := map[*Var]bool{}
+	var visit func(v *Var)
+	visit = func(v *Var) {
+		if seen[v] || !v.requires {
+			return
+		}
+		seen[v] = true
+		for _, d := range v.deps {
+			visit(d)
+		}
+		order = append(order, v)
+	}
+	visit(out)
+
+	out.Grad = tensor.New(out.Value.Shape...)
+	out.Grad.Fill(1)
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		if n.back != nil && n.Grad != nil {
+			n.back(n)
+		}
+	}
+	return nil
+}
+
+// ZeroGrad clears the gradients of the given leaves.
+func ZeroGrad(vars ...*Var) {
+	for _, v := range vars {
+		v.Grad = nil
+	}
+}
+
+func sameShape(a, b *Var, op string) {
+	if !tensor.SameShape(a.Value, b.Value) {
+		panic(fmt.Sprintf("ad: %s shape mismatch %v vs %v", op, a.Value.Shape, b.Value.Shape))
+	}
+}
+
+// Add returns a + b (same shape).
+func Add(a, b *Var) *Var {
+	sameShape(a, b, "add")
+	out := a.Value.Clone()
+	for i, x := range b.Value.Data {
+		out.Data[i] += x
+	}
+	return newNode(out, []*Var{a, b}, func(v *Var) {
+		a.accum(v.Grad)
+		b.accum(v.Grad)
+	})
+}
+
+// Sub returns a - b.
+func Sub(a, b *Var) *Var {
+	sameShape(a, b, "sub")
+	out := a.Value.Clone()
+	for i, x := range b.Value.Data {
+		out.Data[i] -= x
+	}
+	return newNode(out, []*Var{a, b}, func(v *Var) {
+		a.accum(v.Grad)
+		if b.requires {
+			neg := v.Grad.Clone()
+			for i := range neg.Data {
+				neg.Data[i] = -neg.Data[i]
+			}
+			b.accum(neg)
+		}
+	})
+}
+
+// Mul returns the elementwise product a ⊙ b.
+func Mul(a, b *Var) *Var {
+	sameShape(a, b, "mul")
+	out := a.Value.Clone()
+	for i, x := range b.Value.Data {
+		out.Data[i] *= x
+	}
+	return newNode(out, []*Var{a, b}, func(v *Var) {
+		if a.requires {
+			g := v.Grad.Clone()
+			for i := range g.Data {
+				g.Data[i] *= b.Value.Data[i]
+			}
+			a.accum(g)
+		}
+		if b.requires {
+			g := v.Grad.Clone()
+			for i := range g.Data {
+				g.Data[i] *= a.Value.Data[i]
+			}
+			b.accum(g)
+		}
+	})
+}
+
+// Scale returns a * k for a constant k.
+func Scale(a *Var, k float64) *Var {
+	out := a.Value.Clone()
+	for i := range out.Data {
+		out.Data[i] *= k
+	}
+	return newNode(out, []*Var{a}, func(v *Var) {
+		g := v.Grad.Clone()
+		for i := range g.Data {
+			g.Data[i] *= k
+		}
+		a.accum(g)
+	})
+}
+
+// AddConst returns a + k elementwise.
+func AddConst(a *Var, k float64) *Var {
+	out := a.Value.Clone()
+	for i := range out.Data {
+		out.Data[i] += k
+	}
+	return newNode(out, []*Var{a}, func(v *Var) { a.accum(v.Grad) })
+}
+
+// MatMul returns a @ b for 2-D vars.
+func MatMul(a, b *Var) *Var {
+	out := tensor.MatMul(a.Value, b.Value)
+	return newNode(out, []*Var{a, b}, func(v *Var) {
+		if a.requires {
+			a.accum(tensor.MatMulABT(v.Grad, b.Value))
+		}
+		if b.requires {
+			b.accum(tensor.MatMulATB(a.Value, v.Grad))
+		}
+	})
+}
+
+// AddRow broadcasts a 1×D row vector across an N×D matrix.
+func AddRow(a, row *Var) *Var {
+	if a.Value.Dims() != 2 || row.Value.Dims() != 2 || row.Value.Shape[0] != 1 ||
+		row.Value.Shape[1] != a.Value.Shape[1] {
+		panic(fmt.Sprintf("ad: addrow shape mismatch %v + %v", a.Value.Shape, row.Value.Shape))
+	}
+	n, d := a.Value.Shape[0], a.Value.Shape[1]
+	out := a.Value.Clone()
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			out.Data[i*d+j] += row.Value.Data[j]
+		}
+	}
+	return newNode(out, []*Var{a, row}, func(v *Var) {
+		a.accum(v.Grad)
+		if row.requires {
+			g := tensor.New(1, d)
+			for i := 0; i < n; i++ {
+				for j := 0; j < d; j++ {
+					g.Data[j] += v.Grad.Data[i*d+j]
+				}
+			}
+			row.accum(g)
+		}
+	})
+}
+
+// ReLU applies max(0, x).
+func ReLU(a *Var) *Var {
+	out := a.Value.Apply(func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	})
+	return newNode(out, []*Var{a}, func(v *Var) {
+		g := v.Grad.Clone()
+		for i, x := range a.Value.Data {
+			if x <= 0 {
+				g.Data[i] = 0
+			}
+		}
+		a.accum(g)
+	})
+}
+
+// SiLU applies x·sigmoid(x) (the smooth activation used by the message MLPs;
+// smoothness matters because relaxation differentiates through the network).
+func SiLU(a *Var) *Var {
+	out := a.Value.Apply(func(x float64) float64 { return x * sigmoid(x) })
+	return newNode(out, []*Var{a}, func(v *Var) {
+		g := v.Grad.Clone()
+		for i, x := range a.Value.Data {
+			s := sigmoid(x)
+			g.Data[i] *= s + x*s*(1-s)
+		}
+		a.accum(g)
+	})
+}
+
+// Tanh applies tanh elementwise.
+func Tanh(a *Var) *Var {
+	out := a.Value.Apply(math.Tanh)
+	return newNode(out, []*Var{a}, func(v *Var) {
+		g := v.Grad.Clone()
+		for i := range g.Data {
+			t := out.Data[i]
+			g.Data[i] *= 1 - t*t
+		}
+		a.accum(g)
+	})
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Square returns x² elementwise.
+func Square(a *Var) *Var {
+	out := a.Value.Apply(func(x float64) float64 { return x * x })
+	return newNode(out, []*Var{a}, func(v *Var) {
+		g := v.Grad.Clone()
+		for i, x := range a.Value.Data {
+			g.Data[i] *= 2 * x
+		}
+		a.accum(g)
+	})
+}
+
+// Sqrt returns √x elementwise, guarded at zero.
+func Sqrt(a *Var) *Var {
+	out := a.Value.Apply(func(x float64) float64 { return math.Sqrt(math.Max(x, 0)) })
+	return newNode(out, []*Var{a}, func(v *Var) {
+		g := v.Grad.Clone()
+		for i := range g.Data {
+			d := 2 * out.Data[i]
+			if d < 1e-12 {
+				d = 1e-12
+			}
+			g.Data[i] /= d
+		}
+		a.accum(g)
+	})
+}
+
+// Exp returns e^x elementwise.
+func Exp(a *Var) *Var {
+	out := a.Value.Apply(math.Exp)
+	return newNode(out, []*Var{a}, func(v *Var) {
+		g := v.Grad.Clone()
+		for i := range g.Data {
+			g.Data[i] *= out.Data[i]
+		}
+		a.accum(g)
+	})
+}
+
+// Log returns ln(x) elementwise; inputs must be positive.
+func Log(a *Var) *Var {
+	out := a.Value.Apply(math.Log)
+	return newNode(out, []*Var{a}, func(v *Var) {
+		g := v.Grad.Clone()
+		for i, x := range a.Value.Data {
+			g.Data[i] /= x
+		}
+		a.accum(g)
+	})
+}
+
+// Sum reduces all elements to a 1×1 scalar.
+func Sum(a *Var) *Var {
+	s := 0.0
+	for _, x := range a.Value.Data {
+		s += x
+	}
+	out := tensor.FromSlice([]float64{s}, 1, 1)
+	return newNode(out, []*Var{a}, func(v *Var) {
+		g := tensor.New(a.Value.Shape...)
+		g.Fill(v.Grad.Data[0])
+		a.accum(g)
+	})
+}
+
+// Mean reduces all elements to their average.
+func Mean(a *Var) *Var {
+	n := float64(a.Value.Len())
+	return Scale(Sum(a), 1/n)
+}
+
+// Gather selects rows: out[i] = a[idx[i]] for a 2-D a.
+func Gather(a *Var, idx []int) *Var {
+	d := a.Value.Shape[1]
+	out := tensor.New(len(idx), d)
+	for i, r := range idx {
+		copy(out.Data[i*d:(i+1)*d], a.Value.Data[r*d:(r+1)*d])
+	}
+	return newNode(out, []*Var{a}, func(v *Var) {
+		g := tensor.New(a.Value.Shape...)
+		for i, r := range idx {
+			for j := 0; j < d; j++ {
+				g.Data[r*d+j] += v.Grad.Data[i*d+j]
+			}
+		}
+		a.accum(g)
+	})
+}
+
+// ScatterAdd sums rows of a into numRows buckets: out[idx[i]] += a[i].
+func ScatterAdd(a *Var, idx []int, numRows int) *Var {
+	d := a.Value.Shape[1]
+	out := tensor.New(numRows, d)
+	for i, r := range idx {
+		for j := 0; j < d; j++ {
+			out.Data[r*d+j] += a.Value.Data[i*d+j]
+		}
+	}
+	return newNode(out, []*Var{a}, func(v *Var) {
+		g := tensor.New(a.Value.Shape...)
+		for i, r := range idx {
+			for j := 0; j < d; j++ {
+				g.Data[i*d+j] = v.Grad.Data[r*d+j]
+			}
+		}
+		a.accum(g)
+	})
+}
+
+// ConcatCols concatenates 2-D vars along columns.
+func ConcatCols(vs ...*Var) *Var {
+	n := vs[0].Value.Shape[0]
+	total := 0
+	for _, v := range vs {
+		if v.Value.Shape[0] != n {
+			panic("ad: concat row mismatch")
+		}
+		total += v.Value.Shape[1]
+	}
+	out := tensor.New(n, total)
+	off := 0
+	for _, v := range vs {
+		d := v.Value.Shape[1]
+		for i := 0; i < n; i++ {
+			copy(out.Data[i*total+off:i*total+off+d], v.Value.Data[i*d:(i+1)*d])
+		}
+		off += d
+	}
+	deps := append([]*Var(nil), vs...)
+	return newNode(out, deps, func(v *Var) {
+		off := 0
+		for _, dep := range deps {
+			d := dep.Value.Shape[1]
+			if dep.requires {
+				g := tensor.New(n, d)
+				for i := 0; i < n; i++ {
+					copy(g.Data[i*d:(i+1)*d], v.Grad.Data[i*total+off:i*total+off+d])
+				}
+				dep.accum(g)
+			}
+			off += d
+		}
+	})
+}
+
+// Cols slices columns [j0, j1) of a 2-D var.
+func Cols(a *Var, j0, j1 int) *Var {
+	n, d := a.Value.Shape[0], a.Value.Shape[1]
+	w := j1 - j0
+	out := tensor.New(n, w)
+	for i := 0; i < n; i++ {
+		copy(out.Data[i*w:(i+1)*w], a.Value.Data[i*d+j0:i*d+j1])
+	}
+	return newNode(out, []*Var{a}, func(v *Var) {
+		g := tensor.New(n, d)
+		for i := 0; i < n; i++ {
+			copy(g.Data[i*d+j0:i*d+j1], v.Grad.Data[i*w:(i+1)*w])
+		}
+		a.accum(g)
+	})
+}
+
+// RBF expands a column vector d (N×1) with radial basis functions:
+// out[i,k] = exp(-γ·(d[i]-µ_k)²) — Eq. (3) of the paper.
+func RBF(a *Var, mus []float64, gamma float64) *Var {
+	n := a.Value.Shape[0]
+	k := len(mus)
+	out := tensor.New(n, k)
+	for i := 0; i < n; i++ {
+		di := a.Value.Data[i]
+		for j, mu := range mus {
+			diff := di - mu
+			out.Data[i*k+j] = math.Exp(-gamma * diff * diff)
+		}
+	}
+	return newNode(out, []*Var{a}, func(v *Var) {
+		g := tensor.New(n, 1)
+		for i := 0; i < n; i++ {
+			di := a.Value.Data[i]
+			s := 0.0
+			for j, mu := range mus {
+				diff := di - mu
+				s += v.Grad.Data[i*k+j] * out.Data[i*k+j] * (-2 * gamma * diff)
+			}
+			g.Data[i] = s
+		}
+		a.accum(g)
+	})
+}
+
+// MSE returns the mean squared error between pred and target (L2 loss of
+// Eq. 6).
+func MSE(pred, target *Var) *Var {
+	return Mean(Square(Sub(pred, target)))
+}

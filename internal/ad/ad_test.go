@@ -1,0 +1,278 @@
+package ad
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"analogfold/internal/tensor"
+)
+
+// numGrad computes the finite-difference gradient of f w.r.t. leaf's data.
+func numGrad(t *testing.T, leaf *tensor.Tensor, f func() float64) []float64 {
+	t.Helper()
+	const h = 1e-6
+	g := make([]float64, len(leaf.Data))
+	for i := range leaf.Data {
+		orig := leaf.Data[i]
+		leaf.Data[i] = orig + h
+		fp := f()
+		leaf.Data[i] = orig - h
+		fm := f()
+		leaf.Data[i] = orig
+		g[i] = (fp - fm) / (2 * h)
+	}
+	return g
+}
+
+// checkGrad builds the graph via build (returning the scalar output), runs
+// backward, and compares leaf gradients against finite differences.
+func checkGrad(t *testing.T, leafT *tensor.Tensor, build func(leaf *Var) *Var) {
+	t.Helper()
+	leaf := Leaf(leafT, true)
+	out := build(leaf)
+	if err := Backward(out); err != nil {
+		t.Fatal(err)
+	}
+	if leaf.Grad == nil {
+		t.Fatal("no gradient accumulated")
+	}
+	want := numGrad(t, leafT, func() float64 {
+		return build(Leaf(leafT, false)).Value.Data[0]
+	})
+	for i := range want {
+		got := leaf.Grad.Data[i]
+		if math.Abs(got-want[i]) > 1e-4*(1+math.Abs(want[i])) {
+			t.Errorf("grad[%d] = %g, want %g", i, got, want[i])
+		}
+	}
+}
+
+func randT(seed int64, shape ...int) *tensor.Tensor {
+	return tensor.New(shape...).Randn(rand.New(rand.NewSource(seed)), 1)
+}
+
+func TestGradAddMulSum(t *testing.T) {
+	a := randT(1, 2, 3)
+	b := Const(randT(2, 2, 3))
+	checkGrad(t, a, func(leaf *Var) *Var {
+		return Sum(Mul(Add(leaf, b), leaf))
+	})
+}
+
+func TestGradSub(t *testing.T) {
+	a := randT(3, 2, 2)
+	b := Const(randT(4, 2, 2))
+	checkGrad(t, a, func(leaf *Var) *Var {
+		return Sum(Square(Sub(b, leaf)))
+	})
+}
+
+func TestGradMatMul(t *testing.T) {
+	a := randT(5, 3, 4)
+	b := Const(randT(6, 4, 2))
+	checkGrad(t, a, func(leaf *Var) *Var {
+		return Sum(MatMul(leaf, b))
+	})
+	// Gradient w.r.t. the right operand too.
+	c := randT(7, 4, 2)
+	left := Const(randT(8, 3, 4))
+	checkGrad(t, c, func(leaf *Var) *Var {
+		return Sum(Square(MatMul(left, leaf)))
+	})
+}
+
+func TestGradActivations(t *testing.T) {
+	a := randT(9, 2, 5)
+	checkGrad(t, a, func(leaf *Var) *Var { return Sum(SiLU(leaf)) })
+	checkGrad(t, a, func(leaf *Var) *Var { return Sum(Tanh(leaf)) })
+	// ReLU away from the kink.
+	b := randT(10, 2, 5)
+	for i := range b.Data {
+		if math.Abs(b.Data[i]) < 0.1 {
+			b.Data[i] = 0.5
+		}
+	}
+	checkGrad(t, b, func(leaf *Var) *Var { return Sum(ReLU(leaf)) })
+}
+
+func TestGradSqrtLog(t *testing.T) {
+	a := randT(11, 1, 4)
+	for i := range a.Data {
+		a.Data[i] = math.Abs(a.Data[i]) + 0.5
+	}
+	checkGrad(t, a, func(leaf *Var) *Var { return Sum(Sqrt(leaf)) })
+	checkGrad(t, a, func(leaf *Var) *Var { return Sum(Log(leaf)) })
+}
+
+func TestGradAddRow(t *testing.T) {
+	row := randT(12, 1, 3)
+	m := Const(randT(13, 4, 3))
+	checkGrad(t, row, func(leaf *Var) *Var {
+		return Sum(Square(AddRow(m, leaf)))
+	})
+	a := randT(14, 4, 3)
+	r := Const(randT(15, 1, 3))
+	checkGrad(t, a, func(leaf *Var) *Var {
+		return Sum(Square(AddRow(leaf, r)))
+	})
+}
+
+func TestGradGatherScatter(t *testing.T) {
+	a := randT(16, 4, 3)
+	idx := []int{2, 0, 2, 1, 3}
+	checkGrad(t, a, func(leaf *Var) *Var {
+		return Sum(Square(Gather(leaf, idx)))
+	})
+	b := randT(17, 5, 3)
+	checkGrad(t, b, func(leaf *Var) *Var {
+		return Sum(Square(ScatterAdd(leaf, idx, 4)))
+	})
+}
+
+func TestGradConcatCols(t *testing.T) {
+	a := randT(18, 3, 2)
+	b := Const(randT(19, 3, 4))
+	checkGrad(t, a, func(leaf *Var) *Var {
+		return Sum(Square(ConcatCols(leaf, b)))
+	})
+}
+
+func TestGradColsSlice(t *testing.T) {
+	a := randT(20, 3, 5)
+	checkGrad(t, a, func(leaf *Var) *Var {
+		return Sum(Square(Cols(leaf, 1, 4)))
+	})
+}
+
+func TestGradRBF(t *testing.T) {
+	a := randT(21, 6, 1)
+	mus := []float64{0, 0.5, 1.0, 1.5}
+	checkGrad(t, a, func(leaf *Var) *Var {
+		return Sum(RBF(leaf, mus, 2.0))
+	})
+}
+
+func TestGradMSE(t *testing.T) {
+	a := randT(22, 2, 5)
+	target := Const(randT(23, 2, 5))
+	checkGrad(t, a, func(leaf *Var) *Var {
+		return MSE(leaf, target)
+	})
+}
+
+func TestGradCompositeNetwork(t *testing.T) {
+	// A small two-layer network end-to-end: the realistic composition used
+	// by the 3DGNN.
+	x := Const(randT(24, 5, 3))
+	w1 := randT(25, 3, 8)
+	b1 := Const(randT(26, 1, 8))
+	w2 := Const(randT(27, 8, 2))
+	target := Const(randT(28, 5, 2))
+	checkGrad(t, w1, func(leaf *Var) *Var {
+		h := SiLU(AddRow(MatMul(x, leaf), b1))
+		return MSE(MatMul(h, w2), target)
+	})
+}
+
+func TestGradReusedNode(t *testing.T) {
+	// A node consumed by two paths must accumulate both contributions:
+	// f = sum(x*x) + sum(x) -> df/dx = 2x + 1.
+	xT := randT(29, 2, 2)
+	x := Leaf(xT, true)
+	out := Add(Sum(Mul(x, x)), Sum(x))
+	if err := Backward(out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range xT.Data {
+		want := 2*xT.Data[i] + 1
+		if math.Abs(x.Grad.Data[i]-want) > 1e-9 {
+			t.Errorf("grad[%d] = %g, want %g", i, x.Grad.Data[i], want)
+		}
+	}
+}
+
+func TestBackwardNonScalarRejected(t *testing.T) {
+	x := Leaf(randT(30, 2, 2), true)
+	if err := Backward(x); err == nil {
+		t.Errorf("Backward must reject non-scalar outputs")
+	}
+}
+
+func TestNoGradThroughConst(t *testing.T) {
+	c := Const(randT(31, 2, 2))
+	x := Leaf(randT(32, 2, 2), true)
+	out := Sum(Mul(c, x))
+	if err := Backward(out); err != nil {
+		t.Fatal(err)
+	}
+	if c.Grad != nil {
+		t.Errorf("constants must not accumulate gradients")
+	}
+	if x.Grad == nil {
+		t.Errorf("leaf must accumulate gradient")
+	}
+}
+
+func TestZeroGrad(t *testing.T) {
+	x := Leaf(randT(33, 1, 2), true)
+	out := Sum(x)
+	if err := Backward(out); err != nil {
+		t.Fatal(err)
+	}
+	ZeroGrad(x)
+	if x.Grad != nil {
+		t.Errorf("ZeroGrad must clear gradients")
+	}
+}
+
+func TestGradExpScaleMean(t *testing.T) {
+	a := randT(34, 2, 3)
+	checkGrad(t, a, func(leaf *Var) *Var { return Sum(Exp(leaf)) })
+	checkGrad(t, a, func(leaf *Var) *Var { return Sum(Scale(leaf, -2.5)) })
+	checkGrad(t, a, func(leaf *Var) *Var { return Sum(AddConst(leaf, 3)) })
+	checkGrad(t, a, func(leaf *Var) *Var { return Mean(Square(leaf)) })
+}
+
+func TestGradDeepChain(t *testing.T) {
+	// A long chain of mixed ops: gradients must stay correct through depth.
+	a := randT(35, 1, 4)
+	for i := range a.Data {
+		a.Data[i] = 0.3 + math.Abs(a.Data[i])*0.2 // keep Log/Sqrt in-domain
+	}
+	checkGrad(t, a, func(leaf *Var) *Var {
+		x := leaf
+		x = SiLU(x)
+		x = AddConst(x, 1.2)
+		x = Log(x)
+		x = Square(x)
+		x = Exp(Scale(x, -0.5))
+		x = Sqrt(AddConst(x, 0.1))
+		return Mean(x)
+	})
+}
+
+func TestMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("shape mismatch must panic")
+		}
+	}()
+	Mul(Leaf(randT(36, 2, 3), true), Leaf(randT(37, 3, 2), true))
+}
+
+func TestScatterGatherComposition(t *testing.T) {
+	// Gather(ScatterAdd(x)) round trip with a permutation index is identity.
+	xT := randT(38, 5, 2)
+	perm := []int{3, 1, 4, 0, 2}
+	x := Leaf(xT, true)
+	scattered := ScatterAdd(x, perm, 5)
+	back := Gather(scattered, perm)
+	diff := Sum(Square(Sub(back, x)))
+	if diff.Value.Data[0] > 1e-18 {
+		t.Errorf("permutation scatter/gather not an identity: %g", diff.Value.Data[0])
+	}
+	if err := Backward(diff); err != nil {
+		t.Fatal(err)
+	}
+}

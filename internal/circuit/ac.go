@@ -1,0 +1,95 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"strings"
+)
+
+// ACPoint is one frequency point of a small-signal sweep.
+type ACPoint struct {
+	FreqHz     float64
+	AdmMag     float64 // |differential gain|
+	AdmPhaseDg float64 // phase in degrees
+	AcmMag     float64 // |common-mode gain|
+}
+
+// ACSweep computes the differential and common-mode responses on a
+// logarithmic grid — the data behind a Bode plot.
+func (s *Simulator) ACSweep(fLo, fHi float64, pointsPerDecade int) ([]ACPoint, error) {
+	if fLo <= 0 || fHi <= fLo {
+		return nil, fmt.Errorf("circuit: bad sweep range [%g, %g]", fLo, fHi)
+	}
+	if pointsPerDecade <= 0 {
+		pointsPerDecade = 10
+	}
+	decades := math.Log10(fHi / fLo)
+	n := int(decades*float64(pointsPerDecade)) + 1
+	if n < 2 {
+		n = 2
+	}
+	out := make([]ACPoint, 0, n)
+	for i := 0; i < n; i++ {
+		f := fLo * math.Pow(fHi/fLo, float64(i)/float64(n-1))
+		adm, acm, err := s.gainAt(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ACPoint{
+			FreqHz:     f,
+			AdmMag:     cmplx.Abs(adm),
+			AdmPhaseDg: cmplx.Phase(adm) * 180 / math.Pi,
+			AcmMag:     cmplx.Abs(acm),
+		})
+	}
+	return out, nil
+}
+
+// PhaseMarginDeg estimates the phase margin at the unity-gain crossover:
+// 180° minus the phase lag accumulated (relative to DC) when |Adm| first
+// falls below 1. Phases are unwrapped across the sweep so the ±180°
+// discontinuities of atan2 do not corrupt the lag. Returns NaN when the
+// sweep never crosses unity.
+func PhaseMarginDeg(sweep []ACPoint) float64 {
+	if len(sweep) < 2 {
+		return math.NaN()
+	}
+	// Unwrap.
+	unwrapped := make([]float64, len(sweep))
+	unwrapped[0] = sweep[0].AdmPhaseDg
+	for i := 1; i < len(sweep); i++ {
+		d := sweep[i].AdmPhaseDg - sweep[i-1].AdmPhaseDg
+		for d > 180 {
+			d -= 360
+		}
+		for d < -180 {
+			d += 360
+		}
+		unwrapped[i] = unwrapped[i-1] + d
+	}
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i].AdmMag < 1 && sweep[i-1].AdmMag >= 1 {
+			// Interpolate the unwrapped phase at the crossing in
+			// log-magnitude space.
+			m0, m1 := math.Log(sweep[i-1].AdmMag), math.Log(sweep[i].AdmMag)
+			t := -m0 / (m1 - m0)
+			ph := unwrapped[i-1] + t*(unwrapped[i]-unwrapped[i-1])
+			lag := math.Abs(ph - unwrapped[0])
+			return 180 - lag
+		}
+	}
+	return math.NaN()
+}
+
+// SweepCSV renders a sweep as CSV for plotting.
+func SweepCSV(sweep []ACPoint) string {
+	var b strings.Builder
+	b.WriteString("freq_hz,adm_db,adm_phase_deg,acm_db,cmrr_db\n")
+	for _, p := range sweep {
+		cmrr := db(p.AdmMag) - db(p.AcmMag)
+		fmt.Fprintf(&b, "%.6g,%.4f,%.2f,%.4f,%.4f\n",
+			p.FreqHz, db(p.AdmMag), p.AdmPhaseDg, db(p.AcmMag), cmrr)
+	}
+	return b.String()
+}

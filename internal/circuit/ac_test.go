@@ -1,0 +1,99 @@
+package circuit
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"analogfold/internal/netlist"
+)
+
+func TestACSweepBasic(t *testing.T) {
+	c := netlist.OTA1()
+	s, err := NewSimulator(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := s.ACSweep(1, 1e10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) < 40 {
+		t.Fatalf("sweep too sparse: %d points", len(sweep))
+	}
+	// Monotone frequencies; gain starts at DC value and ends below unity.
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i].FreqHz <= sweep[i-1].FreqHz {
+			t.Fatalf("non-monotone frequency at %d", i)
+		}
+	}
+	m, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcGain := math.Pow(10, m.GainDB/20)
+	if rel := math.Abs(sweep[0].AdmMag-dcGain) / dcGain; rel > 0.01 {
+		t.Errorf("sweep start %g vs DC gain %g", sweep[0].AdmMag, dcGain)
+	}
+	if sweep[len(sweep)-1].AdmMag >= 1 {
+		t.Errorf("gain never fell below unity: %g", sweep[len(sweep)-1].AdmMag)
+	}
+}
+
+func TestACSweepRejectsBadRange(t *testing.T) {
+	c := netlist.OTA1()
+	s, err := NewSimulator(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ACSweep(-1, 10, 5); err == nil {
+		t.Errorf("negative start must be rejected")
+	}
+	if _, err := s.ACSweep(100, 100, 5); err == nil {
+		t.Errorf("empty range must be rejected")
+	}
+}
+
+func TestPhaseMargin(t *testing.T) {
+	c := netlist.OTA1()
+	s, err := NewSimulator(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := s.ACSweep(1e3, 1e10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := PhaseMarginDeg(sweep)
+	if math.IsNaN(pm) {
+		t.Fatalf("no unity crossing found")
+	}
+	// A usable Miller-compensated OTA should have positive margin below 180°.
+	if pm <= 0 || pm >= 180 {
+		t.Errorf("phase margin %g° implausible", pm)
+	}
+	// No crossing → NaN.
+	if !math.IsNaN(PhaseMarginDeg(sweep[:2])) {
+		t.Errorf("truncated sweep should give NaN")
+	}
+}
+
+func TestSweepCSV(t *testing.T) {
+	c := netlist.OTA2()
+	s, err := NewSimulator(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := s.ACSweep(10, 1e8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := SweepCSV(sweep)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != len(sweep)+1 {
+		t.Fatalf("CSV has %d lines for %d points", len(lines), len(sweep))
+	}
+	if !strings.HasPrefix(lines[0], "freq_hz,adm_db") {
+		t.Errorf("CSV header wrong: %q", lines[0])
+	}
+}

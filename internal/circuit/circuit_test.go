@@ -1,0 +1,302 @@
+package circuit
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"analogfold/internal/extract"
+	"analogfold/internal/grid"
+	"analogfold/internal/guidance"
+	"analogfold/internal/netlist"
+	"analogfold/internal/place"
+	"analogfold/internal/route"
+	"analogfold/internal/tech"
+)
+
+func TestLUSolveIdentity(t *testing.T) {
+	m := newCMatrix(3)
+	for i := 0; i < 3; i++ {
+		m.add(i, i, 1)
+	}
+	f, err := m.factor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []complex128{1, 2, 3}
+	x := f.solve(b)
+	for i := range b {
+		if cmplx.Abs(x[i]-b[i]) > 1e-12 {
+			t.Errorf("x[%d] = %v", i, x[i])
+		}
+	}
+}
+
+func TestLUSolveGeneral(t *testing.T) {
+	// A = [[2,1],[1,3]], b = [5,10] -> x = [1,3].
+	m := newCMatrix(2)
+	m.add(0, 0, 2)
+	m.add(0, 1, 1)
+	m.add(1, 0, 1)
+	m.add(1, 1, 3)
+	f, err := m.factor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.solve([]complex128{5, 10})
+	if cmplx.Abs(x[0]-1) > 1e-12 || cmplx.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestLUSolveComplexResidual(t *testing.T) {
+	// Random-ish complex system: verify A·x = b to machine precision.
+	n := 6
+	m := newCMatrix(n)
+	seed := complex128(complex(1.3, -0.7))
+	v := seed
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v *= complex(1.1, 0.3)
+			v /= complex(cmplx.Abs(v), 0) // keep magnitude 1
+			m.add(i, j, v)
+		}
+		m.add(i, i, 5) // diagonal dominance
+	}
+	b := make([]complex128, n)
+	for i := range b {
+		b[i] = complex(float64(i+1), float64(-i))
+	}
+	f, err := m.factor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.solve(b)
+	for i := 0; i < n; i++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			sum += m.at(i, j) * x[j]
+		}
+		if cmplx.Abs(sum-b[i]) > 1e-9 {
+			t.Errorf("residual row %d = %v", i, sum-b[i])
+		}
+	}
+}
+
+func TestSingularRejected(t *testing.T) {
+	m := newCMatrix(2) // all zeros
+	if _, err := m.factor(); err == nil {
+		t.Errorf("singular matrix must be rejected")
+	}
+}
+
+func TestRCDividerSystem(t *testing.T) {
+	// One unknown node behind R from a known source, C to ground:
+	// |H| = 1/sqrt(1+(wRC)^2).
+	sys := newSystem(1, 1)
+	R, C := 1e3, 1e-9
+	sys.stampG(0, knownNode(0), complex(1/R, 0))
+	sys.stampC(0, gndNode, complex(C, 0))
+	fc := 1 / (2 * math.Pi * R * C)
+	x, err := sys.solveAt(2*math.Pi*fc, []complex128{1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cmplx.Abs(x[0])
+	want := 1 / math.Sqrt2
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("|H(fc)| = %g, want %g", got, want)
+	}
+	// At DC the divider passes through.
+	x0, err := sys.solveAt(0, []complex128{1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cmplx.Abs(x0[0])-1) > 1e-9 {
+		t.Errorf("|H(0)| = %g", cmplx.Abs(x0[0]))
+	}
+}
+
+func TestVCCSGain(t *testing.T) {
+	// Common-source stage: gm from known input, load conductance gl at the
+	// output: gain = -gm/gl.
+	sys := newSystem(1, 1)
+	gm, gl := 1e-3, 1e-5
+	sys.stampVCCS(0, gndNode, knownNode(0), gndNode, complex(gm, 0))
+	sys.stampG(0, gndNode, complex(gl, 0))
+	x, err := sys.solveAt(0, []complex128{1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(real(x[0])+gm/gl) > 1e-6 {
+		t.Errorf("gain = %v, want %g", x[0], -gm/gl)
+	}
+}
+
+func schematicMetrics(t *testing.T, c *netlist.Circuit) Metrics {
+	t.Helper()
+	m, err := Evaluate(c, nil)
+	if err != nil {
+		t.Fatalf("Evaluate(%s): %v", c.Name, err)
+	}
+	return m
+}
+
+func TestSchematicMetricsPlausible(t *testing.T) {
+	for _, c := range netlist.Benchmarks() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			m := schematicMetrics(t, c)
+			if m.GainDB < 20 || m.GainDB > 120 {
+				t.Errorf("schematic gain %.1f dB implausible", m.GainDB)
+			}
+			if m.BandwidthMHz < 5 || m.BandwidthMHz > 5000 {
+				t.Errorf("schematic UGB %.1f MHz implausible", m.BandwidthMHz)
+			}
+			if m.CMRRdB < 20 {
+				t.Errorf("schematic CMRR %.1f dB implausible", m.CMRRdB)
+			}
+			if m.NoiseUVrms <= 0 || m.NoiseUVrms > 1e5 {
+				t.Errorf("schematic noise %.1f µVrms implausible", m.NoiseUVrms)
+			}
+			if m.OffsetUV != 0 {
+				t.Errorf("schematic offset must be zero, got %g", m.OffsetUV)
+			}
+		})
+	}
+}
+
+func routedParasitics(t testing.TB, c *netlist.Circuit, seed int64) *extract.Parasitics {
+	t.Helper()
+	p, err := place.Place(c, place.Config{Profile: place.ProfileA, Seed: seed, Iterations: 2000})
+	if err != nil {
+		t.Fatalf("place: %v", err)
+	}
+	g, err := grid.Build(p, tech.Sim40())
+	if err != nil {
+		t.Fatalf("grid: %v", err)
+	}
+	res, err := route.Route(g, guidance.Uniform(len(c.Nets)), route.Config{})
+	if err != nil {
+		t.Fatalf("route: %v", err)
+	}
+	return extract.Extract(g, res)
+}
+
+func TestPostLayoutDegradesSchematic(t *testing.T) {
+	c := netlist.OTA1()
+	sch := schematicMetrics(t, c)
+	par := routedParasitics(t, c, 1)
+	post, err := Evaluate(c, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parasitic load must not improve bandwidth, and must produce a nonzero
+	// offset.
+	if post.BandwidthMHz > sch.BandwidthMHz*1.02 {
+		t.Errorf("post-layout UGB %.1f above schematic %.1f", post.BandwidthMHz, sch.BandwidthMHz)
+	}
+	if post.OffsetUV <= 0 {
+		t.Errorf("post-layout offset must be positive, got %g", post.OffsetUV)
+	}
+	if post.GainDB > sch.GainDB+1 {
+		t.Errorf("post-layout gain %.1f unexpectedly above schematic %.1f", post.GainDB, sch.GainDB)
+	}
+}
+
+func TestParasiticsMonotoneBandwidth(t *testing.T) {
+	// Doubling every capacitance must not raise bandwidth.
+	c := netlist.OTA1()
+	par := routedParasitics(t, c, 2)
+	m1, err := Evaluate(c, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy := &extract.Parasitics{Net: append([]extract.NetParasitics(nil), par.Net...), Coupling: map[[2]int]float64{}}
+	for i := range heavy.Net {
+		heavy.Net[i].C *= 4
+	}
+	for k, v := range par.Coupling {
+		heavy.Coupling[k] = v * 4
+	}
+	m2, err := Evaluate(c, heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.BandwidthMHz > m1.BandwidthMHz {
+		t.Errorf("4x caps raised UGB: %.2f -> %.2f MHz", m1.BandwidthMHz, m2.BandwidthMHz)
+	}
+}
+
+func TestOffsetScalesWithAsymmetry(t *testing.T) {
+	c := netlist.OTA1()
+	par := routedParasitics(t, c, 3)
+	m1, err := Evaluate(c, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inflate asymmetry of the first symmetric pair by loading one side.
+	skew := &extract.Parasitics{Net: append([]extract.NetParasitics(nil), par.Net...), Coupling: par.Coupling}
+	pr := c.SymNetPairs[0]
+	skew.Net[pr[0]].R += 200
+	skew.Net[pr[0]].C += 5e-15
+	m2, err := Evaluate(c, skew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.OffsetUV <= m1.OffsetUV {
+		t.Errorf("offset did not grow with asymmetry: %.1f -> %.1f µV", m1.OffsetUV, m2.OffsetUV)
+	}
+}
+
+func TestFullyDifferentialPostLayout(t *testing.T) {
+	c := netlist.OTA3()
+	par := routedParasitics(t, c, 4)
+	m, err := Evaluate(c, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.GainDB < 10 {
+		t.Errorf("OTA3 post-layout gain %.1f dB too low", m.GainDB)
+	}
+	if m.BandwidthMHz <= 0 {
+		t.Errorf("OTA3 post-layout UGB %.1f", m.BandwidthMHz)
+	}
+	if m.CMRRdB < 10 {
+		t.Errorf("OTA3 post-layout CMRR %.1f dB too low", m.CMRRdB)
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	c := netlist.OTA2()
+	par := routedParasitics(t, c, 5)
+	m1, err := Evaluate(c, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Evaluate(netlist.OTA2(), par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Errorf("evaluation not deterministic: %+v vs %+v", m1, m2)
+	}
+}
+
+func TestParasiticSizeMismatchRejected(t *testing.T) {
+	c := netlist.OTA1()
+	if _, err := Evaluate(c, &extract.Parasitics{Net: make([]extract.NetParasitics, 2)}); err == nil {
+		t.Errorf("mismatched parasitics must be rejected")
+	}
+}
+
+func BenchmarkEvaluateOTA1(b *testing.B) {
+	c := netlist.OTA1()
+	par := routedParasitics(b, c, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(c, par); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package circuit_test
+
+import (
+	"fmt"
+
+	"analogfold/internal/circuit"
+	"analogfold/internal/netlist"
+)
+
+// ExampleEvaluate computes the schematic (parasitic-free) metrics of the
+// OTA1 benchmark.
+func ExampleEvaluate() {
+	m, err := circuit.Evaluate(netlist.OTA1(), nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("gain %.1f dB, UGB %.1f MHz\n", m.GainDB, m.BandwidthMHz)
+	// Output: gain 74.1 dB, UGB 111.2 MHz
+}
+
+// ExamplePSRR measures power-supply rejection at 1 kHz.
+func ExamplePSRR() {
+	psrr, err := circuit.PSRR(netlist.OTA1(), nil, 1e3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("PSRR > 20 dB: %v\n", psrr > 20)
+	// Output: PSRR > 20 dB: true
+}
+
+// ExampleSimulator_ACSweep sweeps the differential gain and reports the
+// phase margin at unity crossover.
+func ExampleSimulator_ACSweep() {
+	s, err := circuit.NewSimulator(netlist.OTA1(), nil)
+	if err != nil {
+		panic(err)
+	}
+	sweep, err := s.ACSweep(1e3, 1e10, 16)
+	if err != nil {
+		panic(err)
+	}
+	pm := circuit.PhaseMarginDeg(sweep)
+	fmt.Printf("phase margin in (45°, 90°): %v\n", pm > 45 && pm < 90)
+	// Output: phase margin in (45°, 90°): true
+}

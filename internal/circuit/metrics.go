@@ -1,0 +1,512 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"analogfold/internal/extract"
+	"analogfold/internal/netlist"
+)
+
+// Metrics are the five post-layout performance figures of the paper's
+// Table 2 plus the conventions of their units.
+type Metrics struct {
+	OffsetUV     float64 // input-referred offset voltage, µV (lower better)
+	CMRRdB       float64 // common-mode rejection ratio at fCMRR, dB (higher better)
+	BandwidthMHz float64 // unity-gain bandwidth, MHz (higher better)
+	GainDB       float64 // DC differential gain, dB (higher better)
+	NoiseUVrms   float64 // integrated input-referred noise, µVrms (lower better)
+}
+
+// Model constants. These play the role of the foundry simulation deck; they
+// are fixed across all experiments so comparisons between routers are
+// apples-to-apples.
+const (
+	kBoltzmann = 1.380649e-23
+	tempK      = 300.0
+	gammaNoise = 0.8     // excess thermal noise factor
+	kFlicker   = 1.0e-24 // flicker coefficient: S = kF*gm^2/(Cox*W*L*f)
+	coxPerNm2  = 1.1e-20
+
+	gmMismatch = 1e-3 // intrinsic input-pair gm mismatch (0.1 %)
+
+	fDC     = 1.0   // Hz, "DC" measurement point
+	fCMRR   = 1.0e6 // Hz, CMRR measurement point
+	fNoiseL = 1.0   // Hz, noise integration start
+
+	// slewFactor converts capacitive imbalance (F) into an equivalent DC
+	// error current (A) for the offset model: I = ΔC · f_eq · V_swing with
+	// f_eq = 100 MHz and V_swing = 0.5 V.
+	slewFactor = 5.0e7
+
+	// matchFrac is the matching-limited residual imbalance of nominally
+	// symmetric wires (silicon wires match to a few percent even when drawn
+	// identically).
+	matchFrac = 0.05
+
+	// deltaWeight scales the explicitly routed imbalance relative to the
+	// matching-limited component. Routed imbalance flips with discrete
+	// routing decisions; the weighting keeps it influential without letting
+	// single-track differences dominate the offset budget.
+	deltaWeight = 0.4
+
+	// vWindow is the linear output window (V). The input-referred offset
+	// multiplied by the DC gain shifts the output DC point; once the shift
+	// exceeds the window the output stage leaves saturation, so the largest
+	// gain measurable across the full window is vWindow / offset. This is the
+	// mechanism behind the paper's strong offset↔gain coupling (e.g. its
+	// OTA2-A rows, where mV-scale offsets come with collapsed DC gain).
+	vWindow = 0.4
+)
+
+// Simulator evaluates one circuit, optionally with parasitics.
+type Simulator struct {
+	c   *netlist.Circuit
+	par *extract.Parasitics // nil for schematic evaluation
+
+	// extraMismatch is additional relative gm mismatch on the input pair,
+	// induced by the layout's DC offset (a bias-point shift); see Evaluate.
+	extraMismatch float64
+
+	sys     *system
+	main    []int // per net: MNA node id (>=0 unknown, -1 gnd, <=-2 known)
+	far     []int // per net: gate-side node id
+	outP    int
+	outN    int // node id or gndNode when single-ended
+	numNode int
+}
+
+// NewSimulator builds the MNA system for a circuit. par may be nil
+// (schematic, parasitic-free).
+func NewSimulator(c *netlist.Circuit, par *extract.Parasitics) (*Simulator, error) {
+	return newSimulator(c, par, 0)
+}
+
+func newSimulator(c *netlist.Circuit, par *extract.Parasitics, extraMismatch float64) (*Simulator, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("circuit: %w", err)
+	}
+	if par != nil && len(par.Net) != len(c.Nets) {
+		return nil, fmt.Errorf("circuit: parasitics cover %d nets, circuit has %d", len(par.Net), len(c.Nets))
+	}
+	s := &Simulator{c: c, par: par, extraMismatch: extraMismatch}
+	s.assignNodes()
+	s.stamp()
+	return s, nil
+}
+
+// assignNodes maps nets to MNA nodes. Power/ground nets are AC ground; the
+// two inputs are known (driven) nodes; every other net gets an unknown node.
+// A net with wire resistance and at least one MOS gate additionally gets a
+// "far" node: drains/sources and passives attach at the main node, gates
+// attach behind the wire resistance (a two-node Π model of the routed net).
+func (s *Simulator) assignNodes() {
+	c := s.c
+	s.main = make([]int, len(c.Nets))
+	s.far = make([]int, len(c.Nets))
+	next := 0
+	for ni, n := range c.Nets {
+		switch {
+		case n.Type == netlist.NetPower || n.Type == netlist.NetGround:
+			s.main[ni] = gndNode
+		case ni == c.InP:
+			s.main[ni] = knownNode(0)
+		case ni == c.InN:
+			s.main[ni] = knownNode(1)
+		default:
+			s.main[ni] = next
+			next++
+		}
+	}
+	for ni, n := range c.Nets {
+		s.far[ni] = s.main[ni]
+		if s.par == nil || s.main[ni] == gndNode {
+			continue
+		}
+		if s.par.Net[ni].R <= 0 {
+			continue
+		}
+		if !s.netHasGate(ni) {
+			continue
+		}
+		_ = n
+		s.far[ni] = next
+		next++
+	}
+	s.numNode = next
+	s.outP = s.main[c.OutP]
+	s.outN = gndNode
+	if c.OutN >= 0 {
+		s.outN = s.main[c.OutN]
+	}
+}
+
+func (s *Simulator) netHasGate(ni int) bool {
+	for _, pin := range s.c.Nets[ni].Pins {
+		d := s.c.Devices[pin.Device]
+		if (d.Type == netlist.PMOS || d.Type == netlist.NMOS) && pin.Terminal == "G" {
+			return true
+		}
+	}
+	return false
+}
+
+// stamp assembles the G and C matrices.
+func (s *Simulator) stamp() {
+	s.sys = newSystem(s.numNode, 2)
+	s.stampInto(s.sys)
+}
+
+// inputPairFactor applies the fixed intrinsic mismatch to the input pair:
+// the device whose gate is on InP is strengthened by ε/2, on InN weakened.
+// This keeps CMRR finite for perfectly symmetric schematics, as real devices
+// do.
+func (s *Simulator) inputPairFactor(d *netlist.Device) float64 {
+	if d.Type != netlist.PMOS && d.Type != netlist.NMOS {
+		return 1
+	}
+	t, ok := d.Terminal("G")
+	if !ok {
+		return 1
+	}
+	eps := gmMismatch + s.extraMismatch
+	switch t.Net {
+	case s.c.InP:
+		return 1 + eps/2
+	case s.c.InN:
+		return 1 - eps/2
+	}
+	return 1
+}
+
+// inputPairVov returns the overdrive voltage of the input pair (for
+// converting an input-referred offset into a relative gm error).
+func (s *Simulator) inputPairVov() float64 {
+	for _, d := range s.c.Devices {
+		if d.Type != netlist.PMOS && d.Type != netlist.NMOS {
+			continue
+		}
+		if t, ok := d.Terminal("G"); ok && (t.Net == s.c.InP || t.Net == s.c.InN) {
+			if d.Vov > 0 {
+				return d.Vov
+			}
+		}
+	}
+	return 0.15
+}
+
+// termNode resolves a device terminal to its MNA node; gates attach at the
+// far node.
+func (s *Simulator) termNode(d *netlist.Device, term string, gate bool) int {
+	t, _ := d.Terminal(term)
+	if gate {
+		return s.far[t.Net]
+	}
+	return s.main[t.Net]
+}
+
+// outDiff extracts the (differential) output voltage from a solution.
+func (s *Simulator) outDiff(x []complex128) complex128 {
+	var v complex128
+	if s.outP >= 0 {
+		v = x[s.outP]
+	}
+	if s.outN >= 0 {
+		v -= x[s.outN]
+	}
+	return v
+}
+
+// gainAt returns the differential and common-mode gains at frequency f.
+func (s *Simulator) gainAt(f float64) (adm, acm complex128, err error) {
+	w := 2 * math.Pi * f
+	xd, err := s.sys.solveAt(w, []complex128{0.5, -0.5}, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	xc, err := s.sys.solveAt(w, []complex128{1, 1}, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	return s.outDiff(xd), s.outDiff(xc), nil
+}
+
+// Evaluate computes all five metrics. The offset is computed first; it then
+// feeds back into the CMRR measurement (the DC offset is a bias-point shift
+// that adds gm mismatch to the input pair) and limits the measurable gain to
+// the linear output window.
+func (s *Simulator) Evaluate() (Metrics, error) {
+	var m Metrics
+
+	admDC, acmCMRRf, err := s.dcAndCMRR()
+	if err != nil {
+		return m, err
+	}
+	m.GainDB = db(admDC)
+	m.CMRRdB = acmCMRRf
+
+	ugb, err := s.unityGainBandwidth(admDC)
+	if err != nil {
+		return m, err
+	}
+	m.BandwidthMHz = ugb / 1e6
+
+	noise, err := s.inputNoise(admDC, ugb)
+	if err != nil {
+		return m, err
+	}
+	m.NoiseUVrms = noise * 1e6
+
+	off, err := s.offset(admDC)
+	if err != nil {
+		return m, err
+	}
+	m.OffsetUV = off * 1e6
+
+	if s.par != nil && off > 0 {
+		// Offset-induced mismatch degrades common-mode rejection.
+		extra := off / (2 * s.inputPairVov())
+		s2, err := newSimulator(s.c, s.par, extra)
+		if err != nil {
+			return m, err
+		}
+		if _, cmrr, err := s2.dcAndCMRR(); err == nil {
+			m.CMRRdB = cmrr
+		}
+		// Output-window-limited effective gain.
+		if lim := vWindow / off; lim < admDC {
+			m.GainDB = db(lim)
+		}
+	}
+	return m, nil
+}
+
+func (s *Simulator) dcAndCMRR() (admDC float64, cmrrDB float64, err error) {
+	adm0, _, err := s.gainAt(fDC)
+	if err != nil {
+		return 0, 0, err
+	}
+	admF, acmF, err := s.gainAt(fCMRR)
+	if err != nil {
+		return 0, 0, err
+	}
+	admDC = cmplx.Abs(adm0)
+	ac := cmplx.Abs(acmF)
+	if ac == 0 {
+		return admDC, 300, nil
+	}
+	return admDC, db(cmplx.Abs(admF) / ac), nil
+}
+
+// unityGainBandwidth finds the frequency where |Adm| crosses 1 on a log
+// sweep with bisection refinement.
+func (s *Simulator) unityGainBandwidth(admDC float64) (float64, error) {
+	if admDC <= 1 {
+		return 0, nil
+	}
+	lo, hi := fDC, 1.0e11
+	magAt := func(f float64) (float64, error) {
+		adm, _, err := s.gainAt(f)
+		if err != nil {
+			return 0, err
+		}
+		return cmplx.Abs(adm), nil
+	}
+	// Coarse log sweep to bracket the crossing.
+	prevF := lo
+	found := false
+	for f := lo * 10; f <= hi; f *= 10 {
+		mg, err := magAt(f)
+		if err != nil {
+			return 0, err
+		}
+		if mg < 1 {
+			lo, hi = prevF, f
+			found = true
+			break
+		}
+		prevF = f
+	}
+	if !found {
+		return hi, nil
+	}
+	// Bisection in log space.
+	for i := 0; i < 30; i++ {
+		mid := math.Sqrt(lo * hi)
+		mg, err := magAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if mg >= 1 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return math.Sqrt(lo * hi), nil
+}
+
+// inputNoise integrates the output noise PSD from fNoiseL to the unity-gain
+// bandwidth and refers it to the input by the DC gain.
+func (s *Simulator) inputNoise(admDC, ugb float64) (float64, error) {
+	if admDC <= 0 {
+		return 0, nil
+	}
+	fHi := ugb
+	if fHi < 1e4 {
+		fHi = 1e4
+	}
+	if fHi > 1e10 {
+		fHi = 1e10
+	}
+	const ptsPerDecade = 6
+	decades := math.Log10(fHi / fNoiseL)
+	n := int(decades*ptsPerDecade) + 2
+
+	freqs := make([]float64, n)
+	psd := make([]float64, n)
+	for i := 0; i < n; i++ {
+		freqs[i] = fNoiseL * math.Pow(fHi/fNoiseL, float64(i)/float64(n-1))
+		p, err := s.outputNoisePSD(freqs[i])
+		if err != nil {
+			return 0, err
+		}
+		psd[i] = p
+	}
+	// Trapezoidal integration in linear frequency.
+	var total float64
+	for i := 1; i < n; i++ {
+		total += 0.5 * (psd[i] + psd[i-1]) * (freqs[i] - freqs[i-1])
+	}
+	return math.Sqrt(total) / admDC, nil
+}
+
+// outputNoisePSD computes the total output noise PSD (V²/Hz) at frequency f:
+// thermal and flicker channel noise of each MOS plus thermal noise of
+// resistors, each propagated through its exact transimpedance.
+func (s *Simulator) outputNoisePSD(f float64) (float64, error) {
+	w := 2 * math.Pi * f
+	fac, err := s.sys.factorAt(w)
+	if err != nil {
+		return 0, err
+	}
+	zeroK := []complex128{0, 0}
+	total := 0.0
+	inject := func(a, b int, sI float64) {
+		if sI <= 0 {
+			return
+		}
+		inj := make([]complex128, s.sys.n)
+		any := false
+		if a >= 0 {
+			inj[a] += 1
+			any = true
+		}
+		if b >= 0 {
+			inj[b] -= 1
+			any = true
+		}
+		if !any {
+			return
+		}
+		x := fac.solve(s.sys.rhs(w, zeroK, inj))
+		h := cmplx.Abs(s.outDiff(x))
+		total += h * h * sI
+	}
+	for _, d := range s.c.Devices {
+		switch d.Type {
+		case netlist.PMOS, netlist.NMOS:
+			ss := d.SmallSignal()
+			sTherm := 4 * kBoltzmann * tempK * gammaNoise * ss.Gm
+			sFlick := kFlicker * ss.Gm * ss.Gm / (coxPerNm2 * float64(d.W) * float64(d.L) * f)
+			dn := s.termNode(d, "D", false)
+			sn := s.termNode(d, "S", false)
+			inject(dn, sn, sTherm+sFlick)
+		case netlist.Res:
+			a := s.termNode(d, "P", false)
+			b := s.termNode(d, "N", false)
+			inject(a, b, 4*kBoltzmann*tempK/d.ResOhm)
+		}
+	}
+	return total, nil
+}
+
+// offset computes the input-referred offset voltage from the parasitic
+// imbalance of every symmetric net pair: resistive imbalance carrying the
+// net's bias current plus capacitive imbalance converted via the slew-
+// equivalent current, both propagated to the output through the exact DC
+// transimpedance and referred to the input by the DC gain.
+func (s *Simulator) offset(admDC float64) (float64, error) {
+	if s.par == nil || admDC <= 0 {
+		return 0, nil
+	}
+	w := 2 * math.Pi * fDC
+	fac, err := s.sys.factorAt(w)
+	if err != nil {
+		return 0, err
+	}
+	zeroK := []complex128{0, 0}
+	transZ := func(node int) float64 {
+		if node < 0 {
+			return 0
+		}
+		inj := make([]complex128, s.sys.n)
+		inj[node] = 1
+		x := fac.solve(s.sys.rhs(w, zeroK, inj))
+		return cmplx.Abs(s.outDiff(x))
+	}
+	total := 0.0
+	for _, pr := range s.c.SymNetPairs {
+		asym := s.par.PairAsymmetry(pr[0], pr[1])
+		node := s.main[pr[0]]
+		if node < 0 {
+			node = s.far[pr[0]] // input nets: inject behind the wire R
+		}
+		z := transZ(node)
+		if z == 0 {
+			continue
+		}
+		iBias, gmNet := s.netBiasAndGm(pr[0])
+		// Resistive imbalance in series with a gm device degenerates it:
+		// ΔI = gm·ΔR·I (mirror-degeneration form); capacitive imbalance
+		// converts through the slew-equivalent current. Each term combines
+		// the routed imbalance with the matching-limited residual that
+		// scales with the pair's total parasitics (see extract.Asymmetry).
+		dR := deltaWeight*asym.DeltaR + matchFrac*asym.SumR/2
+		dC := deltaWeight*asym.DeltaC + matchFrac*asym.SumC/2
+		errI := gmNet*dR*iBias + dC*slewFactor
+		total += errI * z / admDC
+	}
+	return total, nil
+}
+
+// netBiasAndGm estimates the DC current carried by a net and the largest
+// transconductance attached to it, from the MOS drains/sources on the net.
+func (s *Simulator) netBiasAndGm(ni int) (iBias, gm float64) {
+	for _, pin := range s.c.Nets[ni].Pins {
+		d := s.c.Devices[pin.Device]
+		if d.Type != netlist.PMOS && d.Type != netlist.NMOS {
+			continue
+		}
+		if pin.Terminal == "D" || pin.Terminal == "S" {
+			if d.ID > iBias {
+				iBias = d.ID
+			}
+			if g := d.SmallSignal().Gm; g > gm {
+				gm = g
+			}
+		}
+	}
+	return iBias, gm
+}
+
+// Evaluate is the package-level convenience: build a simulator and compute
+// metrics. Pass par == nil for the schematic (parasitic-free) reference.
+func Evaluate(c *netlist.Circuit, par *extract.Parasitics) (Metrics, error) {
+	s, err := NewSimulator(c, par)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return s.Evaluate()
+}

@@ -1,0 +1,252 @@
+// Package circuit is the post-layout performance oracle of the reproduction,
+// standing in for Calibre PEX + Cadence Spectre in the paper's flow. It
+// builds a small-signal modified-nodal-analysis (MNA) model of an OTA from
+// its netlist (square-law linearized devices) plus extracted parasitics, and
+// evaluates the five Table-2 metrics: offset voltage, CMRR, unity-gain
+// bandwidth, DC gain, and integrated input-referred noise.
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// cmatrix is a dense complex matrix.
+type cmatrix struct {
+	n    int
+	data []complex128
+}
+
+func newCMatrix(n int) *cmatrix {
+	return &cmatrix{n: n, data: make([]complex128, n*n)}
+}
+
+func (m *cmatrix) at(i, j int) complex128     { return m.data[i*m.n+j] }
+func (m *cmatrix) add(i, j int, v complex128) { m.data[i*m.n+j] += v }
+
+// lu holds an LU factorization with partial pivoting.
+type lu struct {
+	n    int
+	data []complex128
+	piv  []int
+}
+
+// factor computes the LU decomposition of a copy of m.
+func (m *cmatrix) factor() (*lu, error) {
+	n := m.n
+	f := &lu{n: n, data: append([]complex128(nil), m.data...), piv: make([]int, n)}
+	for k := 0; k < n; k++ {
+		// Partial pivot.
+		p := k
+		best := cmplx.Abs(f.data[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := cmplx.Abs(f.data[i*n+k]); a > best {
+				best, p = a, i
+			}
+		}
+		if best == 0 {
+			return nil, fmt.Errorf("circuit: singular MNA matrix at column %d", k)
+		}
+		f.piv[k] = p
+		if p != k {
+			for j := 0; j < n; j++ {
+				f.data[k*n+j], f.data[p*n+j] = f.data[p*n+j], f.data[k*n+j]
+			}
+		}
+		pivot := f.data[k*n+k]
+		for i := k + 1; i < n; i++ {
+			l := f.data[i*n+k] / pivot
+			f.data[i*n+k] = l
+			if l == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				f.data[i*n+j] -= l * f.data[k*n+j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// solve solves A x = b in place, returning x (b is not modified).
+func (f *lu) solve(b []complex128) []complex128 {
+	n := f.n
+	x := append([]complex128(nil), b...)
+	for k := 0; k < n; k++ {
+		if p := f.piv[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+		for i := k + 1; i < n; i++ {
+			x[i] -= f.data[i*n+k] * x[k]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := i + 1; j < n; j++ {
+			x[i] -= f.data[i*n+j] * x[j]
+		}
+		x[i] /= f.data[i*n+i]
+	}
+	return x
+}
+
+// system is an assembled AC system: G + jωC over the unknown nodes, with
+// known (driven) nodes folded into the right-hand side.
+type system struct {
+	n       int // unknown node count
+	g, c    *cmatrix
+	gk, ck  [][]complex128 // n × len(known): columns for known-node voltages
+	numKnwn int
+}
+
+func newSystem(nUnknown, nKnown int) *system {
+	s := &system{
+		n: nUnknown, numKnwn: nKnown,
+		g: newCMatrix(nUnknown), c: newCMatrix(nUnknown),
+	}
+	s.gk = make([][]complex128, nUnknown)
+	s.ck = make([][]complex128, nUnknown)
+	for i := range s.gk {
+		s.gk[i] = make([]complex128, nKnown)
+		s.ck[i] = make([]complex128, nKnown)
+	}
+	return s
+}
+
+// node ids: >= 0 unknown, -1 ground, <= -2 known source with index -(id+2).
+
+const gndNode = -1
+
+func knownNode(k int) int   { return -(k + 2) }
+func knownIndex(id int) int { return -(id + 2) }
+
+// stampG adds conductance g between nodes a and b.
+func (s *system) stampG(a, b int, g complex128) {
+	s.stampEntry(s.g, s.gk, a, a, g)
+	s.stampEntry(s.g, s.gk, b, b, g)
+	s.stampEntry(s.g, s.gk, a, b, -g)
+	s.stampEntry(s.g, s.gk, b, a, -g)
+}
+
+// stampC adds capacitance c between nodes a and b.
+func (s *system) stampC(a, b int, c complex128) {
+	s.stampEntry(s.c, s.ck, a, a, c)
+	s.stampEntry(s.c, s.ck, b, b, c)
+	s.stampEntry(s.c, s.ck, a, b, -c)
+	s.stampEntry(s.c, s.ck, b, a, -c)
+}
+
+// stampVCCS adds a transconductance: current gm·(v(cp)-v(cn)) flowing from
+// node out into node in (out = drain, in = source for a MOS).
+func (s *system) stampVCCS(out, in, cp, cn int, gm complex128) {
+	s.stampEntry(s.g, s.gk, out, cp, gm)
+	s.stampEntry(s.g, s.gk, out, cn, -gm)
+	s.stampEntry(s.g, s.gk, in, cp, -gm)
+	s.stampEntry(s.g, s.gk, in, cn, gm)
+}
+
+func (s *system) stampEntry(m *cmatrix, known [][]complex128, row, col int, v complex128) {
+	if row < 0 {
+		return // ground or known row: equation not needed
+	}
+	switch {
+	case col >= 0:
+		m.add(row, col, v)
+	case col == gndNode:
+		// v(gnd) = 0: no contribution.
+	default:
+		known[row][knownIndex(col)] += v
+	}
+}
+
+// factored pairs an LU factorization with the assembled matrix so solutions
+// can be iteratively refined. MNA matrices of high-gain amplifiers are
+// severely ill-conditioned (conductances span µS–mS against pA/V-scale
+// leakage at high-impedance nodes, with transimpedances up to ~1e9); a bare
+// LU solve can lose every significant digit, so each solve polishes the
+// result with residual correction until machine precision is reached.
+type factored struct {
+	f *lu
+	a *cmatrix
+}
+
+// solve computes A x = b with iterative refinement.
+func (fa *factored) solve(b []complex128) []complex128 {
+	n := fa.a.n
+	x := fa.f.solve(b)
+	for it := 0; it < 8; it++ {
+		r := make([]complex128, n)
+		maxR, maxB := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			var sum complex128
+			row := fa.a.data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				sum += row[j] * x[j]
+			}
+			r[i] = b[i] - sum
+			if v := cmplx.Abs(r[i]); v > maxR {
+				maxR = v
+			}
+			if v := cmplx.Abs(b[i]); v > maxB {
+				maxB = v
+			}
+		}
+		if maxR <= 1e-13*(1+maxB) {
+			break
+		}
+		dx := fa.f.solve(r)
+		for i := range x {
+			x[i] += dx[i]
+		}
+	}
+	return x
+}
+
+// solveAt assembles A = G + jωC, folds known voltages vK into the RHS
+// (A_UK·vK moved right) along with extra current injections inj (may be nil),
+// and solves. Returns the unknown node voltages.
+func (s *system) solveAt(omega float64, vK []complex128, inj []complex128) ([]complex128, error) {
+	fa, err := s.factorAt(omega)
+	if err != nil {
+		return nil, err
+	}
+	return fa.solve(s.rhs(omega, vK, inj)), nil
+}
+
+// factorAt assembles and factors A = G + jωC for repeated solves at one
+// frequency (noise integration uses many right-hand sides per point).
+func (s *system) factorAt(omega float64) (*factored, error) {
+	jw := complex(0, omega)
+	a := newCMatrix(s.n)
+	for i := 0; i < s.n*s.n; i++ {
+		a.data[i] = s.g.data[i] + jw*s.c.data[i]
+	}
+	f, err := a.factor()
+	if err != nil {
+		return nil, err
+	}
+	return &factored{f: f, a: a}, nil
+}
+
+// rhs builds the right-hand side for known voltages vK plus injections.
+func (s *system) rhs(omega float64, vK []complex128, inj []complex128) []complex128 {
+	jw := complex(0, omega)
+	b := make([]complex128, s.n)
+	for i := 0; i < s.n; i++ {
+		for k := 0; k < s.numKnwn; k++ {
+			b[i] -= (s.gk[i][k] + jw*s.ck[i][k]) * vK[k]
+		}
+		if inj != nil {
+			b[i] += inj[i]
+		}
+	}
+	return b
+}
+
+// db converts a magnitude to decibels, clamping the degenerate cases.
+func db(x float64) float64 {
+	if x <= 0 {
+		return -300
+	}
+	return 20 * math.Log10(x)
+}

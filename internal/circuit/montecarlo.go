@@ -1,0 +1,110 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+)
+
+// MCResult summarizes a Monte Carlo offset analysis.
+type MCResult struct {
+	Samples int
+	MeanUV  float64 // mean absolute offset, µV
+	StdUV   float64 // standard deviation of the signed offset, µV
+	P99UV   float64 // 99th percentile of |offset|, µV
+	WorstUV float64
+}
+
+// MonteCarloOffset samples the input-referred offset distribution. The
+// deterministic offset model treats each symmetric pair's imbalance as a
+// worst-case magnitude; Monte Carlo instead draws every pair's contribution
+// as a zero-mean Gaussian whose σ is that magnitude, plus the intrinsic
+// input-pair mismatch, and propagates each draw through the exact DC
+// transimpedances. This is the 3σ-style analysis an analog sign-off flow
+// runs on the extracted netlist.
+func (s *Simulator) MonteCarloOffset(n int, seed int64) (*MCResult, error) {
+	if s.par == nil {
+		return nil, fmt.Errorf("circuit: Monte Carlo offset requires parasitics")
+	}
+	if n <= 0 {
+		n = 500
+	}
+	adm0, _, err := s.gainAt(fDC)
+	if err != nil {
+		return nil, err
+	}
+	admDC := cmplx.Abs(adm0)
+	if admDC <= 0 {
+		return nil, fmt.Errorf("circuit: amplifier has no gain")
+	}
+
+	w := 2 * math.Pi * fDC
+	fac, err := s.sys.factorAt(w)
+	if err != nil {
+		return nil, err
+	}
+	zeroK := []complex128{0, 0}
+
+	// Per-pair sigma (in amps of equivalent error current) and its
+	// transimpedance to the output.
+	type contrib struct {
+		sigmaI float64
+		z      float64
+	}
+	var contribs []contrib
+	for _, pr := range s.c.SymNetPairs {
+		asym := s.par.PairAsymmetry(pr[0], pr[1])
+		node := s.main[pr[0]]
+		if node < 0 {
+			node = s.far[pr[0]]
+		}
+		if node < 0 {
+			continue
+		}
+		inj := make([]complex128, s.sys.n)
+		inj[node] = 1
+		x := fac.solve(s.sys.rhs(w, zeroK, inj))
+		z := cmplx.Abs(s.outDiff(x))
+		if z == 0 {
+			continue
+		}
+		iBias, gmNet := s.netBiasAndGm(pr[0])
+		dR := deltaWeight*asym.DeltaR + matchFrac*asym.SumR/2
+		dC := deltaWeight*asym.DeltaC + matchFrac*asym.SumC/2
+		contribs = append(contribs, contrib{sigmaI: gmNet*dR*iBias + dC*slewFactor, z: z})
+	}
+
+	// Intrinsic input-pair mismatch: σ(Vos) ≈ σ(Δgm/gm)·Vov/2 referred
+	// directly to the input.
+	intrinsicV := gmMismatch * s.inputPairVov() / 2
+
+	rng := rand.New(rand.NewSource(seed))
+	offsets := make([]float64, n)
+	sumAbs, sum, sumSq := 0.0, 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := rng.NormFloat64() * intrinsicV
+		for _, c := range contribs {
+			v += rng.NormFloat64() * c.sigmaI * c.z / admDC
+		}
+		offsets[i] = v * 1e6
+		sumAbs += math.Abs(offsets[i])
+		sum += offsets[i]
+		sumSq += offsets[i] * offsets[i]
+	}
+	mean := sum / float64(n)
+	res := &MCResult{
+		Samples: n,
+		MeanUV:  sumAbs / float64(n),
+		StdUV:   math.Sqrt(sumSq/float64(n) - mean*mean),
+	}
+	absSorted := make([]float64, n)
+	for i, v := range offsets {
+		absSorted[i] = math.Abs(v)
+	}
+	sort.Float64s(absSorted)
+	res.P99UV = absSorted[int(0.99*float64(n-1))]
+	res.WorstUV = absSorted[n-1]
+	return res, nil
+}

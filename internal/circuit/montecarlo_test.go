@@ -1,0 +1,76 @@
+package circuit
+
+import (
+	"testing"
+
+	"analogfold/internal/netlist"
+)
+
+func TestMonteCarloOffsetBasic(t *testing.T) {
+	c := netlist.OTA1()
+	par := routedParasitics(t, c, 61)
+	s, err := NewSimulator(c, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := s.MonteCarloOffset(400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Samples != 400 {
+		t.Errorf("samples = %d", mc.Samples)
+	}
+	if mc.StdUV <= 0 || mc.MeanUV <= 0 {
+		t.Errorf("degenerate distribution: %+v", mc)
+	}
+	// Ordering invariants of the summary statistics.
+	if mc.P99UV < mc.MeanUV || mc.WorstUV < mc.P99UV {
+		t.Errorf("quantile ordering violated: %+v", mc)
+	}
+	// The MC σ should be in the same regime as the deterministic estimate
+	// (which is a sum of per-pair worst cases, so it upper-bounds σ loosely).
+	m, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.StdUV > m.OffsetUV*3 || mc.StdUV < m.OffsetUV/30 {
+		t.Errorf("MC σ %.1f µV inconsistent with deterministic %.1f µV", mc.StdUV, m.OffsetUV)
+	}
+}
+
+func TestMonteCarloDeterministicSeed(t *testing.T) {
+	c := netlist.OTA1()
+	par := routedParasitics(t, c, 62)
+	s, err := NewSimulator(c, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.MonteCarloOffset(100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.MonteCarloOffset(100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Errorf("same seed gave different results")
+	}
+	cRes, err := s.MonteCarloOffset(100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a == *cRes {
+		t.Errorf("different seeds gave identical results")
+	}
+}
+
+func TestMonteCarloRequiresParasitics(t *testing.T) {
+	s, err := NewSimulator(netlist.OTA1(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.MonteCarloOffset(10, 1); err == nil {
+		t.Errorf("schematic MC must be rejected")
+	}
+}

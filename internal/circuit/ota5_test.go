@@ -1,0 +1,36 @@
+package circuit
+
+import (
+	"testing"
+
+	"analogfold/internal/netlist"
+)
+
+func TestOTA5Simulates(t *testing.T) {
+	c := netlist.OTA5()
+	m, err := Evaluate(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Folded cascode: single-stage high gain, high UGB into a small load.
+	if m.GainDB < 40 || m.GainDB > 120 {
+		t.Errorf("OTA5 gain %.1f dB implausible", m.GainDB)
+	}
+	if m.BandwidthMHz < 20 || m.BandwidthMHz > 5000 {
+		t.Errorf("OTA5 UGB %.1f MHz implausible", m.BandwidthMHz)
+	}
+	if m.CMRRdB < 20 {
+		t.Errorf("OTA5 CMRR %.1f dB implausible", m.CMRRdB)
+	}
+	par := routedParasitics(t, c, 81)
+	post, err := Evaluate(c, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post.OffsetUV <= 0 {
+		t.Errorf("OTA5 post-layout offset %.1f", post.OffsetUV)
+	}
+	if post.BandwidthMHz > m.BandwidthMHz*1.02 {
+		t.Errorf("parasitics raised OTA5 UGB")
+	}
+}

@@ -1,0 +1,140 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"analogfold/internal/extract"
+	"analogfold/internal/netlist"
+)
+
+// PSRR computes the power-supply rejection ratio at frequency f: the ratio
+// of differential gain to the gain from a small signal on VDD to the output,
+// in dB. The main simulator treats VDD as AC ground; this analysis rebuilds
+// the system with VDD as a third driven node so supply ripple propagates
+// through every device whose source or drain sits on the rail.
+func PSRR(c *netlist.Circuit, par *extract.Parasitics, f float64) (float64, error) {
+	s, err := newSupplySimulator(c, par)
+	if err != nil {
+		return 0, err
+	}
+	w := 2 * math.Pi * f
+	// Differential gain.
+	xd, err := s.sys.solveAt(w, []complex128{0.5, -0.5, 0}, nil)
+	if err != nil {
+		return 0, err
+	}
+	adm := cmplx.Abs(s.outDiff(xd))
+	// Supply gain: ripple on VDD only.
+	xs, err := s.sys.solveAt(w, []complex128{0, 0, 1}, nil)
+	if err != nil {
+		return 0, err
+	}
+	asup := cmplx.Abs(s.outDiff(xs))
+	if asup == 0 {
+		return 300, nil // perfect rejection within numerical resolution
+	}
+	return db(adm / asup), nil
+}
+
+// newSupplySimulator builds a Simulator variant whose VDD nets are driven
+// known nodes instead of AC ground.
+func newSupplySimulator(c *netlist.Circuit, par *extract.Parasitics) (*Simulator, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("circuit: %w", err)
+	}
+	if par != nil && len(par.Net) != len(c.Nets) {
+		return nil, fmt.Errorf("circuit: parasitics cover %d nets, circuit has %d", len(par.Net), len(c.Nets))
+	}
+	s := &Simulator{c: c, par: par}
+	// Node assignment like assignNodes, but power nets map to known node 2.
+	s.main = make([]int, len(c.Nets))
+	s.far = make([]int, len(c.Nets))
+	next := 0
+	for ni, n := range c.Nets {
+		switch {
+		case n.Type == netlist.NetPower:
+			s.main[ni] = knownNode(2)
+		case n.Type == netlist.NetGround:
+			s.main[ni] = gndNode
+		case ni == c.InP:
+			s.main[ni] = knownNode(0)
+		case ni == c.InN:
+			s.main[ni] = knownNode(1)
+		default:
+			s.main[ni] = next
+			next++
+		}
+	}
+	for ni := range c.Nets {
+		s.far[ni] = s.main[ni]
+		if s.par == nil || s.main[ni] < 0 {
+			continue
+		}
+		if s.par.Net[ni].R <= 0 || !s.netHasGate(ni) {
+			continue
+		}
+		s.far[ni] = next
+		next++
+	}
+	s.numNode = next
+	s.outP = s.main[c.OutP]
+	s.outN = gndNode
+	if c.OutN >= 0 {
+		s.outN = s.main[c.OutN]
+	}
+
+	// Stamp with three known nodes.
+	s.sys = newSystem(s.numNode, 3)
+	s.stampInto(s.sys)
+	return s, nil
+}
+
+// stampInto assembles the device and parasitic stamps into the given system
+// (shared by the standard and supply-aware simulators).
+func (s *Simulator) stampInto(sys *system) {
+	c := s.c
+	if s.par != nil {
+		for ni := range c.Nets {
+			m, f := s.main[ni], s.far[ni]
+			if m == gndNode {
+				continue
+			}
+			np := s.par.Net[ni]
+			if f != m {
+				sys.stampG(m, f, complex(1/np.R, 0))
+				sys.stampC(m, gndNode, complex(np.C/2, 0))
+				sys.stampC(f, gndNode, complex(np.C/2, 0))
+			} else {
+				sys.stampC(m, gndNode, complex(np.C, 0))
+			}
+		}
+		for _, k := range s.par.SortedCouplingKeys() {
+			a, b := s.main[k[0]], s.main[k[1]]
+			if a == gndNode && b == gndNode {
+				continue
+			}
+			sys.stampC(a, b, complex(s.par.Coupling[k], 0))
+		}
+	}
+	for _, d := range c.Devices {
+		switch d.Type {
+		case netlist.PMOS, netlist.NMOS:
+			ss := d.SmallSignal()
+			gm := ss.Gm * s.inputPairFactor(d)
+			dn := s.termNode(d, "D", false)
+			gn := s.termNode(d, "G", true)
+			sn := s.termNode(d, "S", false)
+			sys.stampG(dn, sn, complex(ss.Gds, 0))
+			sys.stampVCCS(dn, sn, gn, sn, complex(gm, 0))
+			sys.stampC(gn, sn, complex(ss.Cgs, 0))
+			sys.stampC(gn, dn, complex(ss.Cgd, 0))
+			sys.stampC(dn, gndNode, complex(ss.Cdb, 0))
+		case netlist.Cap:
+			sys.stampC(s.termNode(d, "P", false), s.termNode(d, "N", false), complex(d.CapF, 0))
+		case netlist.Res:
+			sys.stampG(s.termNode(d, "P", false), s.termNode(d, "N", false), complex(1/d.ResOhm, 0))
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"analogfold/internal/netlist"
+)
+
+func TestPSRRSchematic(t *testing.T) {
+	for _, c := range netlist.Benchmarks() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			psrr, err := PSRR(c, nil, 1e3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.IsNaN(psrr) {
+				t.Fatalf("PSRR NaN")
+			}
+			// Real OTAs reject supply ripple but not perfectly.
+			if psrr < 5 || psrr > 300 {
+				t.Errorf("PSRR %.1f dB implausible", psrr)
+			}
+		})
+	}
+}
+
+func TestPSRRDegradesWithFrequency(t *testing.T) {
+	c := netlist.OTA1()
+	lo, err := PSRR(c, nil, 1e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := PSRR(c, nil, 1e8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PSRR at 100 MHz must not beat PSRR at 1 kHz by a wide margin — typical
+	// OTAs lose supply rejection with frequency.
+	if hi > lo+10 {
+		t.Errorf("PSRR improved with frequency: %.1f dB @1k -> %.1f dB @100M", lo, hi)
+	}
+}
+
+func TestPSRRPostLayout(t *testing.T) {
+	c := netlist.OTA1()
+	par := routedParasitics(t, c, 71)
+	sch, err := PSRR(c, nil, 1e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post, err := PSRR(c, par, 1e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(post) {
+		t.Fatalf("post-layout PSRR NaN")
+	}
+	// Parasitics shift PSRR; both remain finite and same order.
+	if math.Abs(post-sch) > 60 {
+		t.Errorf("post-layout PSRR %.1f wildly different from schematic %.1f", post, sch)
+	}
+}
+
+func TestPSRRRejectsBadParasitics(t *testing.T) {
+	c := netlist.OTA1()
+	par := routedParasitics(t, c, 72)
+	par.Net = par.Net[:2]
+	if _, err := PSRR(c, par, 1e3); err == nil {
+		t.Errorf("mismatched parasitics must be rejected")
+	}
+}

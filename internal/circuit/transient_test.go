@@ -1,0 +1,103 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"analogfold/internal/netlist"
+)
+
+func TestStepResponseBasic(t *testing.T) {
+	c := netlist.OTA1()
+	s, err := NewSimulator(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := 1e-5 // 10 µV differential step keeps the linear model honest
+	tr, err := s.StepResponse(step, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Time) != 1500 || len(tr.Vout) != 1500 {
+		t.Fatalf("trace lengths %d/%d", len(tr.Time), len(tr.Vout))
+	}
+	// Final value ≈ DC gain × step.
+	m, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFinal := math.Pow(10, m.GainDB/20) * step
+	if rel := math.Abs(math.Abs(tr.FinalValue)-wantFinal) / wantFinal; rel > 0.05 {
+		t.Errorf("final value %g, want ±%g (rel err %.2f)", tr.FinalValue, wantFinal, rel)
+	}
+	// Settles inside the window.
+	if tr.SettlingTimeNs <= 0 {
+		t.Errorf("did not settle: %g ns", tr.SettlingTimeNs)
+	}
+	if tr.SettlingTimeNs >= tr.Time[len(tr.Time)-1]*1e9 {
+		t.Errorf("settling reported at window edge")
+	}
+}
+
+func TestStepResponseMonotoneTimestamps(t *testing.T) {
+	c := netlist.OTA2()
+	s, err := NewSimulator(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.StepResponse(1e-5, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(tr.Time); i++ {
+		if tr.Time[i] <= tr.Time[i-1] {
+			t.Fatalf("non-monotone time at %d", i)
+		}
+	}
+	if tr.OvershootPct < 0 {
+		t.Errorf("negative overshoot")
+	}
+}
+
+func TestStepResponseParasiticsSlowSettling(t *testing.T) {
+	// Post-layout parasitics must not make the amplifier settle faster.
+	c := netlist.OTA1()
+	par := routedParasitics(t, c, 31)
+	s1, err := NewSimulator(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewSimulator(c, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr1, err := s1.StepResponse(1e-5, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := s2.StepResponse(1e-5, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr1.SettlingTimeNs <= 0 || tr2.SettlingTimeNs <= 0 {
+		t.Skip("settling outside window")
+	}
+	if tr2.SettlingTimeNs < tr1.SettlingTimeNs*0.8 {
+		t.Errorf("parasitics sped up settling: %.1f -> %.1f ns", tr1.SettlingTimeNs, tr2.SettlingTimeNs)
+	}
+}
+
+func TestStepResponseFullyDifferential(t *testing.T) {
+	c := netlist.OTA3()
+	s, err := NewSimulator(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.StepResponse(1e-5, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.FinalValue == 0 {
+		t.Errorf("no differential output response")
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"analogfold/internal/dataset"
+	"analogfold/internal/gnn3d"
+	"analogfold/internal/hetgraph"
+)
+
+// CacheKey identifies the learning artifacts of one (circuit, profile, seed,
+// samples) configuration.
+func (f *Flow) CacheKey() string {
+	return fmt.Sprintf("%s_%s_s%d_n%d", f.Circuit.Name, f.Profile, f.Opts.Seed, f.Opts.Samples)
+}
+
+// datasetPath and modelPath locate artifacts inside a cache directory.
+func (f *Flow) datasetPath(dir string) string {
+	return filepath.Join(dir, f.CacheKey()+"_dataset.json")
+}
+
+func (f *Flow) modelPath(dir string) string {
+	return filepath.Join(dir, f.CacheKey()+"_model.json")
+}
+
+// LoadOrGenerateDataset returns the cached dataset when present and
+// consistent, otherwise generates and stores it. An empty dir disables
+// caching.
+func (f *Flow) LoadOrGenerateDataset(dir string) (*dataset.Dataset, error) {
+	if dir != "" {
+		if ds, err := dataset.Load(f.datasetPath(dir)); err == nil {
+			if ds.Circuit == f.Circuit.Name && ds.NumNets == len(f.Circuit.Nets) {
+				return ds, nil
+			}
+		}
+	}
+	ds, err := dataset.Generate(f.Grid, dataset.Config{
+		Samples: f.Opts.Samples, Workers: f.Opts.Workers, Seed: f.Opts.Seed,
+		RouteCfg: f.Opts.RouteCfg, IncludeUniform: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("core: cache: %w", err)
+		}
+		if err := ds.Save(f.datasetPath(dir)); err != nil {
+			return nil, fmt.Errorf("core: cache: %w", err)
+		}
+	}
+	return ds, nil
+}
+
+// LoadOrTrainModel returns the cached trained model when present, otherwise
+// trains on the (possibly cached) dataset and stores the result. The
+// heterogeneous graph is returned alongside, since every caller needs it.
+func (f *Flow) LoadOrTrainModel(dir string) (*gnn3d.Model, *hetgraph.Graph, error) {
+	hg, err := hetgraph.Build(f.Grid, hetgraph.Config{})
+	if err != nil {
+		return nil, nil, err
+	}
+	if dir != "" {
+		if m, err := gnn3d.Load(f.modelPath(dir)); err == nil {
+			return m, hg, nil
+		}
+	}
+	ds, err := f.LoadOrGenerateDataset(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	gcfg := f.Opts.GNN
+	gcfg.Seed = f.Opts.Seed
+	m := gnn3d.New(gcfg)
+	if _, err := m.Fit(hg, ds.Samples(), gnn3d.TrainConfig{Epochs: f.Opts.TrainEpochs, Seed: f.Opts.Seed}); err != nil {
+		return nil, nil, err
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, nil, fmt.Errorf("core: cache: %w", err)
+		}
+		if err := m.Save(f.modelPath(dir)); err != nil {
+			return nil, nil, fmt.Errorf("core: cache: %w", err)
+		}
+	}
+	return m, hg, nil
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"analogfold/internal/netlist"
+	"analogfold/internal/place"
+)
+
+func TestDatasetCacheRoundTrip(t *testing.T) {
+	f, err := NewFlow(netlist.OTA1(), place.ProfileA, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	d1, err := f.LoadOrGenerateDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(f.datasetPath(dir)); err != nil {
+		t.Fatalf("dataset not cached: %v", err)
+	}
+	d2, err := f.LoadOrGenerateDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1.Entries) != len(d2.Entries) {
+		t.Errorf("cache returned different dataset: %d vs %d entries", len(d1.Entries), len(d2.Entries))
+	}
+	for i := range d1.Entries {
+		if d1.Entries[i].Y != d2.Entries[i].Y {
+			t.Fatalf("entry %d differs after cache round trip", i)
+		}
+	}
+}
+
+func TestModelCacheRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model cache in -short mode")
+	}
+	f, err := NewFlow(netlist.OTA1(), place.ProfileA, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	m1, hg, err := f.LoadOrTrainModel(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(f.modelPath(dir)); err != nil {
+		t.Fatalf("model not cached: %v", err)
+	}
+	m2, _, err := f.LoadOrTrainModel(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same predictions from cached and trained model.
+	ds, err := f.LoadOrGenerateDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ds.Samples()[0]
+	y1, err := m1.Predict(hg, s.C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2, err := m2.Predict(hg, s.C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y1 != y2 {
+		t.Errorf("cached model predicts differently: %v vs %v", y1, y2)
+	}
+}
+
+func TestCacheDisabledByEmptyDir(t *testing.T) {
+	f, err := NewFlow(netlist.OTA2(), place.ProfileA, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.LoadOrGenerateDataset(""); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+
+	"analogfold/internal/dataset"
+	"analogfold/internal/gnn3d"
+	"analogfold/internal/guidance"
+	"analogfold/internal/hetgraph"
+	"analogfold/internal/relax"
+	"analogfold/internal/route"
+)
+
+// DeriveGuidance runs the AnalogFold learning stack (database → 3DGNN →
+// potential relaxation) and returns the single best guidance set. Used by
+// the visualization commands (Figure 1) that want the guidance itself rather
+// than a full evaluation.
+func (f *Flow) DeriveGuidance() (guidance.Set, error) {
+	o := f.Opts
+	ds, err := dataset.Generate(f.Grid, dataset.Config{
+		Samples: o.Samples, Workers: o.Workers, Seed: o.Seed,
+		RouteCfg: o.RouteCfg, IncludeUniform: true,
+	})
+	if err != nil {
+		return guidance.Set{}, fmt.Errorf("core: derive: %w", err)
+	}
+	hg, err := hetgraph.Build(f.Grid, hetgraph.Config{})
+	if err != nil {
+		return guidance.Set{}, fmt.Errorf("core: derive: %w", err)
+	}
+	gcfg := o.GNN
+	gcfg.Seed = o.Seed
+	model := gnn3d.New(gcfg)
+	if _, err := model.Fit(hg, ds.Samples(), gnn3d.TrainConfig{Epochs: o.TrainEpochs, Seed: o.Seed}); err != nil {
+		return guidance.Set{}, fmt.Errorf("core: derive: %w", err)
+	}
+	rres, err := relax.Optimize(model, hg, relax.Config{
+		Restarts: o.RelaxRestarts, NDerive: 1, Seed: o.Seed,
+	})
+	if err != nil {
+		return guidance.Set{}, fmt.Errorf("core: derive: %w", err)
+	}
+	return rres.Guides[0], nil
+}
+
+// RunAnalogFoldRouted derives guidance and returns the routed solution, for
+// rendering (Figure 6).
+func (f *Flow) RunAnalogFoldRouted() (*route.Result, error) {
+	gd, err := f.DeriveGuidance()
+	if err != nil {
+		return nil, err
+	}
+	res, err := route.Route(f.Grid, gd, f.Opts.RouteCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: analogfold route: %w", err)
+	}
+	return res, nil
+}
+
+// RunGeniusRouted runs the GeniusRoute baseline and returns the routed
+// solution, for rendering (Figure 6).
+func (f *Flow) RunGeniusRouted() (*route.Result, error) {
+	gd, err := f.geniusGuidance()
+	if err != nil {
+		return nil, err
+	}
+	res, err := route.Route(f.Grid, gd, f.Opts.RouteCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: genius route: %w", err)
+	}
+	return res, nil
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ln and exp keep table2.go free of a math import for two calls.
+func ln(x float64) float64  { return math.Log(x) }
+func exp(x float64) float64 { return math.Exp(x) }
+
+// Breakdown is the Figure-5 runtime decomposition in percent.
+type Breakdown struct {
+	PlacementPct       float64
+	ConstructDBPct     float64
+	ModelTrainingPct   float64
+	GuideGenerationPct float64
+	GuidedRoutingPct   float64
+}
+
+// BreakdownOf converts stage times into the Figure-5 percentages.
+func BreakdownOf(t StageTimes) Breakdown {
+	total := t.Total().Seconds()
+	if total <= 0 {
+		return Breakdown{}
+	}
+	pct := func(d float64) float64 { return 100 * d / total }
+	return Breakdown{
+		PlacementPct:       pct(t.Placement.Seconds()),
+		ConstructDBPct:     pct(t.ConstructDatabase.Seconds()),
+		ModelTrainingPct:   pct(t.ModelTraining.Seconds()),
+		GuideGenerationPct: pct(t.GuideGeneration.Seconds()),
+		GuidedRoutingPct:   pct(t.GuidedRouting.Seconds()),
+	}
+}
+
+// FormatBreakdown renders the Figure-5 pie as text.
+func FormatBreakdown(b Breakdown) string {
+	var sb strings.Builder
+	sb.WriteString("Runtime breakdown (Figure 5)\n")
+	fmt.Fprintf(&sb, "  %-36s %6.2f%%\n", "Model Training", b.ModelTrainingPct)
+	fmt.Fprintf(&sb, "  %-36s %6.2f%%\n", "Placement", b.PlacementPct)
+	fmt.Fprintf(&sb, "  %-36s %6.2f%%\n", "Inference: Routing Guide Generation", b.GuideGenerationPct)
+	fmt.Fprintf(&sb, "  %-36s %6.2f%%\n", "Inference: Guided Detailed Routing", b.GuidedRoutingPct)
+	fmt.Fprintf(&sb, "  %-36s %6.2f%%\n", "Construct Database", b.ConstructDBPct)
+	return sb.String()
+}

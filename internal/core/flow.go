@@ -1,0 +1,345 @@
+// Package core orchestrates the complete AnalogFold flow of the paper
+// (Figure 2): placement → routing-grid construction → database construction
+// (guidance-labeled routing samples) → 3DGNN training → pool-assisted
+// potential relaxation → guided detailed routing → post-layout evaluation.
+// It also drives the two baselines of Table 2 — MagicalRoute [16] (the same
+// detailed router, unguided) and GeniusRoute [11] (VAE imitation guidance) —
+// under identical conditions.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"analogfold/internal/circuit"
+	"analogfold/internal/dataset"
+	"analogfold/internal/extract"
+	"analogfold/internal/gnn3d"
+	"analogfold/internal/grid"
+	"analogfold/internal/guidance"
+	"analogfold/internal/hetgraph"
+	"analogfold/internal/netlist"
+	"analogfold/internal/place"
+	"analogfold/internal/relax"
+	"analogfold/internal/route"
+	"analogfold/internal/tech"
+	"analogfold/internal/vae"
+)
+
+// Method identifies a routing flow in Table 2.
+type Method string
+
+// The compared methods.
+const (
+	MethodSchematic  Method = "Schematic"
+	MethodMagical    Method = "MagicalRoute"
+	MethodGenius     Method = "GeniusRoute"
+	MethodAnalogFold Method = "AnalogFold"
+)
+
+// Options sizes the flow. Zero values select experiment defaults scaled for
+// minutes-long runs; the paper's full-scale settings (2000 samples) are a
+// matter of turning these up.
+type Options struct {
+	Samples       int // database size per placement
+	TrainEpochs   int
+	RelaxRestarts int
+	NDerive       int
+	Workers       int
+	Seed          int64
+	PlaceIters    int
+	GNN           gnn3d.Config
+	RouteCfg      route.Config
+	VAECorpus     int // sibling placements for the GeniusRoute corpus
+	VAEEpochs     int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Samples == 0 {
+		o.Samples = 220
+	}
+	if o.TrainEpochs == 0 {
+		o.TrainEpochs = 60
+	}
+	if o.RelaxRestarts == 0 {
+		o.RelaxRestarts = 10
+	}
+	if o.NDerive == 0 {
+		o.NDerive = 4
+	}
+	if o.PlaceIters == 0 {
+		o.PlaceIters = 3000
+	}
+	if o.VAECorpus == 0 {
+		o.VAECorpus = 5
+	}
+	if o.VAEEpochs == 0 {
+		o.VAEEpochs = 40
+	}
+	return o
+}
+
+// StageTimes records the Figure-5 runtime breakdown.
+type StageTimes struct {
+	Placement         time.Duration
+	ConstructDatabase time.Duration
+	ModelTraining     time.Duration
+	GuideGeneration   time.Duration // feature extraction + inference + relaxation
+	GuidedRouting     time.Duration
+}
+
+// Total sums all stages.
+func (s StageTimes) Total() time.Duration {
+	return s.Placement + s.ConstructDatabase + s.ModelTraining + s.GuideGeneration + s.GuidedRouting
+}
+
+// Outcome is one method's result on one benchmark.
+type Outcome struct {
+	Method       Method
+	Metrics      circuit.Metrics
+	Runtime      time.Duration // guidance generation + routing (Table 2 semantics)
+	Times        StageTimes
+	WirelengthNm int
+	Vias         int
+}
+
+// Flow holds the per-benchmark state shared by all methods.
+type Flow struct {
+	Circuit *netlist.Circuit
+	Profile place.Profile
+	Opts    Options
+
+	Placement *place.Placement
+	Grid      *grid.Grid
+	placeTime time.Duration
+}
+
+// NewFlow places the circuit under the given net-weight profile and builds
+// the routing grid.
+func NewFlow(c *netlist.Circuit, profile place.Profile, opts Options) (*Flow, error) {
+	opts = opts.withDefaults()
+	t0 := time.Now()
+	p, err := place.Place(c, place.Config{
+		Profile: profile, Seed: opts.Seed, Iterations: opts.PlaceIters,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	g, err := grid.Build(p, tech.Sim40())
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Flow{
+		Circuit: c, Profile: profile, Opts: opts,
+		Placement: p, Grid: g, placeTime: time.Since(t0),
+	}, nil
+}
+
+// Name returns the Table-2 benchmark id, e.g. "OTA1-A".
+func (f *Flow) Name() string { return fmt.Sprintf("%s-%s", f.Circuit.Name, f.Profile) }
+
+// Schematic evaluates the parasitic-free reference.
+func (f *Flow) Schematic() (circuit.Metrics, error) {
+	return circuit.Evaluate(f.Circuit, nil)
+}
+
+// evaluateRouted extracts and simulates one routed solution.
+func (f *Flow) evaluateRouted(res *route.Result) (circuit.Metrics, error) {
+	par := extract.Extract(f.Grid, res)
+	return circuit.Evaluate(f.Circuit, par)
+}
+
+// RunMagical runs the unguided baseline router.
+func (f *Flow) RunMagical() (*Outcome, error) {
+	t0 := time.Now()
+	res, err := route.Route(f.Grid, guidance.Uniform(len(f.Circuit.Nets)), f.Opts.RouteCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: magical: %w", err)
+	}
+	rt := time.Since(t0)
+	m, err := f.evaluateRouted(res)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Method: MethodMagical, Metrics: m, Runtime: rt,
+		Times:        StageTimes{Placement: f.placeTime, GuidedRouting: rt},
+		WirelengthNm: res.WirelengthNm, Vias: res.Vias,
+	}, nil
+}
+
+// geniusTiming carries the GeniusRoute stage times alongside its guidance.
+type geniusTiming struct {
+	corpus, train, inference time.Duration
+}
+
+// geniusGuidanceTimed builds the GeniusRoute imitation guidance: a VAE
+// trained on routed sibling placements (substitute for the original's
+// manual-layout corpus; see package vae) decodes a 2D wire-density map that
+// is converted to per-net guidance.
+func (f *Flow) geniusGuidanceTimed() (guidance.Set, geniusTiming, error) {
+	o := f.Opts
+	var tm geniusTiming
+	var pairs []vae.Pair
+	tCorpus := time.Now()
+	for k := 0; k < o.VAECorpus; k++ {
+		p, err := place.Place(f.Circuit, place.Config{
+			Profile: f.Profile, Seed: o.Seed + int64(100+k), Iterations: o.PlaceIters / 2,
+		})
+		if err != nil {
+			return guidance.Set{}, tm, fmt.Errorf("core: genius corpus: %w", err)
+		}
+		g, err := grid.Build(p, tech.Sim40())
+		if err != nil {
+			return guidance.Set{}, tm, fmt.Errorf("core: genius corpus: %w", err)
+		}
+		res, err := route.Route(g, guidance.Uniform(len(f.Circuit.Nets)), o.RouteCfg)
+		if err != nil {
+			return guidance.Set{}, tm, fmt.Errorf("core: genius corpus: %w", err)
+		}
+		pairs = append(pairs, vae.Pair{Pins: vae.RasterizePins(g), Wires: vae.RasterizeWires(g, res)})
+	}
+	tm.corpus = time.Since(tCorpus)
+
+	tTrain := time.Now()
+	model := vae.New(8, o.Seed)
+	if _, err := model.Fit(pairs, vae.TrainConfig{Epochs: o.VAEEpochs, Seed: o.Seed}); err != nil {
+		return guidance.Set{}, tm, fmt.Errorf("core: genius: %w", err)
+	}
+	tm.train = time.Since(tTrain)
+
+	tInf := time.Now()
+	wireMap := model.PredictMap(f.Grid)
+	gd := model.GuidanceFromMap(f.Grid, wireMap)
+	tm.inference = time.Since(tInf)
+	return gd, tm, nil
+}
+
+// geniusGuidance is the timing-free convenience used by visualization.
+func (f *Flow) geniusGuidance() (guidance.Set, error) {
+	gd, _, err := f.geniusGuidanceTimed()
+	return gd, err
+}
+
+// RunGenius runs the GeniusRoute baseline end to end.
+func (f *Flow) RunGenius() (*Outcome, error) {
+	o := f.Opts
+	gd, tm, err := f.geniusGuidanceTimed()
+	if err != nil {
+		return nil, err
+	}
+	corpusTime, trainTime, infTime := tm.corpus, tm.train, tm.inference
+
+	tRoute := time.Now()
+	res, err := route.Route(f.Grid, gd, o.RouteCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: genius route: %w", err)
+	}
+	routeTime := time.Since(tRoute)
+
+	m, err := f.evaluateRouted(res)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Method: MethodGenius, Metrics: m,
+		Runtime: infTime + routeTime,
+		Times: StageTimes{
+			Placement:         f.placeTime,
+			ConstructDatabase: corpusTime,
+			ModelTraining:     trainTime,
+			GuideGeneration:   infTime,
+			GuidedRouting:     routeTime,
+		},
+		WirelengthNm: res.WirelengthNm, Vias: res.Vias,
+	}, nil
+}
+
+// RunAnalogFold runs the full proposed flow.
+func (f *Flow) RunAnalogFold() (*Outcome, error) {
+	o := f.Opts
+
+	// Construct database: guidance-labeled routing samples.
+	tDB := time.Now()
+	ds, err := dataset.Generate(f.Grid, dataset.Config{
+		Samples: o.Samples, Workers: o.Workers, Seed: o.Seed,
+		RouteCfg: o.RouteCfg, IncludeUniform: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: analogfold: %w", err)
+	}
+	dbTime := time.Since(tDB)
+
+	// Heterogeneous graph + model training.
+	tTrain := time.Now()
+	hg, err := hetgraph.Build(f.Grid, hetgraph.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("core: analogfold: %w", err)
+	}
+	gcfg := o.GNN
+	gcfg.Seed = o.Seed
+	model := gnn3d.New(gcfg)
+	if _, err := model.Fit(hg, ds.Samples(), gnn3d.TrainConfig{Epochs: o.TrainEpochs, Seed: o.Seed}); err != nil {
+		return nil, fmt.Errorf("core: analogfold: %w", err)
+	}
+	trainTime := time.Since(tTrain)
+
+	// Guidance generation: potential relaxation.
+	tRelax := time.Now()
+	rres, err := relax.Optimize(model, hg, relax.Config{
+		Restarts: o.RelaxRestarts, NDerive: o.NDerive, Seed: o.Seed, MaxIter: 25,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: analogfold: %w", err)
+	}
+	relaxTime := time.Since(tRelax)
+
+	// Guided routing: route every derived guidance set and keep the best
+	// measured FoM (the model's normalization makes the FoM scale-free).
+	tRoute := time.Now()
+	var best *Outcome
+	var bestFoM float64
+	for _, gd := range rres.Guides {
+		res, err := route.Route(f.Grid, gd, o.RouteCfg)
+		if err != nil {
+			continue
+		}
+		m, err := f.evaluateRouted(res)
+		if err != nil {
+			continue
+		}
+		fom := scalarFoM(model, m)
+		if best == nil || fom < bestFoM {
+			bestFoM = fom
+			best = &Outcome{
+				Method: MethodAnalogFold, Metrics: m,
+				WirelengthNm: res.WirelengthNm, Vias: res.Vias,
+			}
+		}
+	}
+	routeTime := time.Since(tRoute)
+	if best == nil {
+		return nil, fmt.Errorf("core: analogfold: no derived guidance routed successfully")
+	}
+	best.Runtime = relaxTime + routeTime
+	best.Times = StageTimes{
+		Placement:         f.placeTime,
+		ConstructDatabase: dbTime,
+		ModelTraining:     trainTime,
+		GuideGeneration:   relaxTime,
+		GuidedRouting:     routeTime,
+	}
+	return best, nil
+}
+
+// scalarFoM folds the five metrics into one lower-is-better scalar using the
+// model's target normalization and the relaxation's metric signs.
+func scalarFoM(m *gnn3d.Model, mt circuit.Metrics) float64 {
+	y := [gnn3d.NumMetrics]float64{mt.OffsetUV, mt.CMRRdB, mt.BandwidthMHz, mt.GainDB, mt.NoiseUVrms}
+	yn := m.Normalize(y)
+	s := 0.0
+	for i := range yn {
+		s += relax.MetricSigns[i] * yn[i]
+	}
+	return s
+}

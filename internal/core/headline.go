@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Headline captures the paper's abstract-style claims: the largest
+// improvement AnalogFold achieves over GeniusRoute on each metric across all
+// benchmarks ("up to 3671 µV, 30.33 dB, 169.2 MHz, 38.141 dB and
+// 2028 µVrms improvement ...").
+type Headline struct {
+	OffsetUV     float64 // largest offset reduction (µV)
+	CMRRdB       float64 // largest CMRR gain (dB)
+	BandwidthMHz float64 // largest bandwidth gain (MHz)
+	GainDB       float64 // largest DC-gain gain (dB)
+	NoiseUVrms   float64 // largest noise reduction (µVrms)
+
+	// Bench records which benchmark produced each maximum, in metric order.
+	Bench [5]string
+}
+
+// HeadlineImprovements scans Table-2 rows for the best per-metric
+// improvement of AnalogFold over GeniusRoute. Negative values never appear:
+// metrics where AnalogFold never beats GeniusRoute report zero.
+func HeadlineImprovements(rows []*Row) Headline {
+	var h Headline
+	up := func(k int, bench string, delta float64, dst *float64) {
+		if delta > *dst {
+			*dst = delta
+			h.Bench[k] = bench
+		}
+	}
+	for _, r := range rows {
+		g, o := r.Genius.Metrics, r.Ours.Metrics
+		up(0, r.Bench, g.OffsetUV-o.OffsetUV, &h.OffsetUV)
+		up(1, r.Bench, o.CMRRdB-g.CMRRdB, &h.CMRRdB)
+		up(2, r.Bench, o.BandwidthMHz-g.BandwidthMHz, &h.BandwidthMHz)
+		up(3, r.Bench, o.GainDB-g.GainDB, &h.GainDB)
+		up(4, r.Bench, g.NoiseUVrms-o.NoiseUVrms, &h.NoiseUVrms)
+	}
+	return h
+}
+
+// FormatHeadline renders the claims sentence with provenance.
+func FormatHeadline(h Headline) string {
+	var b strings.Builder
+	b.WriteString("Best improvements over GeniusRoute:\n")
+	fmt.Fprintf(&b, "  Offset Voltage  %8.2f µV    (%s)\n", h.OffsetUV, h.Bench[0])
+	fmt.Fprintf(&b, "  CMRR            %8.2f dB    (%s)\n", h.CMRRdB, h.Bench[1])
+	fmt.Fprintf(&b, "  BandWidth       %8.2f MHz   (%s)\n", h.BandwidthMHz, h.Bench[2])
+	fmt.Fprintf(&b, "  DC Gain         %8.2f dB    (%s)\n", h.GainDB, h.Bench[3])
+	fmt.Fprintf(&b, "  Noise           %8.2f µVrms (%s)\n", h.NoiseUVrms, h.Bench[4])
+	return b.String()
+}

@@ -1,0 +1,169 @@
+// Package dataset generates the 3DGNN training data: the paper collects
+// samples by routing a target design under many guidance assignments and
+// measuring post-layout performance of each (2000 samples over 5 hosts). The
+// reproduction does the same loop — sample C → guided route → extract
+// parasitics → MNA simulation → labels — fanned out over goroutines, and can
+// serialize datasets to JSON for reuse.
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+
+	"analogfold/internal/circuit"
+	"analogfold/internal/extract"
+	"analogfold/internal/gnn3d"
+	"analogfold/internal/grid"
+	"analogfold/internal/guidance"
+	"analogfold/internal/route"
+	"analogfold/internal/tensor"
+)
+
+// Entry is one serializable sample.
+type Entry struct {
+	C []float64                 `json:"c"` // flat guidance, [numNets*3]
+	Y [gnn3d.NumMetrics]float64 `json:"y"` // offset µV, CMRR dB, BW MHz, gain dB, noise µVrms
+}
+
+// Dataset is a labeled corpus for one (circuit, placement).
+type Dataset struct {
+	Circuit string  `json:"circuit"`
+	NumNets int     `json:"num_nets"`
+	CMax    float64 `json:"c_max"`
+	Entries []Entry `json:"entries"`
+}
+
+// Config controls generation.
+type Config struct {
+	Samples  int
+	Workers  int // 0: GOMAXPROCS (the paper's "5 hosts" becomes worker goroutines)
+	Seed     int64
+	CMax     float64
+	RouteCfg route.Config
+	// IncludeUniform adds one neutral-guidance sample (the unguided
+	// baseline's operating point) to anchor the dataset.
+	IncludeUniform bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Samples == 0 {
+		c.Samples = 64
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CMax == 0 {
+		c.CMax = guidance.DefaultCMax
+	}
+	return c
+}
+
+// Label routes the design under gd and measures the five metrics.
+func Label(g *grid.Grid, gd guidance.Set, rcfg route.Config) ([gnn3d.NumMetrics]float64, error) {
+	var y [gnn3d.NumMetrics]float64
+	res, err := route.Route(g, gd, rcfg)
+	if err != nil {
+		return y, fmt.Errorf("dataset: route: %w", err)
+	}
+	par := extract.Extract(g, res)
+	m, err := circuit.Evaluate(g.Place.Circuit, par)
+	if err != nil {
+		return y, fmt.Errorf("dataset: simulate: %w", err)
+	}
+	return [gnn3d.NumMetrics]float64{m.OffsetUV, m.CMRRdB, m.BandwidthMHz, m.GainDB, m.NoiseUVrms}, nil
+}
+
+// Generate builds a dataset for the placement behind g.
+func Generate(g *grid.Grid, cfg Config) (*Dataset, error) {
+	cfg = cfg.withDefaults()
+	c := g.Place.Circuit
+	numNets := len(c.Nets)
+
+	// Pre-draw all guidance sets deterministically, independent of worker
+	// scheduling.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var guides []guidance.Set
+	if cfg.IncludeUniform {
+		guides = append(guides, guidance.Uniform(numNets))
+	}
+	for len(guides) < cfg.Samples {
+		guides = append(guides, guidance.Sample(numNets, rng, cfg.CMax))
+	}
+
+	entries := make([]Entry, len(guides))
+	errs := make([]error, len(guides))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for i := range guides {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			y, err := Label(g, guides[i], cfg.RouteCfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			entries[i] = Entry{C: guides[i].Flat(), Y: y}
+		}(i)
+	}
+	wg.Wait()
+	ds := &Dataset{Circuit: c.Name, NumNets: numNets, CMax: cfg.CMax}
+	for i, e := range entries {
+		if errs[i] != nil {
+			// Individual routing failures (rare, from adversarial guidance)
+			// are dropped rather than aborting the corpus, matching how data
+			// collection farms tolerate failed runs.
+			continue
+		}
+		ds.Entries = append(ds.Entries, e)
+	}
+	if len(ds.Entries) < len(guides)/2 {
+		return nil, fmt.Errorf("dataset: only %d/%d samples succeeded", len(ds.Entries), len(guides))
+	}
+	return ds, nil
+}
+
+// Samples converts the dataset into gnn3d training samples.
+func (d *Dataset) Samples() []gnn3d.Sample {
+	out := make([]gnn3d.Sample, len(d.Entries))
+	for i, e := range d.Entries {
+		out[i] = gnn3d.Sample{
+			C: tensor.FromSlice(append([]float64(nil), e.C...), d.NumNets, 3),
+			Y: e.Y,
+		}
+	}
+	return out
+}
+
+// Save writes the dataset as JSON.
+func (d *Dataset) Save(path string) error {
+	b, err := json.MarshalIndent(d, "", " ")
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Load reads a dataset from JSON.
+func Load(path string) (*Dataset, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	var d Dataset
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	for i, e := range d.Entries {
+		if len(e.C) != d.NumNets*3 {
+			return nil, fmt.Errorf("dataset: entry %d has %d guidance values, want %d", i, len(e.C), d.NumNets*3)
+		}
+	}
+	return &d, nil
+}

@@ -1,0 +1,148 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"analogfold/internal/grid"
+	"analogfold/internal/guidance"
+	"analogfold/internal/netlist"
+	"analogfold/internal/place"
+	"analogfold/internal/route"
+	"analogfold/internal/tech"
+)
+
+func buildGrid(t testing.TB, c *netlist.Circuit, seed int64) *grid.Grid {
+	t.Helper()
+	p, err := place.Place(c, place.Config{Profile: place.ProfileA, Seed: seed, Iterations: 1500})
+	if err != nil {
+		t.Fatalf("place: %v", err)
+	}
+	g, err := grid.Build(p, tech.Sim40())
+	if err != nil {
+		t.Fatalf("grid: %v", err)
+	}
+	return g
+}
+
+func TestGenerateSmall(t *testing.T) {
+	g := buildGrid(t, netlist.OTA1(), 1)
+	ds, err := Generate(g, Config{Samples: 6, Seed: 1, IncludeUniform: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Entries) < 4 {
+		t.Fatalf("too few entries: %d", len(ds.Entries))
+	}
+	if ds.NumNets != len(g.Place.Circuit.Nets) {
+		t.Errorf("NumNets = %d", ds.NumNets)
+	}
+	for i, e := range ds.Entries {
+		if len(e.C) != ds.NumNets*3 {
+			t.Fatalf("entry %d guidance size %d", i, len(e.C))
+		}
+		if e.Y[2] <= 0 { // bandwidth must be positive
+			t.Errorf("entry %d has bandwidth %g", i, e.Y[2])
+		}
+		if e.Y[4] <= 0 { // noise must be positive
+			t.Errorf("entry %d has noise %g", i, e.Y[4])
+		}
+	}
+}
+
+func TestLabelsDependOnGuidance(t *testing.T) {
+	g := buildGrid(t, netlist.OTA1(), 2)
+	n := len(g.Place.Circuit.Nets)
+	y1, err := Label(g, guidance.Uniform(n), route.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skew := guidance.Uniform(n)
+	for i := range skew.PerNet {
+		skew.PerNet[i] = guidance.Vec{1.8, 0.2, 1.5}
+	}
+	y2, err := Label(g, skew, route.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y1 == y2 {
+		t.Errorf("labels identical under different guidance: %v", y1)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := buildGrid(t, netlist.OTA2(), 3)
+	ds, err := Generate(g, Config{Samples: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ds.json")
+	if err := ds.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Circuit != ds.Circuit || len(back.Entries) != len(ds.Entries) {
+		t.Fatalf("round trip mismatch")
+	}
+	if back.Entries[0].Y != ds.Entries[0].Y {
+		t.Errorf("labels corrupted in round trip")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestLoadRejectsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFile(path, `{"circuit":"x","num_nets":3,"entries":[{"c":[1,2],"y":[0,0,0,0,0]}]}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Errorf("corrupt dataset must be rejected")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Errorf("missing file must error")
+	}
+}
+
+func TestSamplesConversion(t *testing.T) {
+	g := buildGrid(t, netlist.OTA1(), 4)
+	ds, err := Generate(g, Config{Samples: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := ds.Samples()
+	if len(ss) != len(ds.Entries) {
+		t.Fatalf("sample count %d", len(ss))
+	}
+	for _, s := range ss {
+		if s.C.Shape[0] != ds.NumNets || s.C.Shape[1] != 3 {
+			t.Fatalf("sample C shape %v", s.C.Shape)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g := buildGrid(t, netlist.OTA1(), 5)
+	d1, err := Generate(g, Config{Samples: 4, Seed: 9, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Generate(g, Config{Samples: 4, Seed: 9, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1.Entries) != len(d2.Entries) {
+		t.Fatalf("entry counts differ: %d vs %d", len(d1.Entries), len(d2.Entries))
+	}
+	for i := range d1.Entries {
+		if d1.Entries[i].Y != d2.Entries[i].Y {
+			t.Errorf("entry %d labels differ across worker counts", i)
+		}
+	}
+}

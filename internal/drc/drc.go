@@ -1,0 +1,111 @@
+// Package drc is an independent design-rule checker for routed solutions. It
+// realizes the routed grid segments as physical wire shapes (minimum-width
+// rectangles centered on tracks) and verifies shorts and minimum spacing
+// between shapes of different nets, plus minimum wire width. The router is
+// correct-by-construction on these rules; drc provides the independent proof
+// the paper's "LVS clean / post-processing" step relies on.
+package drc
+
+import (
+	"fmt"
+
+	"analogfold/internal/geom"
+	"analogfold/internal/grid"
+	"analogfold/internal/route"
+)
+
+// Kind classifies a violation.
+type Kind string
+
+// Violation kinds.
+const (
+	KindShort   Kind = "short"
+	KindSpacing Kind = "spacing"
+	KindWidth   Kind = "width"
+)
+
+// Violation is one design-rule violation.
+type Violation struct {
+	Kind  Kind
+	Layer int
+	NetA  int
+	NetB  int // -1 for single-net violations
+	Where geom.Rect
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s on L%d nets(%d,%d) at %v", v.Kind, v.Layer, v.NetA, v.NetB, v.Where)
+}
+
+// shape is a physical wire rectangle owned by a net.
+type shape struct {
+	net  int
+	rect geom.Rect
+}
+
+// Check verifies the routed result against the grid's technology.
+func Check(g *grid.Grid, res *route.Result) []Violation {
+	tk := g.Tech
+	perLayer := make([][]shape, tk.NumLayers())
+
+	// Realize wire segments.
+	for ni, segs := range res.NetSegs {
+		for _, s := range segs {
+			if s.IsVia() {
+				continue
+			}
+			z := s.A.Z
+			w := tk.Layers[z].MinWidth
+			a := g.CellPos(s.A)
+			b := g.CellPos(s.B)
+			var r geom.Rect
+			if s.IsHorizontal() {
+				r = geom.Rect{
+					Lo: geom.Point{X: a.X - w/2, Y: a.Y - w/2},
+					Hi: geom.Point{X: b.X + w/2, Y: a.Y + w/2},
+				}
+			} else {
+				r = geom.Rect{
+					Lo: geom.Point{X: a.X - w/2, Y: a.Y - w/2},
+					Hi: geom.Point{X: a.X + w/2, Y: b.Y + w/2},
+				}
+			}
+			perLayer[z] = append(perLayer[z], shape{net: ni, rect: r})
+		}
+	}
+	// Realize pin pads on M1.
+	for _, ap := range g.APs {
+		w := tk.Layers[0].MinWidth
+		r := geom.RectWH(ap.Pos.X-w/2, ap.Pos.Y-w/2, w, w)
+		perLayer[0] = append(perLayer[0], shape{net: ap.Net, rect: r})
+	}
+
+	var out []Violation
+	for z, shapes := range perLayer {
+		minSp := tk.Layers[z].MinSpacing
+		minW := tk.Layers[z].MinWidth
+		for i := range shapes {
+			ri := shapes[i].rect
+			if ri.W() < minW || ri.H() < minW {
+				out = append(out, Violation{Kind: KindWidth, Layer: z, NetA: shapes[i].net, NetB: -1, Where: ri})
+			}
+			for j := i + 1; j < len(shapes); j++ {
+				if shapes[i].net == shapes[j].net {
+					continue
+				}
+				rj := shapes[j].rect
+				if ri.Overlaps(rj) {
+					ov, _ := ri.Intersect(rj)
+					out = append(out, Violation{Kind: KindShort, Layer: z,
+						NetA: shapes[i].net, NetB: shapes[j].net, Where: ov})
+					continue
+				}
+				if d := ri.Distance(rj); d < minSp {
+					out = append(out, Violation{Kind: KindSpacing, Layer: z,
+						NetA: shapes[i].net, NetB: shapes[j].net, Where: ri.Union(rj)})
+				}
+			}
+		}
+	}
+	return out
+}

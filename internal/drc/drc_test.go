@@ -1,0 +1,72 @@
+package drc
+
+import (
+	"testing"
+
+	"analogfold/internal/grid"
+	"analogfold/internal/guidance"
+	"analogfold/internal/netlist"
+	"analogfold/internal/place"
+	"analogfold/internal/route"
+	"analogfold/internal/tech"
+)
+
+func routed(t *testing.T, c *netlist.Circuit, seed int64) (*grid.Grid, *route.Result) {
+	t.Helper()
+	p, err := place.Place(c, place.Config{Profile: place.ProfileA, Seed: seed, Iterations: 2000})
+	if err != nil {
+		t.Fatalf("place: %v", err)
+	}
+	g, err := grid.Build(p, tech.Sim40())
+	if err != nil {
+		t.Fatalf("grid: %v", err)
+	}
+	res, err := route.Route(g, guidance.Uniform(len(c.Nets)), route.Config{})
+	if err != nil {
+		t.Fatalf("route: %v", err)
+	}
+	return g, res
+}
+
+func TestRoutedSolutionsClean(t *testing.T) {
+	for _, c := range netlist.Benchmarks() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			g, res := routed(t, c, 1)
+			vs := Check(g, res)
+			for _, v := range vs {
+				t.Errorf("violation: %v", v)
+				if len(vs) > 10 {
+					t.Fatalf("... %d total violations", len(vs))
+				}
+			}
+		})
+	}
+}
+
+func TestCheckDetectsInjectedShort(t *testing.T) {
+	g, res := routed(t, netlist.OTA1(), 2)
+	// Copy net 0's segments onto net 1: guaranteed shorts.
+	if len(res.NetSegs[0]) == 0 {
+		t.Skip("net 0 has no wire segments")
+	}
+	res.NetSegs[1] = append(res.NetSegs[1], res.NetSegs[0]...)
+	vs := Check(g, res)
+	found := false
+	for _, v := range vs {
+		if v.Kind == KindShort {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("injected short not detected (violations: %v)", vs)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Kind: KindSpacing, Layer: 2, NetA: 1, NetB: 3}
+	if v.String() == "" {
+		t.Errorf("empty violation string")
+	}
+}

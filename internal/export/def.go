@@ -1,0 +1,68 @@
+package export
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"analogfold/internal/grid"
+	"analogfold/internal/route"
+)
+
+// WriteDEF renders a placed (and optionally routed) design in a DEF-style
+// layout dump: DIEAREA, COMPONENTS with placement coordinates and
+// orientation, PINS for each net's access points, and — when a routing
+// result is supplied — NETS with per-layer ROUTED wire segments in nm
+// coordinates. The output is deterministic and diffable, which makes layout
+// changes between router configurations reviewable in version control.
+func WriteDEF(w io.Writer, g *grid.Grid, res *route.Result) error {
+	p := g.Place
+	c := p.Circuit
+	bw := bufio.NewWriter(w)
+
+	fmt.Fprintf(bw, "VERSION 5.8 ;\nDESIGN %s ;\nUNITS DISTANCE MICRONS 1000 ;\n", c.Name)
+	fmt.Fprintf(bw, "DIEAREA ( %d %d ) ( %d %d ) ;\n\n", p.Die.Lo.X, p.Die.Lo.Y, p.Die.Hi.X, p.Die.Hi.Y)
+
+	fmt.Fprintf(bw, "COMPONENTS %d ;\n", len(c.Devices))
+	for i, d := range c.Devices {
+		fmt.Fprintf(bw, "- %s %s + PLACED ( %d %d ) %s ;\n",
+			d.Name, d.Type, p.Loc[i].X, p.Loc[i].Y, p.Orient[i])
+	}
+	fmt.Fprintf(bw, "END COMPONENTS\n\n")
+
+	fmt.Fprintf(bw, "PINS %d ;\n", len(g.APs))
+	for _, ap := range g.APs {
+		fmt.Fprintf(bw, "- %s.%s + NET %s + LAYER %s + PLACED ( %d %d ) ;\n",
+			c.Devices[ap.Device].Name, ap.Terminal, c.Nets[ap.Net].Name,
+			g.Tech.Layers[ap.Cell.Z].Name, ap.Pos.X, ap.Pos.Y)
+	}
+	fmt.Fprintf(bw, "END PINS\n\n")
+
+	if res != nil {
+		fmt.Fprintf(bw, "NETS %d ;\n", len(c.Nets))
+		for ni, n := range c.Nets {
+			fmt.Fprintf(bw, "- %s\n", n.Name)
+			first := true
+			for _, s := range res.NetSegs[ni] {
+				kw := "NEW"
+				if first {
+					kw = "+ ROUTED"
+					first = false
+				}
+				a := g.CellPos(s.A)
+				b := g.CellPos(s.B)
+				if s.IsVia() {
+					fmt.Fprintf(bw, "  %s %s ( %d %d ) VIA%d_%d\n",
+						kw, g.Tech.Layers[s.A.Z].Name, a.X, a.Y, s.A.Z, s.B.Z)
+				} else {
+					fmt.Fprintf(bw, "  %s %s ( %d %d ) ( %d %d )\n",
+						kw, g.Tech.Layers[s.A.Z].Name, a.X, a.Y, b.X, b.Y)
+				}
+			}
+			fmt.Fprintf(bw, " ;\n")
+		}
+		fmt.Fprintf(bw, "END NETS\n")
+	}
+	fmt.Fprintf(bw, "\nEND DESIGN\n")
+	return bw.Flush()
+}

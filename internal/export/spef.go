@@ -1,0 +1,123 @@
+package export
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"analogfold/internal/extract"
+	"analogfold/internal/netlist"
+)
+
+// WriteSPEF renders extracted parasitics in a SPEF-style annotation: one
+// *D_NET section per net with total capacitance, a *CAP section carrying the
+// ground cap and every coupling cap incident to the net (couplings are
+// listed once, on the lexicographically first net), and a *RES section with
+// the lumped wire resistance. Units follow the SPEF header (ohm, farad).
+func WriteSPEF(w io.Writer, c *netlist.Circuit, p *extract.Parasitics) error {
+	if len(p.Net) != len(c.Nets) {
+		return fmt.Errorf("export: parasitics cover %d nets, circuit has %d", len(p.Net), len(c.Nets))
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "*SPEF \"IEEE 1481\"\n*DESIGN \"%s\"\n*T_UNIT 1 NS\n*C_UNIT 1 F\n*R_UNIT 1 OHM\n\n", c.Name)
+	for _, ni := range sortedNetIndices(c) {
+		np := p.Net[ni]
+		total := np.C + p.TotalCoupling(ni)
+		fmt.Fprintf(bw, "*D_NET %s %.8g\n", c.Nets[ni].Name, total)
+		fmt.Fprintf(bw, "*CAP\n")
+		cnum := 1
+		fmt.Fprintf(bw, "%d %s:gnd %.8g\n", cnum, c.Nets[ni].Name, np.C)
+		for _, k := range p.SortedCouplingKeys() {
+			if k[0] != ni {
+				continue // list each coupling once, under its first net
+			}
+			cnum++
+			fmt.Fprintf(bw, "%d %s %s %.8g\n", cnum, c.Nets[k[0]].Name, c.Nets[k[1]].Name, p.Coupling[k])
+		}
+		fmt.Fprintf(bw, "*RES\n1 %s:1 %s:2 %.8g\n", c.Nets[ni].Name, c.Nets[ni].Name, np.R)
+		fmt.Fprintf(bw, "*END\n\n")
+	}
+	return bw.Flush()
+}
+
+// ReadSPEF parses an annotation written by WriteSPEF back into Parasitics.
+func ReadSPEF(r io.Reader, c *netlist.Circuit) (*extract.Parasitics, error) {
+	p := &extract.Parasitics{
+		Net:      make([]extract.NetParasitics, len(c.Nets)),
+		Coupling: map[[2]int]float64{},
+	}
+	sc := bufio.NewScanner(r)
+	cur := -1
+	section := ""
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch {
+		case strings.HasPrefix(line, "*D_NET"):
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("export: spef line %d: malformed D_NET", lineNo)
+			}
+			ni, ok := c.NetByName(fields[1])
+			if !ok {
+				return nil, fmt.Errorf("export: spef line %d: unknown net %q", lineNo, fields[1])
+			}
+			cur = ni
+			section = ""
+		case line == "*CAP" || line == "*RES":
+			section = line
+		case line == "*END":
+			cur = -1
+		case strings.HasPrefix(line, "*"):
+			// header line: ignore
+		default:
+			if cur < 0 {
+				return nil, fmt.Errorf("export: spef line %d: value outside a net section", lineNo)
+			}
+			switch section {
+			case "*CAP":
+				if len(fields) < 3 {
+					return nil, fmt.Errorf("export: spef line %d: malformed cap", lineNo)
+				}
+				v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("export: spef line %d: %w", lineNo, err)
+				}
+				if strings.HasSuffix(fields[1], ":gnd") {
+					p.Net[cur].C = v
+				} else {
+					a, ok1 := c.NetByName(fields[1])
+					b, ok2 := c.NetByName(fields[2])
+					if !ok1 || !ok2 {
+						return nil, fmt.Errorf("export: spef line %d: unknown coupling nets", lineNo)
+					}
+					if a > b {
+						a, b = b, a
+					}
+					p.Coupling[[2]int{a, b}] = v
+				}
+			case "*RES":
+				if len(fields) < 4 {
+					return nil, fmt.Errorf("export: spef line %d: malformed res", lineNo)
+				}
+				v, err := strconv.ParseFloat(fields[3], 64)
+				if err != nil {
+					return nil, fmt.Errorf("export: spef line %d: %w", lineNo, err)
+				}
+				p.Net[cur].R = v
+			default:
+				return nil, fmt.Errorf("export: spef line %d: value outside CAP/RES section", lineNo)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("export: %w", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,217 @@
+// Package geom provides integer-coordinate geometric primitives used across
+// the AnalogFold stack. All lengths are in database units (1 DBU = 1 nm).
+package geom
+
+import "fmt"
+
+// Point is a 2D point in DBU.
+type Point struct {
+	X, Y int
+}
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// ManhattanDist returns the L1 distance between p and q.
+func (p Point) ManhattanDist(q Point) int {
+	return abs(p.X-q.X) + abs(p.Y-q.Y)
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+// Point3 is a 3D grid-space point: X and Y are horizontal coordinates and Z
+// is the routing-layer index.
+type Point3 struct {
+	X, Y, Z int
+}
+
+// Add returns p translated by q.
+func (p Point3) Add(q Point3) Point3 { return Point3{p.X + q.X, p.Y + q.Y, p.Z + q.Z} }
+
+// XY projects p onto the 2D plane, dropping the layer.
+func (p Point3) XY() Point { return Point{p.X, p.Y} }
+
+// ManhattanDist returns the L1 distance between p and q including the layer
+// axis.
+func (p Point3) ManhattanDist(q Point3) int {
+	return abs(p.X-q.X) + abs(p.Y-q.Y) + abs(p.Z-q.Z)
+}
+
+func (p Point3) String() string { return fmt.Sprintf("(%d,%d,L%d)", p.X, p.Y, p.Z) }
+
+// Rect is an axis-aligned rectangle. Lo is the lower-left corner and Hi the
+// upper-right; a rectangle is valid when Lo.X <= Hi.X and Lo.Y <= Hi.Y. The
+// boundary is inclusive on Lo and exclusive on Hi for area/overlap purposes,
+// matching half-open layout-geometry conventions.
+type Rect struct {
+	Lo, Hi Point
+}
+
+// RectWH builds a rectangle from an origin and a width/height.
+func RectWH(x, y, w, h int) Rect {
+	return Rect{Point{x, y}, Point{x + w, y + h}}
+}
+
+// W returns the rectangle width.
+func (r Rect) W() int { return r.Hi.X - r.Lo.X }
+
+// H returns the rectangle height.
+func (r Rect) H() int { return r.Hi.Y - r.Lo.Y }
+
+// Area returns the rectangle area; degenerate rectangles have zero area.
+func (r Rect) Area() int64 {
+	if r.W() <= 0 || r.H() <= 0 {
+		return 0
+	}
+	return int64(r.W()) * int64(r.H())
+}
+
+// Valid reports whether the rectangle is non-inverted.
+func (r Rect) Valid() bool { return r.Lo.X <= r.Hi.X && r.Lo.Y <= r.Hi.Y }
+
+// Center returns the integer center of the rectangle.
+func (r Rect) Center() Point {
+	return Point{(r.Lo.X + r.Hi.X) / 2, (r.Lo.Y + r.Hi.Y) / 2}
+}
+
+// Translate returns r shifted by d.
+func (r Rect) Translate(d Point) Rect {
+	return Rect{r.Lo.Add(d), r.Hi.Add(d)}
+}
+
+// Expand grows the rectangle by m on every side (shrinks when m < 0).
+func (r Rect) Expand(m int) Rect {
+	return Rect{Point{r.Lo.X - m, r.Lo.Y - m}, Point{r.Hi.X + m, r.Hi.Y + m}}
+}
+
+// Contains reports whether p lies inside the half-open rectangle.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Lo.X && p.X < r.Hi.X && p.Y >= r.Lo.Y && p.Y < r.Hi.Y
+}
+
+// ContainsClosed reports whether p lies inside r treating all edges as
+// inclusive. Pin access points that sit exactly on a pin-shape boundary count
+// as covered.
+func (r Rect) ContainsClosed(p Point) bool {
+	return p.X >= r.Lo.X && p.X <= r.Hi.X && p.Y >= r.Lo.Y && p.Y <= r.Hi.Y
+}
+
+// Overlaps reports whether the interiors of r and s intersect.
+func (r Rect) Overlaps(s Rect) bool {
+	return r.Lo.X < s.Hi.X && s.Lo.X < r.Hi.X && r.Lo.Y < s.Hi.Y && s.Lo.Y < r.Hi.Y
+}
+
+// Intersect returns the overlapping region of r and s. The second result is
+// false when they do not overlap.
+func (r Rect) Intersect(s Rect) (Rect, bool) {
+	out := Rect{
+		Point{max(r.Lo.X, s.Lo.X), max(r.Lo.Y, s.Lo.Y)},
+		Point{min(r.Hi.X, s.Hi.X), min(r.Hi.Y, s.Hi.Y)},
+	}
+	if out.W() <= 0 || out.H() <= 0 {
+		return Rect{}, false
+	}
+	return out, true
+}
+
+// Union returns the bounding box of r and s.
+func (r Rect) Union(s Rect) Rect {
+	if r.Area() == 0 && !r.Valid() {
+		return s
+	}
+	return Rect{
+		Point{min(r.Lo.X, s.Lo.X), min(r.Lo.Y, s.Lo.Y)},
+		Point{max(r.Hi.X, s.Hi.X), max(r.Hi.Y, s.Hi.Y)},
+	}
+}
+
+// Distance returns the minimum Manhattan clearance between two rectangles;
+// zero when they touch or overlap.
+func (r Rect) Distance(s Rect) int {
+	dx := 0
+	if r.Hi.X < s.Lo.X {
+		dx = s.Lo.X - r.Hi.X
+	} else if s.Hi.X < r.Lo.X {
+		dx = r.Lo.X - s.Hi.X
+	}
+	dy := 0
+	if r.Hi.Y < s.Lo.Y {
+		dy = s.Lo.Y - r.Hi.Y
+	} else if s.Hi.Y < r.Lo.Y {
+		dy = r.Lo.Y - s.Hi.Y
+	}
+	return dx + dy
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("[%s %s]", r.Lo, r.Hi)
+}
+
+// MirrorX reflects p across the vertical line x = axis.
+func MirrorX(p Point, axis int) Point { return Point{2*axis - p.X, p.Y} }
+
+// MirrorRectX reflects r across the vertical line x = axis, keeping it
+// normalized.
+func MirrorRectX(r Rect, axis int) Rect {
+	lo := MirrorX(r.Lo, axis)
+	hi := MirrorX(r.Hi, axis)
+	return Rect{Point{hi.X, lo.Y}, Point{lo.X, hi.Y}}
+}
+
+// Orientation encodes the eight layout orientations (subset: we use identity
+// and mirror-Y which are what the symmetric placer emits).
+type Orientation int
+
+// Supported orientations.
+const (
+	N  Orientation = iota // no transform
+	MY                    // mirrored about the Y axis (x -> -x)
+)
+
+func (o Orientation) String() string {
+	if o == MY {
+		return "MY"
+	}
+	return "N"
+}
+
+// Apply transforms a point in cell-local coordinates (cell spans [0,w)x[0,h))
+// into oriented cell coordinates.
+func (o Orientation) Apply(p Point, w, h int) Point {
+	if o == MY {
+		return Point{w - p.X, p.Y}
+	}
+	return p
+}
+
+// ApplyRect transforms a rect in cell-local coordinates.
+func (o Orientation) ApplyRect(r Rect, w, h int) Rect {
+	if o == MY {
+		return Rect{Point{w - r.Hi.X, r.Lo.Y}, Point{w - r.Lo.X, r.Hi.Y}}
+	}
+	return r
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

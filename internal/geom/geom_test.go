@@ -1,0 +1,276 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointOps(t *testing.T) {
+	p := Point{3, 4}
+	q := Point{-1, 2}
+	if got := p.Add(q); got != (Point{2, 6}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{4, 2}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.ManhattanDist(q); got != 6 {
+		t.Errorf("ManhattanDist = %d", got)
+	}
+}
+
+func TestPoint3(t *testing.T) {
+	p := Point3{1, 2, 3}
+	if p.XY() != (Point{1, 2}) {
+		t.Errorf("XY = %v", p.XY())
+	}
+	if d := p.ManhattanDist(Point3{0, 0, 0}); d != 6 {
+		t.Errorf("dist = %d", d)
+	}
+	if s := p.String(); s != "(1,2,L3)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := RectWH(10, 20, 30, 40)
+	if r.W() != 30 || r.H() != 40 {
+		t.Fatalf("W/H = %d/%d", r.W(), r.H())
+	}
+	if r.Area() != 1200 {
+		t.Errorf("Area = %d", r.Area())
+	}
+	if c := r.Center(); c != (Point{25, 40}) {
+		t.Errorf("Center = %v", c)
+	}
+	if !r.Contains(Point{10, 20}) || r.Contains(Point{40, 60}) {
+		t.Errorf("Contains half-open semantics violated")
+	}
+	if !r.ContainsClosed(Point{40, 60}) {
+		t.Errorf("ContainsClosed should include Hi corner")
+	}
+}
+
+func TestRectOverlapIntersect(t *testing.T) {
+	a := RectWH(0, 0, 10, 10)
+	b := RectWH(5, 5, 10, 10)
+	c := RectWH(10, 0, 5, 5) // touching edge: no interior overlap
+	if !a.Overlaps(b) {
+		t.Errorf("a should overlap b")
+	}
+	if a.Overlaps(c) {
+		t.Errorf("edge-touching rects must not overlap")
+	}
+	got, ok := a.Intersect(b)
+	if !ok || got != (Rect{Point{5, 5}, Point{10, 10}}) {
+		t.Errorf("Intersect = %v ok=%v", got, ok)
+	}
+	if _, ok := a.Intersect(c); ok {
+		t.Errorf("touching rects must have empty intersection")
+	}
+}
+
+func TestRectDistance(t *testing.T) {
+	a := RectWH(0, 0, 10, 10)
+	b := RectWH(15, 0, 5, 5)
+	if d := a.Distance(b); d != 5 {
+		t.Errorf("Distance = %d", d)
+	}
+	if d := a.Distance(a); d != 0 {
+		t.Errorf("self distance = %d", d)
+	}
+	diag := RectWH(15, 15, 5, 5)
+	if d := a.Distance(diag); d != 10 {
+		t.Errorf("diagonal distance = %d", d)
+	}
+}
+
+func TestRectExpandTranslate(t *testing.T) {
+	r := RectWH(5, 5, 10, 10)
+	e := r.Expand(2)
+	if e != (Rect{Point{3, 3}, Point{17, 17}}) {
+		t.Errorf("Expand = %v", e)
+	}
+	tr := r.Translate(Point{1, -1})
+	if tr != (Rect{Point{6, 4}, Point{16, 14}}) {
+		t.Errorf("Translate = %v", tr)
+	}
+}
+
+func TestMirror(t *testing.T) {
+	p := Point{3, 7}
+	m := MirrorX(p, 10)
+	if m != (Point{17, 7}) {
+		t.Errorf("MirrorX = %v", m)
+	}
+	if MirrorX(m, 10) != p {
+		t.Errorf("MirrorX should be an involution")
+	}
+	r := RectWH(2, 0, 4, 4)
+	mr := MirrorRectX(r, 10)
+	if !mr.Valid() || mr != (Rect{Point{14, 0}, Point{18, 4}}) {
+		t.Errorf("MirrorRectX = %v", mr)
+	}
+}
+
+func TestMirrorProperties(t *testing.T) {
+	f := func(x, y int16, axis int16) bool {
+		p := Point{int(x), int(y)}
+		m := MirrorX(MirrorX(p, int(axis)), int(axis))
+		return m == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(x, y, w, h uint8, axis int16) bool {
+		r := RectWH(int(x), int(y), int(w)+1, int(h)+1)
+		mr := MirrorRectX(r, int(axis))
+		return mr.Valid() && mr.Area() == r.Area() && MirrorRectX(mr, int(axis)) == r
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionProperties(t *testing.T) {
+	f := func(ax, ay, bx, by int8, aw, ah, bw, bh uint8) bool {
+		a := RectWH(int(ax), int(ay), int(aw)+1, int(ah)+1)
+		b := RectWH(int(bx), int(by), int(bw)+1, int(bh)+1)
+		u := a.Union(b)
+		return u.Valid() &&
+			u.Contains(a.Lo) && u.Contains(b.Lo) &&
+			u.ContainsClosed(a.Hi) && u.ContainsClosed(b.Hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrientation(t *testing.T) {
+	w, h := 10, 20
+	p := Point{3, 5}
+	if N.Apply(p, w, h) != p {
+		t.Errorf("N must be identity")
+	}
+	if got := MY.Apply(p, w, h); got != (Point{7, 5}) {
+		t.Errorf("MY.Apply = %v", got)
+	}
+	r := RectWH(1, 2, 3, 4)
+	mr := MY.ApplyRect(r, w, h)
+	if mr != (Rect{Point{6, 2}, Point{9, 6}}) || !mr.Valid() {
+		t.Errorf("MY.ApplyRect = %v", mr)
+	}
+	if N.String() != "N" || MY.String() != "MY" {
+		t.Errorf("orientation strings wrong")
+	}
+}
+
+func TestPathToSegs(t *testing.T) {
+	path := []Point3{{0, 0, 0}, {1, 0, 0}, {2, 0, 0}, {2, 1, 0}, {2, 2, 0}, {2, 2, 1}, {3, 2, 1}}
+	segs := PathToSegs(path)
+	want := []Seg{
+		NewSeg(Point3{0, 0, 0}, Point3{2, 0, 0}),
+		NewSeg(Point3{2, 0, 0}, Point3{2, 2, 0}),
+		NewSeg(Point3{2, 2, 0}, Point3{2, 2, 1}),
+		NewSeg(Point3{2, 2, 1}, Point3{3, 2, 1}),
+	}
+	if len(segs) != len(want) {
+		t.Fatalf("got %d segs, want %d: %v", len(segs), len(want), segs)
+	}
+	for i := range segs {
+		if segs[i] != want[i] {
+			t.Errorf("seg[%d] = %v, want %v", i, segs[i], want[i])
+		}
+	}
+}
+
+func TestPathToSegsDegenerate(t *testing.T) {
+	if s := PathToSegs(nil); s != nil {
+		t.Errorf("nil path should give nil segs")
+	}
+	if s := PathToSegs([]Point3{{1, 1, 1}}); s != nil {
+		t.Errorf("single-point path should give nil segs")
+	}
+	// Duplicate points are dropped.
+	segs := PathToSegs([]Point3{{0, 0, 0}, {0, 0, 0}, {1, 0, 0}})
+	if len(segs) != 1 || segs[0].Len() != 1 {
+		t.Errorf("dup-point path segs = %v", segs)
+	}
+}
+
+func TestPathToSegsLengthConservation(t *testing.T) {
+	// Property: total segment length equals the path's total step count.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		p := Point3{0, 0, 0}
+		path := []Point3{p}
+		steps := rng.Intn(40) + 1
+		for i := 0; i < steps; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				p.X += rng.Intn(3) - 1
+			case 1:
+				p.Y += rng.Intn(3) - 1
+			default:
+				p.Z += rng.Intn(3) - 1
+			}
+			path = append(path, p)
+		}
+		total := 0
+		for i := 1; i < len(path); i++ {
+			total += path[i].ManhattanDist(path[i-1])
+		}
+		sum := 0
+		for _, s := range PathToSegs(path) {
+			sum += s.Len()
+		}
+		if sum != total {
+			t.Fatalf("trial %d: seg length %d != path length %d", trial, sum, total)
+		}
+	}
+}
+
+func TestSegKinds(t *testing.T) {
+	h := NewSeg(Point3{5, 1, 0}, Point3{1, 1, 0})
+	if !h.IsHorizontal() || h.IsVertical() || h.IsVia() {
+		t.Errorf("h misclassified: %+v", h)
+	}
+	if h.A.X != 1 {
+		t.Errorf("NewSeg should normalize order, got A=%v", h.A)
+	}
+	v := NewSeg(Point3{1, 1, 0}, Point3{1, 4, 0})
+	if !v.IsVertical() {
+		t.Errorf("v misclassified")
+	}
+	via := NewSeg(Point3{1, 1, 1}, Point3{1, 1, 0})
+	if !via.IsVia() || via.A.Z != 0 {
+		t.Errorf("via misclassified: %+v", via)
+	}
+}
+
+func TestParallelRun(t *testing.T) {
+	a := NewSeg(Point3{0, 0, 1}, Point3{10, 0, 1})
+	b := NewSeg(Point3{5, 3, 1}, Point3{15, 3, 1})
+	run, sep, ok := ParallelRun(a, b)
+	if !ok || run != 5 || sep != 3 {
+		t.Errorf("ParallelRun = %d,%d,%v", run, sep, ok)
+	}
+	// Different layers: no coupling.
+	c := NewSeg(Point3{5, 3, 2}, Point3{15, 3, 2})
+	if _, _, ok := ParallelRun(a, c); ok {
+		t.Errorf("cross-layer segments must not report parallel run")
+	}
+	// Orthogonal: no parallel run.
+	d := NewSeg(Point3{5, -5, 1}, Point3{5, 5, 1})
+	if _, _, ok := ParallelRun(a, d); ok {
+		t.Errorf("orthogonal segments must not report parallel run")
+	}
+	// Vertical pair.
+	e := NewSeg(Point3{0, 0, 1}, Point3{0, 10, 1})
+	f := NewSeg(Point3{2, 5, 1}, Point3{2, 20, 1})
+	run, sep, ok = ParallelRun(e, f)
+	if !ok || run != 5 || sep != 2 {
+		t.Errorf("vertical ParallelRun = %d,%d,%v", run, sep, ok)
+	}
+}

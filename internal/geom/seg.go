@@ -1,0 +1,97 @@
+package geom
+
+// Seg is an axis-aligned wire segment on a routing layer, given by two grid
+// endpoints A and B with A <= B in lexicographic order along the varying
+// axis. Horizontal segments vary in X, vertical segments in Y; a via segment
+// has A.XY == B.XY and differing Z.
+type Seg struct {
+	A, B Point3
+}
+
+// NewSeg normalizes the endpoint order so that A <= B.
+func NewSeg(a, b Point3) Seg {
+	if b.Z < a.Z || (b.Z == a.Z && (b.Y < a.Y || (b.Y == a.Y && b.X < a.X))) {
+		a, b = b, a
+	}
+	return Seg{a, b}
+}
+
+// IsVia reports whether the segment crosses layers.
+func (s Seg) IsVia() bool { return s.A.Z != s.B.Z }
+
+// IsHorizontal reports whether the segment runs along X on one layer.
+func (s Seg) IsHorizontal() bool { return s.A.Z == s.B.Z && s.A.Y == s.B.Y && s.A.X != s.B.X }
+
+// IsVertical reports whether the segment runs along Y on one layer.
+func (s Seg) IsVertical() bool { return s.A.Z == s.B.Z && s.A.X == s.B.X && s.A.Y != s.B.Y }
+
+// Len returns the segment length in grid steps (layer hops for vias).
+func (s Seg) Len() int { return s.A.ManhattanDist(s.B) }
+
+// PathToSegs compresses a grid path (sequence of adjacent Point3 cells) into
+// maximal straight segments. Consecutive duplicate points are dropped.
+func PathToSegs(path []Point3) []Seg {
+	if len(path) < 2 {
+		return nil
+	}
+	var segs []Seg
+	start := path[0]
+	prev := path[0]
+	var dir Point3
+	hasDir := false
+	for _, p := range path[1:] {
+		d := Point3{sign(p.X - prev.X), sign(p.Y - prev.Y), sign(p.Z - prev.Z)}
+		if d == (Point3{}) {
+			continue
+		}
+		if hasDir && d != dir {
+			segs = append(segs, NewSeg(start, prev))
+			start = prev
+		}
+		dir, hasDir = d, true
+		prev = p
+	}
+	if prev != start || !hasDir {
+		if prev != start {
+			segs = append(segs, NewSeg(start, prev))
+		}
+	}
+	return segs
+}
+
+// ParallelRun returns the overlap length (grid steps) of two parallel planar
+// segments on the same layer and their separation in the orthogonal axis.
+// The boolean result is false when the segments are not parallel planar
+// segments on the same layer, or do not overlap in the running axis.
+func ParallelRun(a, b Seg) (run, sep int, ok bool) {
+	if a.IsVia() || b.IsVia() || a.A.Z != b.A.Z {
+		return 0, 0, false
+	}
+	switch {
+	case a.IsHorizontal() && b.IsHorizontal():
+		lo := max(a.A.X, b.A.X)
+		hi := min(a.B.X, b.B.X)
+		if hi <= lo {
+			return 0, 0, false
+		}
+		return hi - lo, abs(a.A.Y - b.A.Y), true
+	case a.IsVertical() && b.IsVertical():
+		lo := max(a.A.Y, b.A.Y)
+		hi := min(a.B.Y, b.B.Y)
+		if hi <= lo {
+			return 0, 0, false
+		}
+		return hi - lo, abs(a.A.X - b.A.X), true
+	}
+	return 0, 0, false
+}
+
+func sign(x int) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	}
+	return 0
+}

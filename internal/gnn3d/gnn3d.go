@@ -1,0 +1,312 @@
+// Package gnn3d implements the protein-inspired 3DGNN of the paper's
+// Section 4.2: cost-aware message passing over the heterogeneous routing
+// graph. The cost-aware distance of Eq. (1),
+//
+//	d_cost(v_k, v_s) = sqrt((C_k[0]·h)² + (C_k[1]·w)² + (C_k[2]·z)²),
+//
+// is expanded with radial basis functions Ψ (Eq. 2–3, avoiding the linear-
+// regime plateau), modulates every message via the distance-augmented module
+// MLP(MLP(v) ⊙ MLP(Ψ(d_cost))) (Eq. 5), and after L rounds of
+// update/aggregate/combine (Algorithm 1) a global readout u = Σ MLP(v_i)
+// feeds the FC head that predicts the five performance metrics (Eq. 6).
+//
+// The whole forward pass is built on the ad tape, so gradients w.r.t. the
+// guidance input C are available for the potential relaxation of Section 4.3.
+package gnn3d
+
+import (
+	"fmt"
+	"math/rand"
+
+	"analogfold/internal/ad"
+	"analogfold/internal/hetgraph"
+	"analogfold/internal/nn"
+	"analogfold/internal/tensor"
+)
+
+// NumMetrics is the size of the prediction head: offset voltage, CMRR,
+// unity-gain bandwidth, DC gain, noise.
+const NumMetrics = 5
+
+// Config sizes the model. The three ablation switches disable, one at a
+// time, the architectural choices Section 4.2 argues for; the ablation
+// benchmarks compare them against the full model.
+type Config struct {
+	Hidden   int     // node embedding width
+	Layers   int     // message-passing rounds L
+	RBFBins  int     // number of radial basis centers K
+	RBFGamma float64 // RBF width γ
+	DMax     float64 // distance normalization span for the RBF centers (µm)
+	Seed     int64
+
+	// NoRBF feeds the raw cost distance into the message MLPs instead of
+	// the radial-basis expansion Ψ — the "initial network behaves linearly"
+	// plateau the paper warns about.
+	NoRBF bool
+	// NoCostAware computes edge distances with C ≡ 1, removing guidance from
+	// the distance function (guidance still reaches the model via node
+	// features).
+	NoCostAware bool
+	// No3D drops the z component from every distance — the 2D limitation of
+	// GeniusRoute-style guidance the paper's 3D formulation addresses.
+	No3D bool
+}
+
+// Defaults returns the configuration used by the experiments.
+func Defaults() Config {
+	return Config{Hidden: 24, Layers: 2, RBFBins: 12, RBFGamma: 6, DMax: 12, Seed: 1}
+}
+
+func (c Config) withDefaults() Config {
+	d := Defaults()
+	if c.Hidden == 0 {
+		c.Hidden = d.Hidden
+	}
+	if c.Layers == 0 {
+		c.Layers = d.Layers
+	}
+	if c.RBFBins == 0 {
+		c.RBFBins = d.RBFBins
+	}
+	if c.RBFGamma == 0 {
+		c.RBFGamma = d.RBFGamma
+	}
+	if c.DMax == 0 {
+		c.DMax = d.DMax
+	}
+	return c
+}
+
+// relation is the distance-augmented message module for one edge type:
+// msg = mix(src(v_src) ⊙ rbf(Ψ(d_cost))) — Eq. (5).
+type relation struct {
+	src *nn.MLP
+	rbf *nn.MLP
+	mix *nn.MLP
+}
+
+func newRelation(rng *rand.Rand, hidden, k int) *relation {
+	if k <= 0 {
+		k = 1 // NoRBF ablation: raw distance column
+	}
+	return &relation{
+		src: nn.NewMLP(rng, hidden, hidden),
+		rbf: nn.NewMLP(rng, k, hidden),
+		mix: nn.NewMLP(rng, hidden, hidden),
+	}
+}
+
+func (r *relation) params() []*ad.Var {
+	var ps []*ad.Var
+	ps = append(ps, r.src.Params()...)
+	ps = append(ps, r.rbf.Params()...)
+	ps = append(ps, r.mix.Params()...)
+	return ps
+}
+
+// messages computes per-edge messages from gathered source embeddings and the
+// RBF-expanded cost distance.
+func (r *relation) messages(vSrc, psi *ad.Var) *ad.Var {
+	return r.mix.Forward(ad.Mul(r.src.Forward(vSrc), r.rbf.Forward(psi)))
+}
+
+// layer holds the relations of one message-passing round.
+type layer struct {
+	pp *relation // AP → AP
+	mp *relation // M → AP
+	pm *relation // AP → M
+	mm *relation // M → M
+}
+
+// Model is the trained 3DGNN.
+type Model struct {
+	Cfg Config
+
+	apEnc *nn.MLP
+	mEnc  *nn.MLP
+	lays  []*layer
+	out   *nn.MLP // per-node readout MLP of φu
+	head  *nn.MLP // FC head to NumMetrics
+
+	mus []float64
+
+	// Normalization of the training targets (per metric).
+	YMean [NumMetrics]float64
+	YStd  [NumMetrics]float64
+}
+
+// New builds an untrained model.
+func New(cfg Config) *Model {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{
+		Cfg:   cfg,
+		apEnc: nn.NewMLP(rng, hetgraph.APFeatDim+3, cfg.Hidden),
+		mEnc:  nn.NewMLP(rng, hetgraph.MFeatDim, cfg.Hidden),
+		out:   nn.NewMLP(rng, cfg.Hidden, cfg.Hidden),
+		head:  nn.NewMLP(rng, cfg.Hidden, cfg.Hidden, NumMetrics),
+	}
+	kIn := cfg.RBFBins
+	if cfg.NoRBF {
+		kIn = -1
+	}
+	for i := 0; i < cfg.Layers; i++ {
+		m.lays = append(m.lays, &layer{
+			pp: newRelation(rng, cfg.Hidden, kIn),
+			mp: newRelation(rng, cfg.Hidden, kIn),
+			pm: newRelation(rng, cfg.Hidden, kIn),
+			mm: newRelation(rng, cfg.Hidden, kIn),
+		})
+	}
+	for i := range m.YStd {
+		m.YStd[i] = 1
+	}
+	m.mus = make([]float64, cfg.RBFBins)
+	for i := range m.mus {
+		m.mus[i] = cfg.DMax * float64(i) / float64(cfg.RBFBins-1)
+	}
+	return m
+}
+
+// Params returns every trainable parameter.
+func (m *Model) Params() []*ad.Var {
+	var ps []*ad.Var
+	ps = append(ps, m.apEnc.Params()...)
+	ps = append(ps, m.mEnc.Params()...)
+	for _, l := range m.lays {
+		ps = append(ps, l.pp.params()...)
+		ps = append(ps, l.mp.params()...)
+		ps = append(ps, l.pm.params()...)
+		ps = append(ps, l.mm.params()...)
+	}
+	ps = append(ps, m.out.Params()...)
+	ps = append(ps, m.head.Params()...)
+	return ps
+}
+
+// edgeDistance builds the differentiable d_cost column for an edge set whose
+// sources are AP nodes: guidance rows are gathered per source AP's net.
+// When cVar is nil the plain Euclidean distance is used (C ≡ 1), which is
+// also what the MM relation uses since modules carry no guidance.
+func (m *Model) edgeDistance(g *hetgraph.Graph, es *hetgraph.EdgeSet, cVar *ad.Var, srcIsAP bool) *ad.Var {
+	n := es.Len()
+	h := ad.Const(tensor.FromSlice(append([]float64(nil), es.H...), n, 1))
+	w := ad.Const(tensor.FromSlice(append([]float64(nil), es.W...), n, 1))
+	zData := append([]float64(nil), es.Z...)
+	if m.Cfg.No3D {
+		for i := range zData {
+			zData[i] = 0
+		}
+	}
+	z := ad.Const(tensor.FromSlice(zData, n, 1))
+	if m.Cfg.NoCostAware {
+		cVar = nil
+	}
+	if cVar == nil || !srcIsAP {
+		sum := ad.Add(ad.Add(ad.Square(h), ad.Square(w)), ad.Square(z))
+		return ad.Sqrt(sum)
+	}
+	idx := make([]int, n)
+	for i, s := range es.Src {
+		idx[i] = g.APNet[s]
+	}
+	ce := ad.Gather(cVar, idx) // [n × 3]
+	c0 := ad.Cols(ce, 0, 1)
+	c1 := ad.Cols(ce, 1, 2)
+	c2 := ad.Cols(ce, 2, 3)
+	sum := ad.Add(
+		ad.Add(ad.Square(ad.Mul(c0, h)), ad.Square(ad.Mul(c1, w))),
+		ad.Square(ad.Mul(c2, z)),
+	)
+	return ad.Sqrt(sum)
+}
+
+// Forward predicts the five normalized metrics for a graph under guidance C
+// (an ad.Var of shape [numNets × 3], which may require gradients).
+func (m *Model) Forward(g *hetgraph.Graph, cVar *ad.Var) (*ad.Var, error) {
+	if cVar.Value.Dims() != 2 || cVar.Value.Shape[0] != len(g.Circuit.Nets) || cVar.Value.Shape[1] != 3 {
+		return nil, fmt.Errorf("gnn3d: guidance shape %v, want [%d 3]", cVar.Value.Shape, len(g.Circuit.Nets))
+	}
+	// AP embeddings see their own net's guidance directly (concatenated to
+	// the static features) in addition to the cost-aware distances below;
+	// both paths are differentiable w.r.t. C for the relaxation.
+	cAP := ad.Gather(cVar, g.APNet)
+	vAP := m.apEnc.Forward(ad.ConcatCols(ad.Const(g.APFeat), cAP))
+	vM := m.mEnc.Forward(ad.Const(g.MFeat))
+
+	// Precompute per-relation distances and their expansions (they do not
+	// change across rounds; messages do). Ψ is the RBF expansion of Eq. 3,
+	// or the raw distance column under the NoRBF ablation.
+	expand := func(d *ad.Var) *ad.Var {
+		if m.Cfg.NoRBF {
+			return ad.Scale(d, 1/m.Cfg.DMax) // normalized raw distance
+		}
+		return ad.RBF(d, m.mus, m.Cfg.RBFGamma)
+	}
+	psiPP := expand(m.edgeDistance(g, &g.PP, cVar, true))
+	psiMP := expand(m.edgeDistance(g, &g.MP, nil, false))
+	// AP→M uses the AP side's guidance (the source of the message).
+	pmSet := hetgraph.EdgeSet{Src: g.MP.Dst, Dst: g.MP.Src, H: g.MP.H, W: g.MP.W, Z: g.MP.Z}
+	psiPM := expand(m.edgeDistance(g, &pmSet, cVar, true))
+	psiMM := expand(m.edgeDistance(g, &g.MM, nil, false))
+
+	numAP, numM := g.NumAP(), g.NumM()
+	for _, l := range m.lays {
+		// Update + aggregate (Algorithm 1): each relation computes messages
+		// from gathered source embeddings, scatter-summed at receivers.
+		aggAP := ad.ScatterAdd(l.pp.messages(ad.Gather(vAP, g.PP.Src), psiPP), g.PP.Dst, numAP)
+		aggAP = ad.Add(aggAP, ad.ScatterAdd(l.mp.messages(ad.Gather(vM, g.MP.Src), psiMP), g.MP.Dst, numAP))
+		aggM := ad.ScatterAdd(l.pm.messages(ad.Gather(vAP, pmSet.Src), psiPM), pmSet.Dst, numM)
+		aggM = ad.Add(aggM, ad.ScatterAdd(l.mm.messages(ad.Gather(vM, g.MM.Src), psiMM), g.MM.Dst, numM))
+
+		// Combine φv: v ← v + Σ messages.
+		vAP = ad.Add(vAP, aggAP)
+		vM = ad.Add(vM, aggM)
+	}
+
+	// Global readout φu = Σ MLP(v_i) over both node sets, then the FC head.
+	ones1AP := ad.Const(onesRow(numAP))
+	ones1M := ad.Const(onesRow(numM))
+	uAP := ad.MatMul(ones1AP, m.out.Forward(vAP)) // [1 × H]
+	uM := ad.MatMul(ones1M, m.out.Forward(vM))
+	u := ad.Scale(ad.Add(uAP, uM), 1.0/float64(numAP+numM))
+	return m.head.Forward(u), nil // [1 × NumMetrics]
+}
+
+// onesRow builds a 1×n row of ones (used to sum node embeddings via matmul).
+func onesRow(n int) *tensor.Tensor {
+	t := tensor.New(1, n)
+	t.Fill(1)
+	return t
+}
+
+// Normalize maps raw metric values into model space.
+func (m *Model) Normalize(y [NumMetrics]float64) [NumMetrics]float64 {
+	var out [NumMetrics]float64
+	for i := range y {
+		out[i] = (y[i] - m.YMean[i]) / m.YStd[i]
+	}
+	return out
+}
+
+// Denormalize maps model outputs back to metric units.
+func (m *Model) Denormalize(y [NumMetrics]float64) [NumMetrics]float64 {
+	var out [NumMetrics]float64
+	for i := range y {
+		out[i] = y[i]*m.YStd[i] + m.YMean[i]
+	}
+	return out
+}
+
+// Predict runs the model and returns denormalized metrics.
+func (m *Model) Predict(g *hetgraph.Graph, c *tensor.Tensor) ([NumMetrics]float64, error) {
+	var out [NumMetrics]float64
+	pred, err := m.Forward(g, ad.Const(c))
+	if err != nil {
+		return out, err
+	}
+	for i := 0; i < NumMetrics; i++ {
+		out[i] = pred.Value.Data[i]
+	}
+	return m.Denormalize(out), nil
+}

@@ -1,0 +1,83 @@
+package gnn3d
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// modelFile is the JSON serialization of a trained model: configuration,
+// target normalization, and every parameter tensor in Params() order.
+type modelFile struct {
+	Format  string              `json:"format"`
+	Cfg     Config              `json:"config"`
+	YMean   [NumMetrics]float64 `json:"y_mean"`
+	YStd    [NumMetrics]float64 `json:"y_std"`
+	Tensors []serializedTensor  `json:"tensors"`
+}
+
+type serializedTensor struct {
+	Shape []int     `json:"shape"`
+	Data  []float64 `json:"data"`
+}
+
+const modelFormat = "analogfold-3dgnn-v1"
+
+// Save writes the trained model to path as JSON.
+func (m *Model) Save(path string) error {
+	f := modelFile{Format: modelFormat, Cfg: m.Cfg, YMean: m.YMean, YStd: m.YStd}
+	for _, p := range m.Params() {
+		f.Tensors = append(f.Tensors, serializedTensor{Shape: p.Value.Shape, Data: p.Value.Data})
+	}
+	b, err := json.Marshal(&f)
+	if err != nil {
+		return fmt.Errorf("gnn3d: save: %w", err)
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Load reads a model saved by Save. The architecture is rebuilt from the
+// stored configuration, then parameters are restored.
+func Load(path string) (*Model, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("gnn3d: load: %w", err)
+	}
+	var f modelFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("gnn3d: load: %w", err)
+	}
+	if f.Format != modelFormat {
+		return nil, fmt.Errorf("gnn3d: load: unsupported format %q", f.Format)
+	}
+	m := New(f.Cfg)
+	m.YMean = f.YMean
+	m.YStd = f.YStd
+	params := m.Params()
+	if len(params) != len(f.Tensors) {
+		return nil, fmt.Errorf("gnn3d: load: %d tensors for %d parameters", len(f.Tensors), len(params))
+	}
+	for i, p := range params {
+		st := f.Tensors[i]
+		if !sameShape(p.Value.Shape, st.Shape) {
+			return nil, fmt.Errorf("gnn3d: load: tensor %d shape %v, want %v", i, st.Shape, p.Value.Shape)
+		}
+		if len(st.Data) != p.Value.Len() {
+			return nil, fmt.Errorf("gnn3d: load: tensor %d has %d values, want %d", i, len(st.Data), p.Value.Len())
+		}
+		copy(p.Value.Data, st.Data)
+	}
+	return m, nil
+}
+
+func sameShape(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

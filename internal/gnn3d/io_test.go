@@ -1,0 +1,94 @@
+package gnn3d
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"analogfold/internal/netlist"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c := netlist.OTA1()
+	g := buildGraph(t, c, 21)
+	m := New(Config{Seed: 21, Hidden: 16, Layers: 2, RBFBins: 8})
+	m.YMean = [NumMetrics]float64{1, 2, 3, 4, 5}
+	m.YStd = [NumMetrics]float64{2, 3, 4, 5, 6}
+
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.YMean != m.YMean || back.YStd != m.YStd {
+		t.Errorf("normalization not restored")
+	}
+	// Predictions must agree exactly.
+	cu := uniformC(len(c.Nets))
+	y1, err := m.Predict(g, cu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2, err := back.Predict(g, cu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y1 != y2 {
+		t.Errorf("loaded model predicts differently: %v vs %v", y1, y2)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"format":"other"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Errorf("wrong format must be rejected")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Errorf("missing file must error")
+	}
+	notJSON := filepath.Join(dir, "nj.json")
+	if err := os.WriteFile(notJSON, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(notJSON); err == nil {
+		t.Errorf("invalid JSON must be rejected")
+	}
+}
+
+func TestLoadRejectsTensorMismatch(t *testing.T) {
+	m := New(Config{Seed: 22, Hidden: 16, Layers: 1, RBFBins: 8})
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the tensor list crudely by loading into a different config:
+	// saved config says Layers=1, so corrupt the config field instead.
+	mutated := []byte(string(b))
+	mutated = append(mutated[:0], []byte(replaceOnce(string(b), `"Layers":1`, `"Layers":2`))...)
+	if err := os.WriteFile(path, mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Errorf("tensor/parameter count mismatch must be rejected")
+	}
+}
+
+func replaceOnce(s, old, new string) string {
+	for i := 0; i+len(old) <= len(s); i++ {
+		if s[i:i+len(old)] == old {
+			return s[:i] + new + s[i+len(old):]
+		}
+	}
+	return s
+}

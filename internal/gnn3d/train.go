@@ -1,0 +1,184 @@
+package gnn3d
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"analogfold/internal/ad"
+	"analogfold/internal/hetgraph"
+	"analogfold/internal/optim"
+	"analogfold/internal/tensor"
+)
+
+// Sample is one training example: a guidance assignment and the five metrics
+// measured by routing with it and simulating the extracted layout.
+type Sample struct {
+	C *tensor.Tensor // [numNets × 3]
+	Y [NumMetrics]float64
+}
+
+// TrainConfig controls Fit.
+type TrainConfig struct {
+	Epochs      int
+	LR          float64
+	Seed        int64
+	ValFrac     float64
+	WeightDecay float64
+	// Patience stops training after this many epochs without validation
+	// improvement and restores the best-validation weights (set negative to
+	// disable).
+	Patience int
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Epochs == 0 {
+		c.Epochs = 40
+	}
+	if c.LR == 0 {
+		c.LR = 3e-3
+	}
+	if c.ValFrac == 0 {
+		c.ValFrac = 0.15
+	}
+	if c.WeightDecay == 0 {
+		c.WeightDecay = 1e-4
+	}
+	if c.Patience == 0 {
+		c.Patience = 10
+	}
+	return c
+}
+
+// TrainReport records per-epoch losses.
+type TrainReport struct {
+	TrainLoss []float64
+	ValLoss   []float64
+}
+
+// FinalTrain returns the last training loss.
+func (r *TrainReport) FinalTrain() float64 {
+	if len(r.TrainLoss) == 0 {
+		return math.NaN()
+	}
+	return r.TrainLoss[len(r.TrainLoss)-1]
+}
+
+// FinalVal returns the last validation loss.
+func (r *TrainReport) FinalVal() float64 {
+	if len(r.ValLoss) == 0 {
+		return math.NaN()
+	}
+	return r.ValLoss[len(r.ValLoss)-1]
+}
+
+// Fit trains the model on samples from a fixed graph (one placement), using
+// the L2 loss of Eq. (6) on normalized targets.
+func (m *Model) Fit(g *hetgraph.Graph, samples []Sample, cfg TrainConfig) (*TrainReport, error) {
+	if len(samples) < 4 {
+		return nil, fmt.Errorf("gnn3d: need at least 4 samples, got %d", len(samples))
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Target normalization. The std is floored at a fraction of the mean so
+	// that metrics the routing barely moves (e.g. noise varying in its fourth
+	// digit) are not inflated into full-scale targets: fitting their residual
+	// would spend capacity on label noise, and the relaxation's FoM would
+	// chase it.
+	for k := 0; k < NumMetrics; k++ {
+		mean, sd := 0.0, 0.0
+		for _, s := range samples {
+			mean += s.Y[k]
+		}
+		mean /= float64(len(samples))
+		for _, s := range samples {
+			d := s.Y[k] - mean
+			sd += d * d
+		}
+		sd = math.Sqrt(sd / float64(len(samples)))
+		if floor := 0.02 * math.Abs(mean); sd < floor {
+			sd = floor
+		}
+		if sd < 1e-12 {
+			sd = 1
+		}
+		m.YMean[k] = mean
+		m.YStd[k] = sd
+	}
+
+	// Shuffled split.
+	idx := rng.Perm(len(samples))
+	nVal := int(float64(len(samples)) * cfg.ValFrac)
+	if nVal < 1 {
+		nVal = 1
+	}
+	val := idx[:nVal]
+	train := idx[nVal:]
+
+	targets := make([]*tensor.Tensor, len(samples))
+	for i, s := range samples {
+		yn := m.Normalize(s.Y)
+		targets[i] = tensor.FromSlice(yn[:], 1, NumMetrics)
+	}
+
+	params := m.Params()
+	opt := optim.NewAdam(params, cfg.LR)
+	opt.WeightDecay = cfg.WeightDecay
+	rep := &TrainReport{}
+	bestVal := math.Inf(1)
+	sinceBest := 0
+	var bestSnap []*tensor.Tensor
+	for ep := 0; ep < cfg.Epochs; ep++ {
+		// Shuffle the training order each epoch.
+		rng.Shuffle(len(train), func(a, b int) { train[a], train[b] = train[b], train[a] })
+		sum := 0.0
+		for _, si := range train {
+			opt.ZeroGrad()
+			pred, err := m.Forward(g, ad.Const(samples[si].C))
+			if err != nil {
+				return nil, err
+			}
+			loss := ad.MSE(pred, ad.Const(targets[si]))
+			sum += loss.Value.Data[0]
+			if err := ad.Backward(loss); err != nil {
+				return nil, err
+			}
+			opt.Step()
+		}
+		rep.TrainLoss = append(rep.TrainLoss, sum/float64(len(train)))
+
+		vSum := 0.0
+		for _, si := range val {
+			pred, err := m.Forward(g, ad.Const(samples[si].C))
+			if err != nil {
+				return nil, err
+			}
+			loss := ad.MSE(pred, ad.Const(targets[si]))
+			vSum += loss.Value.Data[0]
+		}
+		vAvg := vSum / float64(len(val))
+		rep.ValLoss = append(rep.ValLoss, vAvg)
+
+		// Early stopping with best-weights restore.
+		if vAvg < bestVal {
+			bestVal = vAvg
+			sinceBest = 0
+			bestSnap = bestSnap[:0]
+			for _, p := range params {
+				bestSnap = append(bestSnap, p.Value.Clone())
+			}
+		} else if cfg.Patience > 0 {
+			sinceBest++
+			if sinceBest >= cfg.Patience {
+				break
+			}
+		}
+	}
+	if bestSnap != nil {
+		for i, p := range params {
+			copy(p.Value.Data, bestSnap[i].Data)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,305 @@
+// Package hetgraph constructs the heterogeneous routing graph of the paper's
+// Section 4.1: G_H = ⟨V_AP, V_M, E_PP, E_MM, E_MP⟩ with pin-access-point
+// nodes, module nodes, point-to-point edges (routing-resource competition and
+// same-net connectivity), module-to-module edges (netlist connectivity), and
+// module-to-point edges (bridging physical and logical information).
+//
+// Node features deliberately exclude raw coordinates — the paper's 3DGNN
+// consumes geometry only through cost-aware distances attached to edges. Each
+// edge therefore carries the (h, w, z) distance decomposition of Eq. (1):
+// horizontal and vertical distances in µm, and a via-depth estimate for the
+// Z axis (pins escape to upper routing layers; longer connections escape
+// deeper, so z grows with planar separation).
+package hetgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"analogfold/internal/grid"
+	"analogfold/internal/groute"
+	"analogfold/internal/netlist"
+	"analogfold/internal/tensor"
+)
+
+// Feature widths.
+const (
+	// APFeatDim: net type one-hot (6) + terminal one-hot (5) + device type
+	// one-hot (4) + net fanout (1) + global-route congestion (1).
+	APFeatDim = 17
+	// MFeatDim: device type one-hot (4) + log-scaled W, L, ID, Vov, cell
+	// aspect (5).
+	MFeatDim = 9
+)
+
+// EdgeSet is one relation's edge list with distance decompositions.
+type EdgeSet struct {
+	Src, Dst []int
+	H, W, Z  []float64 // distance components (µm; z in estimated via hops)
+}
+
+func (e *EdgeSet) add(src, dst int, h, w, z float64) {
+	e.Src = append(e.Src, src)
+	e.Dst = append(e.Dst, dst)
+	e.H = append(e.H, h)
+	e.W = append(e.W, w)
+	e.Z = append(e.Z, z)
+}
+
+// Len returns the edge count.
+func (e *EdgeSet) Len() int { return len(e.Src) }
+
+// Graph is the assembled heterogeneous graph for one placement.
+type Graph struct {
+	Circuit *netlist.Circuit
+
+	APFeat *tensor.Tensor // [numAP × APFeatDim]
+	MFeat  *tensor.Tensor // [numM × MFeatDim]
+	APNet  []int          // owning net of each AP node
+	APDev  []int          // owning device of each AP node
+
+	PP EdgeSet // AP → AP
+	MM EdgeSet // M → M
+	MP EdgeSet // M → AP and AP → M are both stored here, Src ∈ M, Dst ∈ AP
+}
+
+// Config controls graph construction.
+type Config struct {
+	// KNearest bounds the cross-net competition edges per AP.
+	KNearest int
+	// RadiusUm bounds the distance of competition edges (µm).
+	RadiusUm float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.KNearest == 0 {
+		c.KNearest = 6
+	}
+	if c.RadiusUm == 0 {
+		c.RadiusUm = 8
+	}
+	return c
+}
+
+// escapeZ estimates the via depth of a connection from its planar length:
+// neighbouring pins connect on low metal, longer connections escape to upper
+// layers. This gives the z-axis guidance C[2] a real geometric meaning in
+// d_cost even though all pins physically sit on M1.
+func escapeZ(hUm, wUm float64) float64 {
+	planar := hUm + wUm
+	switch {
+	case planar < 0.5:
+		return 1
+	case planar < 3:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// Build assembles the graph from a routing grid (which already knows the
+// placement and access points).
+func Build(g *grid.Grid, cfg Config) (*Graph, error) {
+	cfg = cfg.withDefaults()
+	c := g.Place.Circuit
+	if len(g.APs) == 0 {
+		return nil, fmt.Errorf("hetgraph: grid has no access points")
+	}
+
+	// Congestion estimate from a coarse global-routing pass (Section 4.1's
+	// routing cost map); failures degrade to a zero feature rather than
+	// aborting graph construction.
+	var cong *groute.Map
+	if cm, err := groute.Estimate(g, groute.Config{}); err == nil {
+		cong = cm
+	}
+
+	gr := &Graph{Circuit: c}
+	numAP := len(g.APs)
+	numM := len(c.Devices)
+	gr.APFeat = tensor.New(numAP, APFeatDim)
+	gr.MFeat = tensor.New(numM, MFeatDim)
+	gr.APNet = make([]int, numAP)
+	gr.APDev = make([]int, numAP)
+
+	// AP node features.
+	for i, ap := range g.APs {
+		gr.APNet[i] = ap.Net
+		gr.APDev[i] = ap.Device
+		f := gr.APFeat.Data[i*APFeatDim : (i+1)*APFeatDim]
+		nt := c.Nets[ap.Net].Type
+		f[int(nt)] = 1 // 0..5
+		switch ap.Terminal {
+		case "G":
+			f[6] = 1
+		case "D":
+			f[7] = 1
+		case "S":
+			f[8] = 1
+		case "P":
+			f[9] = 1
+		case "N":
+			f[10] = 1
+		}
+		dt := c.Devices[ap.Device].Type
+		f[11+int(dt)] = 1 // 11..14
+		f[15] = float64(len(c.Nets[ap.Net].Pins)) / 8.0
+		if cong != nil {
+			f[16] = cong.CongestionAt(ap.Cell.X, ap.Cell.Y)
+		}
+	}
+
+	// Module node features.
+	for i, d := range c.Devices {
+		f := gr.MFeat.Data[i*MFeatDim : (i+1)*MFeatDim]
+		f[int(d.Type)] = 1
+		f[4] = float64(d.W) / 20000.0
+		f[5] = float64(d.L) / 200.0
+		f[6] = d.ID * 1e4
+		f[7] = d.Vov
+		f[8] = float64(d.CellW) / float64(d.CellH) / 3.0
+	}
+
+	um := 1.0 / 1000.0 // nm → µm
+	apPosUm := func(i int) (x, y float64) {
+		return float64(g.APs[i].Pos.X) * um, float64(g.APs[i].Pos.Y) * um
+	}
+	mPosUm := func(i int) (x, y float64) {
+		ctr := g.Place.DeviceRect(i).Center()
+		return float64(ctr.X) * um, float64(ctr.Y) * um
+	}
+
+	// E_PP: same-net chains + cross-net k-nearest competition edges.
+	gr.buildPP(g, cfg, apPosUm)
+
+	// E_MM: modules sharing a net.
+	seenMM := map[[2]int]bool{}
+	for _, n := range c.Nets {
+		for a := 0; a < len(n.Pins); a++ {
+			for b := a + 1; b < len(n.Pins); b++ {
+				da, db := n.Pins[a].Device, n.Pins[b].Device
+				if da == db {
+					continue
+				}
+				key := [2]int{min(da, db), max(da, db)}
+				if seenMM[key] {
+					continue
+				}
+				seenMM[key] = true
+				ax, ay := mPosUm(da)
+				bx, by := mPosUm(db)
+				h, w := abs(ax-bx), abs(ay-by)
+				z := escapeZ(h, w)
+				gr.MM.add(da, db, h, w, z)
+				gr.MM.add(db, da, h, w, z)
+			}
+		}
+	}
+
+	// E_MP: every module to each of its own access points.
+	for i, ap := range g.APs {
+		mx, my := mPosUm(ap.Device)
+		x, y := apPosUm(i)
+		h, w := abs(mx-x), abs(my-y)
+		gr.MP.add(ap.Device, i, h, w, 1)
+	}
+
+	return gr, nil
+}
+
+// buildPP fills the point-to-point edges.
+func (gr *Graph) buildPP(g *grid.Grid, cfg Config, pos func(int) (float64, float64)) {
+	numAP := len(g.APs)
+	type cand struct {
+		j    int
+		dist float64
+	}
+	// Same-net edges: connect each AP to the nearest AP of every *other* pin
+	// of its net (the wires the router must create).
+	for ni := range g.NetAPs {
+		ids := g.NetAPs[ni]
+		byPin := map[string][]int{}
+		var pins []string
+		for _, id := range ids {
+			key := fmt.Sprintf("%d.%s", g.APs[id].Device, g.APs[id].Terminal)
+			if _, ok := byPin[key]; !ok {
+				pins = append(pins, key)
+			}
+			byPin[key] = append(byPin[key], id)
+		}
+		for a := 0; a < len(pins); a++ {
+			for b := a + 1; b < len(pins); b++ {
+				// Closest AP pair between the two pins.
+				bi, bj, bd := -1, -1, 0.0
+				for _, i := range byPin[pins[a]] {
+					xi, yi := pos(i)
+					for _, j := range byPin[pins[b]] {
+						xj, yj := pos(j)
+						d := abs(xi-xj) + abs(yi-yj)
+						if bi < 0 || d < bd {
+							bi, bj, bd = i, j, d
+						}
+					}
+				}
+				xi, yi := pos(bi)
+				xj, yj := pos(bj)
+				h, w := abs(xi-xj), abs(yi-yj)
+				z := escapeZ(h, w)
+				gr.PP.add(bi, bj, h, w, z)
+				gr.PP.add(bj, bi, h, w, z)
+			}
+		}
+	}
+
+	// Cross-net competition edges: k nearest foreign APs within the radius.
+	for i := 0; i < numAP; i++ {
+		xi, yi := pos(i)
+		var cands []cand
+		for j := 0; j < numAP; j++ {
+			if j == i || gr.APNet[j] == gr.APNet[i] {
+				continue
+			}
+			xj, yj := pos(j)
+			d := abs(xi-xj) + abs(yi-yj)
+			if d <= cfg.RadiusUm {
+				cands = append(cands, cand{j, d})
+			}
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })
+		if len(cands) > cfg.KNearest {
+			cands = cands[:cfg.KNearest]
+		}
+		for _, cd := range cands {
+			xj, yj := pos(cd.j)
+			h, w := abs(xi-xj), abs(yi-yj)
+			gr.PP.add(i, cd.j, h, w, escapeZ(h, w))
+		}
+	}
+}
+
+// NumAP returns the pin-access-point node count.
+func (gr *Graph) NumAP() int { return gr.APFeat.Shape[0] }
+
+// NumM returns the module node count.
+func (gr *Graph) NumM() int { return gr.MFeat.Shape[0] }
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,172 @@
+package hetgraph
+
+import (
+	"testing"
+
+	"analogfold/internal/grid"
+	"analogfold/internal/netlist"
+	"analogfold/internal/place"
+	"analogfold/internal/tech"
+)
+
+func buildG(t testing.TB, c *netlist.Circuit, seed int64) *Graph {
+	t.Helper()
+	p, err := place.Place(c, place.Config{Profile: place.ProfileA, Seed: seed, Iterations: 2000})
+	if err != nil {
+		t.Fatalf("place: %v", err)
+	}
+	g, err := grid.Build(p, tech.Sim40())
+	if err != nil {
+		t.Fatalf("grid: %v", err)
+	}
+	hg, err := Build(g, Config{})
+	if err != nil {
+		t.Fatalf("hetgraph: %v", err)
+	}
+	return hg
+}
+
+func TestBuildAllBenchmarks(t *testing.T) {
+	for _, c := range netlist.Benchmarks() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			hg := buildG(t, c, 1)
+			if hg.NumAP() == 0 || hg.NumM() != len(c.Devices) {
+				t.Fatalf("node counts AP=%d M=%d", hg.NumAP(), hg.NumM())
+			}
+			if hg.PP.Len() == 0 || hg.MM.Len() == 0 || hg.MP.Len() == 0 {
+				t.Errorf("all three relations must be populated: PP=%d MM=%d MP=%d",
+					hg.PP.Len(), hg.MM.Len(), hg.MP.Len())
+			}
+		})
+	}
+}
+
+func TestEdgeIndicesInRange(t *testing.T) {
+	hg := buildG(t, netlist.OTA1(), 2)
+	for i := range hg.PP.Src {
+		if hg.PP.Src[i] < 0 || hg.PP.Src[i] >= hg.NumAP() || hg.PP.Dst[i] < 0 || hg.PP.Dst[i] >= hg.NumAP() {
+			t.Fatalf("PP edge %d out of range", i)
+		}
+	}
+	for i := range hg.MM.Src {
+		if hg.MM.Src[i] >= hg.NumM() || hg.MM.Dst[i] >= hg.NumM() {
+			t.Fatalf("MM edge %d out of range", i)
+		}
+	}
+	for i := range hg.MP.Src {
+		if hg.MP.Src[i] >= hg.NumM() || hg.MP.Dst[i] >= hg.NumAP() {
+			t.Fatalf("MP edge %d out of range", i)
+		}
+	}
+}
+
+func TestMPEdgesConnectOwnDevice(t *testing.T) {
+	hg := buildG(t, netlist.OTA1(), 3)
+	for i := range hg.MP.Src {
+		if hg.APDev[hg.MP.Dst[i]] != hg.MP.Src[i] {
+			t.Errorf("MP edge %d links AP of device %d to module %d",
+				i, hg.APDev[hg.MP.Dst[i]], hg.MP.Src[i])
+		}
+	}
+	// Every AP has exactly one MP edge.
+	if hg.MP.Len() != hg.NumAP() {
+		t.Errorf("MP edges %d != APs %d", hg.MP.Len(), hg.NumAP())
+	}
+}
+
+func TestMMReflectsNetlist(t *testing.T) {
+	c := netlist.OTA1()
+	hg := buildG(t, c, 4)
+	// MN1 and MP1 share net N1, so an MM edge must exist between them.
+	a := c.DeviceByName("MN1")
+	b := c.DeviceByName("MP1")
+	found := false
+	for i := range hg.MM.Src {
+		if (hg.MM.Src[i] == a && hg.MM.Dst[i] == b) || (hg.MM.Src[i] == b && hg.MM.Dst[i] == a) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("no MM edge between MN1 and MP1 which share a net")
+	}
+}
+
+func TestDistancesNonNegative(t *testing.T) {
+	hg := buildG(t, netlist.OTA3(), 5)
+	for _, es := range []*EdgeSet{&hg.PP, &hg.MM, &hg.MP} {
+		for i := range es.H {
+			if es.H[i] < 0 || es.W[i] < 0 || es.Z[i] < 0 {
+				t.Fatalf("negative distance component at edge %d", i)
+			}
+			if es.Z[i] == 0 {
+				t.Fatalf("z component must be positive (escape depth), edge %d", i)
+			}
+		}
+	}
+}
+
+func TestFeatureShapes(t *testing.T) {
+	hg := buildG(t, netlist.OTA2(), 6)
+	if hg.APFeat.Shape[1] != APFeatDim || hg.MFeat.Shape[1] != MFeatDim {
+		t.Fatalf("feature dims %v %v", hg.APFeat.Shape, hg.MFeat.Shape)
+	}
+	// One-hot sanity: every AP row has exactly one net-type bit and one
+	// device-type bit.
+	for i := 0; i < hg.NumAP(); i++ {
+		row := hg.APFeat.Data[i*APFeatDim : (i+1)*APFeatDim]
+		nt := 0.0
+		for _, v := range row[0:6] {
+			nt += v
+		}
+		dt := 0.0
+		for _, v := range row[11:15] {
+			dt += v
+		}
+		if nt != 1 || dt != 1 {
+			t.Fatalf("AP %d one-hot sums: net=%g dev=%g", i, nt, dt)
+		}
+	}
+}
+
+func TestCrossNetCompetitionEdges(t *testing.T) {
+	hg := buildG(t, netlist.OTA1(), 7)
+	cross := 0
+	for i := range hg.PP.Src {
+		if hg.APNet[hg.PP.Src[i]] != hg.APNet[hg.PP.Dst[i]] {
+			cross++
+		}
+	}
+	if cross == 0 {
+		t.Errorf("no cross-net competition edges in PP")
+	}
+}
+
+func TestKNearestBound(t *testing.T) {
+	c := netlist.OTA1()
+	p, err := place.Place(c, place.Config{Profile: place.ProfileA, Seed: 8, Iterations: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := grid.Build(p, tech.Sim40())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hg, err := Build(g, Config{KNearest: 2, RadiusUm: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count outgoing cross-net edges per AP.
+	out := map[int]int{}
+	for i := range hg.PP.Src {
+		if hg.APNet[hg.PP.Src[i]] != hg.APNet[hg.PP.Dst[i]] {
+			out[hg.PP.Src[i]]++
+		}
+	}
+	for ap, n := range out {
+		if n > 2 {
+			t.Fatalf("AP %d has %d cross-net edges, bound is 2", ap, n)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package lvs performs layout-versus-schematic verification on routed
+// solutions, backing the paper's "all generated layouts are LVS clean"
+// claim. It rebuilds net connectivity purely from the physical artifacts —
+// pin pads and wire segments — and compares the recovered pin partition
+// against the source netlist:
+//
+//   - every pin of a net must be reachable from every other pin of the same
+//     net through wires of that net (opens),
+//   - no wire cell of one net may coincide with a cell of another net
+//     (shorts),
+//   - every wire cell must be reachable from some pin (dangling metal).
+package lvs
+
+import (
+	"fmt"
+	"sort"
+
+	"analogfold/internal/geom"
+	"analogfold/internal/grid"
+	"analogfold/internal/route"
+)
+
+// Kind classifies an LVS violation.
+type Kind string
+
+// Violation kinds.
+const (
+	KindOpen     Kind = "open"     // a net's pins are not all connected
+	KindShort    Kind = "short"    // two nets share geometry
+	KindDangling Kind = "dangling" // wire not attached to any pin
+)
+
+// Violation is one LVS finding.
+type Violation struct {
+	Kind Kind
+	NetA int
+	NetB int // -1 unless a short
+	// Where is a representative cell.
+	Where geom.Point3
+	Note  string
+}
+
+func (v Violation) String() string {
+	if v.Kind == KindShort {
+		return fmt.Sprintf("short between nets %d and %d at %v", v.NetA, v.NetB, v.Where)
+	}
+	return fmt.Sprintf("%s on net %d at %v (%s)", v.Kind, v.NetA, v.Where, v.Note)
+}
+
+// Report is a full LVS result.
+type Report struct {
+	Violations []Violation
+	NetsOK     int
+	NetsTotal  int
+}
+
+// Clean reports whether the layout passed.
+func (r *Report) Clean() bool { return len(r.Violations) == 0 }
+
+// Check verifies a routed solution against its netlist.
+func Check(g *grid.Grid, res *route.Result) *Report {
+	c := g.Place.Circuit
+	rep := &Report{NetsTotal: len(c.Nets)}
+
+	// Global ownership map for short detection.
+	owner := map[int]int{}
+	for ni, cells := range res.NetCells {
+		for _, cell := range cells {
+			idx := g.CellIndex(cell)
+			if prev, ok := owner[idx]; ok && prev != ni {
+				a, b := prev, ni
+				if a > b {
+					a, b = b, a
+				}
+				rep.Violations = append(rep.Violations, Violation{
+					Kind: KindShort, NetA: a, NetB: b, Where: cell,
+				})
+				continue
+			}
+			owner[idx] = ni
+		}
+	}
+
+	for ni := range c.Nets {
+		ok := true
+		cells := res.NetCells[ni]
+		cellSet := map[geom.Point3]bool{}
+		for _, cell := range cells {
+			cellSet[cell] = true
+		}
+
+		// Pins present?
+		pinCells := map[geom.Point3]bool{}
+		for _, id := range g.NetAPs[ni] {
+			ap := g.APs[id]
+			pinCells[ap.Cell] = true
+			if !cellSet[ap.Cell] {
+				rep.Violations = append(rep.Violations, Violation{
+					Kind: KindOpen, NetA: ni, NetB: -1, Where: ap.Cell,
+					Note: fmt.Sprintf("pin %s.%s missing from layout",
+						c.Devices[ap.Device].Name, ap.Terminal),
+				})
+				ok = false
+			}
+		}
+
+		// Flood-fill from the first pin; every cell must be reached.
+		if len(cells) > 0 && len(g.NetAPs[ni]) > 0 {
+			start := g.APs[g.NetAPs[ni][0]].Cell
+			seen := map[geom.Point3]bool{}
+			if cellSet[start] {
+				stack := []geom.Point3{start}
+				seen[start] = true
+				for len(stack) > 0 {
+					cur := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					for _, d := range dirs {
+						n := cur.Add(d)
+						if cellSet[n] && !seen[n] {
+							seen[n] = true
+							stack = append(stack, n)
+						}
+					}
+				}
+			}
+			// Opens: unreached pins. Dangling: unreached wires.
+			reported := 0
+			for _, cell := range sortedCells(cells) {
+				if seen[cell] || reported >= 3 {
+					continue
+				}
+				kind := KindDangling
+				note := "wire unreachable from pins"
+				if pinCells[cell] {
+					kind = KindOpen
+					note = "pin disconnected from net tree"
+				}
+				rep.Violations = append(rep.Violations, Violation{
+					Kind: kind, NetA: ni, NetB: -1, Where: cell, Note: note,
+				})
+				ok = false
+				reported++
+			}
+		}
+		if ok {
+			rep.NetsOK++
+		}
+	}
+	return rep
+}
+
+var dirs = []geom.Point3{{X: 1}, {X: -1}, {Y: 1}, {Y: -1}, {Z: 1}, {Z: -1}}
+
+func sortedCells(cells []geom.Point3) []geom.Point3 {
+	out := append([]geom.Point3(nil), cells...)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Z != out[b].Z {
+			return out[a].Z < out[b].Z
+		}
+		if out[a].Y != out[b].Y {
+			return out[a].Y < out[b].Y
+		}
+		return out[a].X < out[b].X
+	})
+	return out
+}

@@ -1,0 +1,187 @@
+package lvs
+
+import (
+	"math/rand"
+	"testing"
+
+	"analogfold/internal/geom"
+	"analogfold/internal/grid"
+	"analogfold/internal/guidance"
+	"analogfold/internal/netlist"
+	"analogfold/internal/place"
+	"analogfold/internal/route"
+	"analogfold/internal/tech"
+)
+
+func routed(t *testing.T, c *netlist.Circuit, seed int64) (*grid.Grid, *route.Result) {
+	t.Helper()
+	p, err := place.Place(c, place.Config{Profile: place.ProfileA, Seed: seed, Iterations: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := grid.Build(p, tech.Sim40())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := route.Route(g, guidance.Uniform(len(c.Nets)), route.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, res
+}
+
+func TestRoutedLayoutsLVSClean(t *testing.T) {
+	// The paper's claim: all generated layouts are LVS clean. Verify for
+	// every benchmark under the unguided router.
+	for _, c := range netlist.Benchmarks() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			g, res := routed(t, c, 1)
+			rep := Check(g, res)
+			if !rep.Clean() {
+				for _, v := range rep.Violations {
+					t.Errorf("%v", v)
+				}
+			}
+			if rep.NetsOK != rep.NetsTotal {
+				t.Errorf("%d/%d nets verified", rep.NetsOK, rep.NetsTotal)
+			}
+		})
+	}
+}
+
+func TestGuidedLayoutsLVSClean(t *testing.T) {
+	c := netlist.OTA1()
+	g, _ := routed(t, c, 2)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 4; trial++ {
+		gd := guidance.Sample(len(c.Nets), rng, 2)
+		res, err := route.Route(g, gd, route.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep := Check(g, res); !rep.Clean() {
+			t.Fatalf("trial %d: %v", trial, rep.Violations[0])
+		}
+	}
+}
+
+func TestDetectsInjectedShort(t *testing.T) {
+	g, res := routed(t, netlist.OTA1(), 3)
+	// Graft one of net 0's cells onto net 1.
+	if len(res.NetCells[0]) == 0 {
+		t.Skip("net 0 empty")
+	}
+	res.NetCells[1] = append(res.NetCells[1], res.NetCells[0][0])
+	rep := Check(g, res)
+	found := false
+	for _, v := range rep.Violations {
+		if v.Kind == KindShort && v.NetA == 0 && v.NetB == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("injected short not reported: %v", rep.Violations)
+	}
+}
+
+func TestDetectsInjectedOpen(t *testing.T) {
+	g, res := routed(t, netlist.OTA1(), 4)
+	// Remove all wire cells of a multi-pin net, keeping only pins: pins
+	// become disconnected islands.
+	c := g.Place.Circuit
+	ni, _ := c.NetByName("NBN")
+	pinOnly := map[geom.Point3]bool{}
+	for _, id := range g.NetAPs[ni] {
+		pinOnly[g.APs[id].Cell] = true
+	}
+	var kept []geom.Point3
+	for cell := range pinOnly {
+		kept = append(kept, cell)
+	}
+	res.NetCells[ni] = kept
+	rep := Check(g, res)
+	found := false
+	for _, v := range rep.Violations {
+		if v.Kind == KindOpen && v.NetA == ni {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("injected open not reported")
+	}
+}
+
+func TestDetectsDanglingWire(t *testing.T) {
+	g, res := routed(t, netlist.OTA1(), 5)
+	// Add an isolated wire cell far from everything on the top layer.
+	iso := geom.Point3{X: g.NX - 1, Y: g.NY - 1, Z: g.NL - 1}
+	res.NetCells[0] = append(res.NetCells[0], iso)
+	rep := Check(g, res)
+	found := false
+	for _, v := range rep.Violations {
+		if v.Kind == KindDangling && v.NetA == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("dangling wire not reported: %v", rep.Violations)
+	}
+}
+
+func TestDetectsMissingPin(t *testing.T) {
+	g, res := routed(t, netlist.OTA1(), 6)
+	// Delete the cell of the first access point of net 0 from the layout.
+	ap := g.APs[g.NetAPs[0][0]]
+	var kept []geom.Point3
+	for _, cell := range res.NetCells[0] {
+		if cell != ap.Cell {
+			kept = append(kept, cell)
+		}
+	}
+	res.NetCells[0] = kept
+	rep := Check(g, res)
+	found := false
+	for _, v := range rep.Violations {
+		if v.Kind == KindOpen && v.NetA == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing pin not reported")
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	s := Violation{Kind: KindShort, NetA: 1, NetB: 2}.String()
+	if s == "" {
+		t.Errorf("empty string")
+	}
+	o := Violation{Kind: KindOpen, NetA: 3, NetB: -1, Note: "x"}.String()
+	if o == "" {
+		t.Errorf("empty string")
+	}
+}
+
+func TestSim65EndToEnd(t *testing.T) {
+	// The coarser technology (with off-grid pin snapping) must still yield
+	// LVS-clean routing end to end.
+	c := netlist.OTA1()
+	p, err := place.Place(c, place.Config{
+		Profile: place.ProfileA, Seed: 9, Iterations: 1500, GridPitch: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := grid.Build(p, tech.Sim65())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := route.Route(g, guidance.Uniform(len(c.Nets)), route.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := Check(g, res); !rep.Clean() {
+		t.Fatalf("sim65 routing not LVS clean: %v", rep.Violations[0])
+	}
+}

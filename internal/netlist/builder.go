@@ -1,0 +1,188 @@
+package netlist
+
+import (
+	"fmt"
+
+	"analogfold/internal/geom"
+)
+
+// Builder assembles a Circuit incrementally with automatic net interning and
+// physical pin-shape synthesis. It panics on malformed construction; the
+// benchmarks are static data, so construction errors are programming errors.
+type Builder struct {
+	c *Circuit
+}
+
+// NewBuilder starts a new circuit.
+func NewBuilder(name string) *Builder {
+	return &Builder{c: &Circuit{Name: name, netIndex: map[string]int{}}}
+}
+
+// Net interns a net name, creating it with the given type on first use. A
+// repeated declaration may upgrade the type from NetSignal to a more specific
+// class but never conflicts two specific classes.
+func (b *Builder) Net(name string, typ NetType) int {
+	if i, ok := b.c.netIndex[name]; ok {
+		n := b.c.Nets[i]
+		if n.Type == NetSignal && typ != NetSignal {
+			n.Type = typ
+		} else if typ != NetSignal && n.Type != typ {
+			panic(fmt.Sprintf("netlist builder: net %q redeclared as %v (was %v)", name, typ, n.Type))
+		}
+		return i
+	}
+	b.c.Nets = append(b.c.Nets, &Net{Name: name, Type: typ})
+	b.c.netIndex[name] = len(b.c.Nets) - 1
+	return len(b.c.Nets) - 1
+}
+
+func (b *Builder) net(name string) int { return b.Net(name, NetSignal) }
+
+// pinPad is the side of the square landing pad synthesized for each
+// terminal. It exceeds the 140 nm routing pitch, so every pad covers at least
+// one grid track in each direction (Definition 1: each pin has at least one
+// access point).
+const pinPad = 160 // nm
+
+// footprintQuantum is the grid pitch cell footprints are rounded to, so that
+// mirrored placements of equal-size cells keep pin geometry on-grid.
+const footprintQuantum = 140
+
+func roundUpQuantum(x int) int {
+	r := x % footprintQuantum
+	if r == 0 {
+		return x
+	}
+	return x + footprintQuantum - r
+}
+
+// mosFootprint sizes a MOS abstract cell from its channel width.
+func mosFootprint(w int) (cw, ch int) {
+	cw = w/3 + 900
+	if cw < 1100 {
+		cw = 1100
+	}
+	if cw > 4200 {
+		cw = 4200
+	}
+	return roundUpQuantum(cw), roundUpQuantum(1400)
+}
+
+func (b *Builder) addDevice(d *Device, termNets map[string]string) int {
+	for _, t := range d.Terminals {
+		_ = t
+	}
+	var terms []Terminal
+	for _, tn := range canonicalTerms(d.Type) {
+		netName, ok := termNets[tn]
+		if !ok {
+			panic(fmt.Sprintf("netlist builder: device %s missing terminal %s", d.Name, tn))
+		}
+		ni := b.net(netName)
+		terms = append(terms, Terminal{Name: tn, Net: ni})
+		b.c.Nets[ni].Pins = append(b.c.Nets[ni].Pins, PinRef{Device: len(b.c.Devices), Terminal: tn})
+	}
+	d.Terminals = terms
+	d.PinShapes = synthPinShapes(d)
+	b.c.Devices = append(b.c.Devices, d)
+	return len(b.c.Devices) - 1
+}
+
+func canonicalTerms(t DeviceType) []string {
+	switch t {
+	case PMOS, NMOS:
+		return []string{"D", "G", "S"}
+	default:
+		return []string{"P", "N"}
+	}
+}
+
+// synthPinShapes places one landing pad per terminal inside the cell:
+// MOS cells put the gate pad at mid-left, drain at top-center and source at
+// bottom-center; two-terminal passives put P at the top and N at the bottom.
+func synthPinShapes(d *Device) map[string][]geom.Rect {
+	pad := func(cx, cy int) geom.Rect {
+		return geom.RectWH(cx-pinPad/2, cy-pinPad/2, pinPad, pinPad)
+	}
+	m := map[string][]geom.Rect{}
+	switch d.Type {
+	case PMOS, NMOS:
+		m["G"] = []geom.Rect{pad(pinPad, d.CellH/2)}
+		m["D"] = []geom.Rect{pad(d.CellW/2, d.CellH-pinPad)}
+		m["S"] = []geom.Rect{pad(d.CellW/2, pinPad)}
+	default:
+		m["P"] = []geom.Rect{pad(d.CellW/2, d.CellH-pinPad)}
+		m["N"] = []geom.Rect{pad(d.CellW/2, pinPad)}
+	}
+	return m
+}
+
+// MOS adds a transistor. d/g/s are net names; w,l in nm; id in amps; vov in
+// volts.
+func (b *Builder) MOS(typ DeviceType, name, d, g, s string, w, l int, id, vov float64) int {
+	if typ != PMOS && typ != NMOS {
+		panic("netlist builder: MOS requires PMOS or NMOS")
+	}
+	cw, ch := mosFootprint(w)
+	dev := &Device{
+		Name: name, Type: typ,
+		W: w, L: l, Fingers: 1 + w/2000,
+		ID: id, Vov: vov,
+		CellW: cw, CellH: ch,
+	}
+	return b.addDevice(dev, map[string]string{"D": d, "G": g, "S": s})
+}
+
+// Capacitor adds a two-terminal capacitor of value f farads.
+func (b *Builder) Capacitor(name, p, n string, f float64) int {
+	side := roundUpQuantum(2200)
+	if f > 0.8e-12 {
+		side = roundUpQuantum(3200)
+	}
+	dev := &Device{Name: name, Type: Cap, CapF: f, CellW: side, CellH: side}
+	return b.addDevice(dev, map[string]string{"P": p, "N": n})
+}
+
+// Resistor adds a two-terminal resistor of value ohms.
+func (b *Builder) Resistor(name, p, n string, ohms float64) int {
+	dev := &Device{Name: name, Type: Res, ResOhm: ohms,
+		CellW: roundUpQuantum(1100), CellH: roundUpQuantum(2400)}
+	return b.addDevice(dev, map[string]string{"P": p, "N": n})
+}
+
+// SymNets declares a symmetric net pair by name.
+func (b *Builder) SymNets(a, bn string) {
+	ia, ok1 := b.c.netIndex[a]
+	ib, ok2 := b.c.netIndex[bn]
+	if !ok1 || !ok2 {
+		panic(fmt.Sprintf("netlist builder: symmetric nets %q/%q not declared", a, bn))
+	}
+	b.c.SymNetPairs = append(b.c.SymNetPairs, [2]int{ia, ib})
+}
+
+// SelfSym declares a self-symmetric net by name.
+func (b *Builder) SelfSym(name string) {
+	i, ok := b.c.netIndex[name]
+	if !ok {
+		panic(fmt.Sprintf("netlist builder: self-symmetric net %q not declared", name))
+	}
+	b.c.SelfSymNets = append(b.c.SelfSymNets, i)
+}
+
+// SymDevices declares a mirrored device pair by name.
+func (b *Builder) SymDevices(a, bn string) {
+	ia := b.c.DeviceByName(a)
+	ib := b.c.DeviceByName(bn)
+	if ia < 0 || ib < 0 {
+		panic(fmt.Sprintf("netlist builder: symmetric devices %q/%q not declared", a, bn))
+	}
+	b.c.SymDevPairs = append(b.c.SymDevPairs, [2]int{ia, ib})
+}
+
+// Build validates and returns the circuit.
+func (b *Builder) Build() *Circuit {
+	if err := b.c.Validate(); err != nil {
+		panic("netlist builder: " + err.Error())
+	}
+	return b.c
+}

@@ -1,0 +1,67 @@
+package netlist
+
+// OTA5 is an extension benchmark beyond the paper's Table 1: a single-ended
+// folded-cascode OTA with an NMOS input pair. It exercises the flow on a
+// topology the 3DGNN never sees in the paper — single-stage, high output
+// impedance, fold nodes carrying the full signal current — and is used by
+// the extension experiments and examples.
+func OTA5() *Circuit {
+	b := NewBuilder("OTA5")
+	const l = 80
+
+	b.Net("VDD", NetPower)
+	b.Net("VSS", NetGround)
+	b.Net("VINP", NetInput)
+	b.Net("VINN", NetInput)
+	b.Net("VOUT", NetOutput)
+	b.Net("NBN", NetBias)
+	b.Net("PB1", NetBias)
+	b.Net("PB2", NetBias)
+	b.Net("NB2", NetBias)
+
+	// Input pair folded at F1/F2.
+	b.MOS(NMOS, "MN1", "F1", "VINP", "NTAIL", 8000, l, 30e-6, 0.13)
+	b.MOS(NMOS, "MN2", "F2", "VINN", "NTAIL", 8000, l, 30e-6, 0.13)
+	b.MOS(NMOS, "MN3", "NTAIL", "NBN", "VSS", 10000, 2*l, 60e-6, 0.20)
+
+	// Top current sources feed the folds.
+	b.MOS(PMOS, "MP1", "F1", "PB1", "VDD", 12000, 2*l, 60e-6, 0.18)
+	b.MOS(PMOS, "MP2", "F2", "PB1", "VDD", 12000, 2*l, 60e-6, 0.18)
+
+	// PMOS cascodes from the folds into the output branch.
+	b.MOS(PMOS, "MP3", "O1", "PB2", "F1", 10000, l, 30e-6, 0.16)
+	b.MOS(PMOS, "MP4", "VOUT", "PB2", "F2", 10000, l, 30e-6, 0.16)
+
+	// Cascoded NMOS mirror forms the bottom of the output branch.
+	b.MOS(NMOS, "MN6", "O1", "NB2", "M1N", 8000, l, 30e-6, 0.15)
+	b.MOS(NMOS, "MN7", "VOUT", "NB2", "M2N", 8000, l, 30e-6, 0.15)
+	b.MOS(NMOS, "MN4", "M1N", "O1", "VSS", 8000, 2*l, 30e-6, 0.20)
+	b.MOS(NMOS, "MN5", "M2N", "O1", "VSS", 8000, 2*l, 30e-6, 0.20)
+
+	// Bias generator: stiff diodes, damped single loop (see benchmarks.go).
+	b.MOS(PMOS, "MP5", "PB1", "PB1", "VDD", 4000, 2*l, 80e-6, 0.10)
+	b.MOS(PMOS, "MP6", "PB2", "PB2", "PB1", 4000, 2*l, 80e-6, 0.10)
+	b.MOS(NMOS, "MN8", "NBN", "NBN", "VSS", 3000, 2*l, 80e-6, 0.10)
+	b.MOS(NMOS, "MN9", "NB2", "NB2", "NBN", 3000, 2*l, 80e-6, 0.10)
+	b.MOS(PMOS, "MP7", "NBN", "PB1", "VDD", 4000, 2*l, 80e-6, 0.30)
+	b.MOS(NMOS, "MN10", "PB1", "NBN", "VSS", 3000, 2*l, 80e-6, 0.30)
+
+	// Single-stage: the load capacitor is the compensation.
+	b.Capacitor("CL", "VOUT", "VSS", 0.4e-12)
+
+	b.SymNets("VINP", "VINN")
+	b.SymNets("F1", "F2")
+	b.SelfSym("NTAIL")
+	b.SymDevices("MN1", "MN2")
+	b.SymDevices("MP1", "MP2")
+	b.SymDevices("MP3", "MP4")
+	b.SymDevices("MN6", "MN7")
+	b.SymDevices("MN4", "MN5")
+
+	c := b.Build()
+	c.InP, _ = c.NetByName("VINP")
+	c.InN, _ = c.NetByName("VINN")
+	c.OutP, _ = c.NetByName("VOUT")
+	c.OutN = -1
+	return c
+}

@@ -1,0 +1,322 @@
+// Package netlist models analog circuits for the AnalogFold flow: devices
+// with physical pin geometry, nets with analog net types, symmetry
+// constraints (net pairs, self-symmetric nets, device pairs), and small-signal
+// device parameters that downstream MNA simulation consumes.
+package netlist
+
+import (
+	"fmt"
+
+	"analogfold/internal/geom"
+)
+
+// DeviceType enumerates the device kinds appearing in the OTA benchmarks
+// (Table 1 of the paper).
+type DeviceType int
+
+// Device kinds.
+const (
+	PMOS DeviceType = iota
+	NMOS
+	Cap
+	Res
+)
+
+func (d DeviceType) String() string {
+	switch d {
+	case PMOS:
+		return "PMOS"
+	case NMOS:
+		return "NMOS"
+	case Cap:
+		return "Cap"
+	case Res:
+		return "Res"
+	}
+	return "?"
+}
+
+// NetType classifies nets; the paper's Problem 1 includes "special nets with
+// specific types" which receive distinct guidance and routing order.
+type NetType int
+
+// Net classes, roughly ordered by routing criticality.
+const (
+	NetSignal NetType = iota // generic internal signal
+	NetInput                 // primary input (e.g. Vin+/Vin-)
+	NetOutput                // primary output
+	NetBias                  // bias distribution
+	NetPower                 // VDD
+	NetGround                // VSS
+)
+
+func (n NetType) String() string {
+	switch n {
+	case NetSignal:
+		return "signal"
+	case NetInput:
+		return "input"
+	case NetOutput:
+		return "output"
+	case NetBias:
+		return "bias"
+	case NetPower:
+		return "power"
+	case NetGround:
+		return "ground"
+	}
+	return "?"
+}
+
+// Terminal is one device terminal bound to a net.
+type Terminal struct {
+	Name string // e.g. "D", "G", "S", "P", "N"
+	Net  int    // net index in the circuit
+}
+
+// SmallSignal holds the linearized device parameters used by the MNA engine.
+type SmallSignal struct {
+	Gm  float64 // transconductance (S), MOS only
+	Gds float64 // output conductance (S), MOS only
+	Cgs float64 // gate-source capacitance (F)
+	Cgd float64 // gate-drain capacitance (F)
+	Cdb float64 // drain-bulk capacitance to AC ground (F)
+}
+
+// Device is a placed-circuit component.
+type Device struct {
+	Name string
+	Type DeviceType
+
+	// MOS sizing.
+	W, L    int     // channel width/length (nm)
+	Fingers int     // number of gate fingers
+	ID      float64 // bias drain current magnitude (A)
+	Vov     float64 // overdrive voltage (V)
+
+	// Passive values.
+	CapF   float64 // capacitance (F) for Cap devices
+	ResOhm float64 // resistance (ohm) for Res devices
+
+	// Terminals in canonical order (MOS: D,G,S; Cap/Res: P,N).
+	Terminals []Terminal
+
+	// Abstract physical view: cell footprint and per-terminal pin shapes in
+	// cell-local coordinates on routing layer M1.
+	CellW, CellH int
+	PinShapes    map[string][]geom.Rect
+}
+
+// Terminal returns the terminal with the given name.
+func (d *Device) Terminal(name string) (Terminal, bool) {
+	for _, t := range d.Terminals {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return Terminal{}, false
+}
+
+// Net is an electrical net.
+type Net struct {
+	Name string
+	Type NetType
+	// Pins lists (device index, terminal name) pairs connected to this net.
+	Pins []PinRef
+}
+
+// PinRef identifies one device terminal.
+type PinRef struct {
+	Device   int
+	Terminal string
+}
+
+// Circuit is a complete analog design: devices, nets, and symmetry
+// constraints, matching the inputs of the paper's Problem 1.
+type Circuit struct {
+	Name    string
+	Devices []*Device
+	Nets    []*Net
+
+	netIndex map[string]int
+
+	// Analog I/O ports for small-signal simulation. InP/InN are the
+	// differential input nets; OutP is the output net and OutN its negative
+	// counterpart for fully-differential designs (-1 when single-ended).
+	InP, InN, OutP, OutN int
+
+	// SymNetPairs lists symmetric net pairs N^SP (routed mirrored).
+	SymNetPairs [][2]int
+	// SelfSymNets lists self-symmetric nets N^SS.
+	SelfSymNets []int
+	// SymDevPairs lists device pairs placed mirrored about the symmetry axis.
+	SymDevPairs [][2]int
+}
+
+// NetByName returns the index of the named net.
+func (c *Circuit) NetByName(name string) (int, bool) {
+	i, ok := c.netIndex[name]
+	return i, ok
+}
+
+// DeviceByName returns the index of the named device, or -1.
+func (c *Circuit) DeviceByName(name string) int {
+	for i, d := range c.Devices {
+		if d.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Stats reports the Table-1 style device statistics.
+type Stats struct {
+	NumPMOS, NumNMOS, NumCap, NumRes int
+	NumDevices                       int
+	NumNets                          int
+	Total                            int // devices + nets, the paper's #Total column
+}
+
+// Stats computes benchmark statistics for Table 1.
+func (c *Circuit) Stats() Stats {
+	var s Stats
+	for _, d := range c.Devices {
+		switch d.Type {
+		case PMOS:
+			s.NumPMOS++
+		case NMOS:
+			s.NumNMOS++
+		case Cap:
+			s.NumCap++
+		case Res:
+			s.NumRes++
+		}
+	}
+	s.NumDevices = len(c.Devices)
+	s.NumNets = len(c.Nets)
+	s.Total = s.NumDevices + s.NumNets
+	return s
+}
+
+// SmallSignal derives the linearized parameters of a MOS device from its
+// sizing using a long-channel square-law model:
+//
+//	gm  = 2·ID/Vov
+//	gds = λ·ID with λ = λ0·(Lmin/L)
+//	cgs = (2/3)·W·L·Cox + W·Cov,   cgd = W·Cov,   cdb = W·Cj
+//
+// Passives return only their C (caps contribute Cgs as the main cap value for
+// convenience of the MNA builder, which special-cases them anyway).
+func (d *Device) SmallSignal() SmallSignal {
+	const (
+		coxPerNm2 = 1.1e-20 // F/nm^2  (~11 fF/µm² at 40 nm-class tox)
+		covPerNm  = 3.0e-19 // F/nm overlap per unit width
+		cjPerNm   = 5.0e-19 // F/nm junction per unit width
+		lambda0   = 0.25    // 1/V at minimum channel length
+		lminNm    = 40.0
+	)
+	switch d.Type {
+	case PMOS, NMOS:
+		vov := d.Vov
+		if vov <= 0 {
+			vov = 0.15
+		}
+		gm := 2 * d.ID / vov
+		gds := lambda0 * (lminNm / float64(d.L)) * d.ID
+		w := float64(d.W)
+		l := float64(d.L)
+		return SmallSignal{
+			Gm:  gm,
+			Gds: gds,
+			Cgs: 2.0/3.0*w*l*coxPerNm2 + w*covPerNm,
+			Cgd: w * covPerNm,
+			Cdb: w * cjPerNm,
+		}
+	default:
+		return SmallSignal{}
+	}
+}
+
+// Validate checks structural consistency: every terminal references a valid
+// net, every net pin references a valid device terminal, symmetry indices are
+// in range and type-consistent.
+func (c *Circuit) Validate() error {
+	if len(c.Devices) == 0 {
+		return fmt.Errorf("netlist %q: no devices", c.Name)
+	}
+	for di, d := range c.Devices {
+		if len(d.Terminals) == 0 {
+			return fmt.Errorf("netlist %q: device %s has no terminals", c.Name, d.Name)
+		}
+		for _, t := range d.Terminals {
+			if t.Net < 0 || t.Net >= len(c.Nets) {
+				return fmt.Errorf("netlist %q: device %s terminal %s references net %d out of range",
+					c.Name, d.Name, t.Name, t.Net)
+			}
+		}
+		if d.CellW <= 0 || d.CellH <= 0 {
+			return fmt.Errorf("netlist %q: device %s has empty footprint", c.Name, d.Name)
+		}
+		for term, shapes := range d.PinShapes {
+			if _, ok := d.Terminal(term); !ok {
+				return fmt.Errorf("netlist %q: device %s pin shape for unknown terminal %s",
+					c.Name, d.Name, term)
+			}
+			for _, r := range shapes {
+				if !r.Valid() || r.Area() == 0 {
+					return fmt.Errorf("netlist %q: device %s terminal %s has degenerate pin shape %v",
+						c.Name, d.Name, term, r)
+				}
+				cell := geom.RectWH(0, 0, d.CellW, d.CellH)
+				if !cell.ContainsClosed(r.Lo) || !cell.ContainsClosed(r.Hi) {
+					return fmt.Errorf("netlist %q: device %s terminal %s pin shape %v outside cell %dx%d",
+						c.Name, d.Name, term, r, d.CellW, d.CellH)
+				}
+			}
+		}
+		_ = di
+	}
+	for ni, n := range c.Nets {
+		if len(n.Pins) == 0 {
+			return fmt.Errorf("netlist %q: net %s has no pins", c.Name, n.Name)
+		}
+		for _, p := range n.Pins {
+			if p.Device < 0 || p.Device >= len(c.Devices) {
+				return fmt.Errorf("netlist %q: net %s pin references device %d out of range",
+					c.Name, n.Name, p.Device)
+			}
+			t, ok := c.Devices[p.Device].Terminal(p.Terminal)
+			if !ok {
+				return fmt.Errorf("netlist %q: net %s pin references missing terminal %s.%s",
+					c.Name, n.Name, c.Devices[p.Device].Name, p.Terminal)
+			}
+			if t.Net != ni {
+				return fmt.Errorf("netlist %q: net %s pin %s.%s bound to net %d, not %d",
+					c.Name, n.Name, c.Devices[p.Device].Name, p.Terminal, t.Net, ni)
+			}
+		}
+	}
+	for _, pr := range c.SymNetPairs {
+		if pr[0] < 0 || pr[0] >= len(c.Nets) || pr[1] < 0 || pr[1] >= len(c.Nets) {
+			return fmt.Errorf("netlist %q: symmetric net pair %v out of range", c.Name, pr)
+		}
+	}
+	for _, n := range c.SelfSymNets {
+		if n < 0 || n >= len(c.Nets) {
+			return fmt.Errorf("netlist %q: self-symmetric net %d out of range", c.Name, n)
+		}
+	}
+	for _, pr := range c.SymDevPairs {
+		if pr[0] < 0 || pr[0] >= len(c.Devices) || pr[1] < 0 || pr[1] >= len(c.Devices) {
+			return fmt.Errorf("netlist %q: symmetric device pair %v out of range", c.Name, pr)
+		}
+		a, b := c.Devices[pr[0]], c.Devices[pr[1]]
+		if a.Type != b.Type {
+			return fmt.Errorf("netlist %q: symmetric devices %s/%s differ in type", c.Name, a.Name, b.Name)
+		}
+		if a.CellW != b.CellW || a.CellH != b.CellH {
+			return fmt.Errorf("netlist %q: symmetric devices %s/%s differ in footprint", c.Name, a.Name, b.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,258 @@
+package netlist
+
+import (
+	"testing"
+
+	"analogfold/internal/geom"
+)
+
+func TestBenchmarkStats(t *testing.T) {
+	// Table 1 of the paper: device-type counts per benchmark.
+	want := map[string]Stats{
+		"OTA1": {NumPMOS: 6, NumNMOS: 8, NumCap: 2, NumRes: 0},
+		"OTA2": {NumPMOS: 6, NumNMOS: 8, NumCap: 2, NumRes: 0},
+		"OTA3": {NumPMOS: 16, NumNMOS: 10, NumCap: 6, NumRes: 4},
+		"OTA4": {NumPMOS: 16, NumNMOS: 10, NumCap: 6, NumRes: 4},
+	}
+	for _, c := range Benchmarks() {
+		got := c.Stats()
+		w := want[c.Name]
+		if got.NumPMOS != w.NumPMOS || got.NumNMOS != w.NumNMOS ||
+			got.NumCap != w.NumCap || got.NumRes != w.NumRes {
+			t.Errorf("%s: stats = %+v, want PMOS=%d NMOS=%d Cap=%d Res=%d",
+				c.Name, got, w.NumPMOS, w.NumNMOS, w.NumCap, w.NumRes)
+		}
+		if got.Total != got.NumDevices+got.NumNets {
+			t.Errorf("%s: Total must be devices+nets", c.Name)
+		}
+	}
+}
+
+func TestBenchmarksValidate(t *testing.T) {
+	for _, c := range Benchmarks() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestBenchmarkPorts(t *testing.T) {
+	for _, c := range Benchmarks() {
+		for _, n := range []int{c.InP, c.InN, c.OutP} {
+			if n < 0 || n >= len(c.Nets) {
+				t.Errorf("%s: port net %d out of range", c.Name, n)
+			}
+		}
+		if c.Name == "OTA1" || c.Name == "OTA2" {
+			if c.OutN != -1 {
+				t.Errorf("%s should be single-ended", c.Name)
+			}
+		} else if c.OutN < 0 {
+			t.Errorf("%s should be fully differential", c.Name)
+		}
+	}
+}
+
+func TestSymmetryConsistency(t *testing.T) {
+	for _, c := range Benchmarks() {
+		if len(c.SymNetPairs) == 0 || len(c.SymDevPairs) == 0 {
+			t.Errorf("%s: benchmarks must declare symmetry", c.Name)
+		}
+		// Input pair must be symmetric.
+		found := false
+		for _, p := range c.SymNetPairs {
+			if (p[0] == c.InP && p[1] == c.InN) || (p[0] == c.InN && p[1] == c.InP) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: inputs not declared symmetric", c.Name)
+		}
+	}
+}
+
+func TestSmallSignalModel(t *testing.T) {
+	c := OTA1()
+	di := c.DeviceByName("MN1")
+	if di < 0 {
+		t.Fatal("MN1 missing")
+	}
+	ss := c.Devices[di].SmallSignal()
+	if ss.Gm <= 0 || ss.Gds <= 0 || ss.Cgs <= 0 || ss.Cgd <= 0 {
+		t.Fatalf("small-signal params must be positive: %+v", ss)
+	}
+	// gm = 2 ID / Vov.
+	d := c.Devices[di]
+	wantGm := 2 * d.ID / d.Vov
+	if diff := ss.Gm - wantGm; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("gm = %g, want %g", ss.Gm, wantGm)
+	}
+	// gm must comfortably exceed gds for an amplifying device.
+	if ss.Gm < 5*ss.Gds {
+		t.Errorf("intrinsic gain too low: gm=%g gds=%g", ss.Gm, ss.Gds)
+	}
+	// Longer channel lowers gds.
+	long := *d
+	long.L = 4 * d.L
+	if long.SmallSignal().Gds >= ss.Gds {
+		t.Errorf("gds must fall with channel length")
+	}
+	// Passives report zero MOS params.
+	ci := c.DeviceByName("CC")
+	if ssCap := c.Devices[ci].SmallSignal(); ssCap.Gm != 0 {
+		t.Errorf("cap has gm %g", ssCap.Gm)
+	}
+}
+
+func TestPinShapesInsideCell(t *testing.T) {
+	for _, c := range Benchmarks() {
+		for _, d := range c.Devices {
+			cell := geom.RectWH(0, 0, d.CellW, d.CellH)
+			if len(d.PinShapes) != len(d.Terminals) {
+				t.Errorf("%s/%s: %d pin-shape groups for %d terminals",
+					c.Name, d.Name, len(d.PinShapes), len(d.Terminals))
+			}
+			for term, shapes := range d.PinShapes {
+				for _, r := range shapes {
+					if !cell.ContainsClosed(r.Lo) || !cell.ContainsClosed(r.Hi) {
+						t.Errorf("%s/%s.%s: pin %v outside cell", c.Name, d.Name, term, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNetTypes(t *testing.T) {
+	c := OTA1()
+	check := func(name string, typ NetType) {
+		t.Helper()
+		i, ok := c.NetByName(name)
+		if !ok {
+			t.Fatalf("net %s missing", name)
+		}
+		if c.Nets[i].Type != typ {
+			t.Errorf("net %s type = %v, want %v", name, c.Nets[i].Type, typ)
+		}
+	}
+	check("VDD", NetPower)
+	check("VSS", NetGround)
+	check("VINP", NetInput)
+	check("VOUT", NetOutput)
+	check("NBN", NetBias)
+	check("N1", NetSignal)
+}
+
+func TestBuilderNetUpgrade(t *testing.T) {
+	b := NewBuilder("t")
+	b.Net("X", NetSignal)
+	i := b.Net("X", NetBias) // upgrade allowed
+	if b.c.Nets[i].Type != NetBias {
+		t.Errorf("net type upgrade failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("conflicting redeclaration must panic")
+		}
+	}()
+	b.Net("X", NetPower)
+}
+
+func TestBuilderPanicsOnUnknownSym(t *testing.T) {
+	b := NewBuilder("t")
+	defer func() {
+		if recover() == nil {
+			t.Errorf("SymNets on unknown nets must panic")
+		}
+	}()
+	b.SymNets("nope", "nah")
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	c := OTA1()
+	c.Devices[0].Terminals[0].Net = 999
+	if err := c.Validate(); err == nil {
+		t.Errorf("Validate must catch out-of-range net")
+	}
+
+	c2 := OTA1()
+	c2.SymDevPairs = append(c2.SymDevPairs, [2]int{0, len(c2.Devices) - 1})
+	if err := c2.Validate(); err == nil {
+		t.Errorf("Validate must catch type-mismatched symmetric devices")
+	}
+
+	c3 := OTA1()
+	c3.Nets = append(c3.Nets, &Net{Name: "orphan"})
+	if err := c3.Validate(); err == nil {
+		t.Errorf("Validate must catch pinless net")
+	}
+}
+
+func TestDeviceByName(t *testing.T) {
+	c := OTA3()
+	if c.DeviceByName("MP16") < 0 {
+		t.Errorf("MP16 missing from OTA3")
+	}
+	if c.DeviceByName("nothere") != -1 {
+		t.Errorf("missing device should return -1")
+	}
+}
+
+func TestDeviceTypeString(t *testing.T) {
+	if PMOS.String() != "PMOS" || NMOS.String() != "NMOS" || Cap.String() != "Cap" || Res.String() != "Res" {
+		t.Errorf("DeviceType strings wrong")
+	}
+	if DeviceType(99).String() != "?" {
+		t.Errorf("unknown DeviceType should stringify to ?")
+	}
+}
+
+func TestNetTypeString(t *testing.T) {
+	for typ, want := range map[NetType]string{
+		NetSignal: "signal", NetInput: "input", NetOutput: "output",
+		NetBias: "bias", NetPower: "power", NetGround: "ground",
+	} {
+		if typ.String() != want {
+			t.Errorf("%d.String() = %q, want %q", typ, typ.String(), want)
+		}
+	}
+}
+
+func TestOTA2SmallerThanOTA1(t *testing.T) {
+	a, b := OTA1(), OTA2()
+	ia, ib := a.DeviceByName("MN1"), b.DeviceByName("MN1")
+	if b.Devices[ib].W >= a.Devices[ia].W {
+		t.Errorf("OTA2 must be sized smaller than OTA1")
+	}
+	if b.Devices[ib].ID >= a.Devices[ia].ID {
+		t.Errorf("OTA2 must be biased lighter than OTA1")
+	}
+}
+
+func TestSymmetricDevicesSameFootprint(t *testing.T) {
+	for _, c := range Benchmarks() {
+		for _, p := range c.SymDevPairs {
+			a, b := c.Devices[p[0]], c.Devices[p[1]]
+			if a.CellW != b.CellW || a.CellH != b.CellH {
+				t.Errorf("%s: %s/%s footprints differ", c.Name, a.Name, b.Name)
+			}
+		}
+	}
+}
+
+func TestOTA5Extension(t *testing.T) {
+	c := OTA5()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.NumPMOS != 7 || s.NumNMOS != 10 || s.NumCap != 1 {
+		t.Errorf("OTA5 stats = %+v", s)
+	}
+	if c.OutN != -1 {
+		t.Errorf("OTA5 must be single-ended")
+	}
+	if len(c.SymDevPairs) < 5 {
+		t.Errorf("OTA5 missing symmetry pairs")
+	}
+}

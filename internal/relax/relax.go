@@ -1,0 +1,259 @@
+// Package relax implements the routing-performance potential modeling and
+// pool-assisted relaxation of the paper's Section 4.3. The potential
+//
+//	V(C) = w_FoM · f_θ(G, C) + g(C)                          (Eq. 7)
+//	g(C) = -r · Σ_j (log C[j] + log(c_max - C[j]))           (Eq. 8)
+//
+// combines the trained 3DGNN's (sign-adjusted, equally weighted) metric
+// predictions with an interior-point log barrier keeping every guidance
+// element inside (0, c_max). Because every term is differentiable in C, each
+// start is minimized with L-BFGS; a pool of the N_pool lowest-potential
+// solutions seeds p_relax·N_pool of the restarts with noise added, and the
+// top N_derive guidance sets are returned.
+package relax
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"analogfold/internal/ad"
+	"analogfold/internal/gnn3d"
+	"analogfold/internal/guidance"
+	"analogfold/internal/hetgraph"
+	"analogfold/internal/optim"
+	"analogfold/internal/tensor"
+)
+
+// MetricSigns orients each metric so that lower potential means better
+// performance: offset↓, CMRR↑, bandwidth↑, gain↑, noise↓.
+var MetricSigns = [gnn3d.NumMetrics]float64{+1, -1, -1, -1, +1}
+
+// Config controls the relaxation.
+type Config struct {
+	CMax       float64 // feasible-region upper bound c_max
+	BarrierR   float64 // barrier strength r (Eq. 8)
+	NPool      int     // pool size N_pool
+	PRelax     float64 // fraction of restarts seeded from the pool
+	NDerive    int     // number of guidance sets returned N_derive
+	Restarts   int     // total optimization starts
+	MaxIter    int     // L-BFGS iterations per start
+	NoiseSigma float64 // σ of the pool-restart noise
+	Seed       int64
+	WFoM       [gnn3d.NumMetrics]float64 // magnitude weights (default: all 1)
+
+	// NoPool disables the elite pool: every restart is an independent random
+	// initialization (the ablation for Section 4.3's pool assistance).
+	NoPool bool
+	// UseGD replaces L-BFGS with plain gradient descent (fixed step with
+	// backtracking), ablating the second-order relaxation.
+	UseGD bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.CMax == 0 {
+		c.CMax = guidance.DefaultCMax
+	}
+	if c.BarrierR == 0 {
+		c.BarrierR = 5e-3
+	}
+	if c.NPool == 0 {
+		c.NPool = 8
+	}
+	if c.PRelax == 0 {
+		c.PRelax = 0.5
+	}
+	if c.NDerive == 0 {
+		c.NDerive = 3
+	}
+	if c.Restarts == 0 {
+		c.Restarts = 16
+	}
+	if c.MaxIter == 0 {
+		c.MaxIter = 40
+	}
+	if c.NoiseSigma == 0 {
+		c.NoiseSigma = 0.15
+	}
+	allZero := true
+	for _, w := range c.WFoM {
+		if w != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		// "Equal weighting for all terms in FoM led to the best results."
+		for i := range c.WFoM {
+			c.WFoM[i] = 1
+		}
+	}
+	return c
+}
+
+// Result is a relaxation outcome.
+type Result struct {
+	// Guides are the top-N_derive guidance sets, best first.
+	Guides []guidance.Set
+	// Potentials are the corresponding V(C) values.
+	Potentials []float64
+	// Evals counts objective evaluations (forward+backward passes).
+	Evals int
+}
+
+// Potential evaluates V(C) and ∂V/∂C for a guidance tensor.
+func Potential(m *gnn3d.Model, g *hetgraph.Graph, cT *tensor.Tensor, cfg Config) (float64, *tensor.Tensor, error) {
+	cfg = cfg.withDefaults()
+	cv := ad.Leaf(cT, true)
+	pred, err := m.Forward(g, cv)
+	if err != nil {
+		return 0, nil, err
+	}
+	// w_FoM · f_θ: signed, weighted sum of the (normalized) predictions.
+	w := tensor.New(gnn3d.NumMetrics, 1)
+	for i := 0; i < gnn3d.NumMetrics; i++ {
+		w.Data[i] = MetricSigns[i] * cfg.WFoM[i]
+	}
+	fom := ad.MatMul(pred, ad.Const(w)) // [1 × 1]
+
+	// Interior-point barrier g(C).
+	cmax := tensor.New(cT.Shape...)
+	cmax.Fill(cfg.CMax)
+	barrier := ad.Scale(
+		ad.Add(ad.Sum(ad.Log(cv)), ad.Sum(ad.Log(ad.Sub(ad.Const(cmax), cv)))),
+		-cfg.BarrierR,
+	)
+	v := ad.Add(fom, barrier)
+	if err := ad.Backward(v); err != nil {
+		return 0, nil, err
+	}
+	return v.Value.Data[0], cv.Grad, nil
+}
+
+// poolEntry pairs a solution with its potential.
+type poolEntry struct {
+	pot float64
+	c   []float64
+}
+
+// Optimize runs the full pool-assisted relaxation.
+func Optimize(m *gnn3d.Model, g *hetgraph.Graph, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	numNets := len(g.Circuit.Nets)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	dim := numNets * 3
+
+	res := &Result{}
+	obj := func(x []float64) (float64, []float64) {
+		// Out-of-region points are +Inf: the Wolfe line search backs off.
+		for _, v := range x {
+			if v <= 0 || v >= cfg.CMax {
+				return math.Inf(1), make([]float64, dim)
+			}
+		}
+		cT := tensor.FromSlice(append([]float64(nil), x...), numNets, 3)
+		f, grad, err := Potential(m, g, cT, cfg)
+		if err != nil {
+			// Model errors are programming errors upstream; surface as +Inf
+			// so the search retreats rather than crashing mid-run.
+			return math.Inf(1), make([]float64, dim)
+		}
+		res.Evals++
+		return f, append([]float64(nil), grad.Data...)
+	}
+
+	var pool []poolEntry
+	insert := func(pot float64, x []float64) {
+		if math.IsNaN(pot) || math.IsInf(pot, 0) {
+			return
+		}
+		pool = append(pool, poolEntry{pot: pot, c: append([]float64(nil), x...)})
+		sort.Slice(pool, func(a, b int) bool { return pool[a].pot < pool[b].pot })
+		if len(pool) > cfg.NPool {
+			pool = pool[:cfg.NPool]
+		}
+	}
+
+	for r := 0; r < cfg.Restarts; r++ {
+		var x0 []float64
+		if !cfg.NoPool && len(pool) >= cfg.NPool && rng.Float64() < cfg.PRelax {
+			// Noisy restart from a pool member (Section 4.3).
+			src := pool[rng.Intn(len(pool))]
+			x0 = make([]float64, dim)
+			for i, v := range src.c {
+				x0[i] = clamp(v+rng.NormFloat64()*cfg.NoiseSigma, 0.02, cfg.CMax-0.02)
+			}
+		} else {
+			gd := guidance.Sample(numNets, rng, cfg.CMax)
+			x0 = gd.Flat()
+		}
+		var out optim.LBFGSResult
+		if cfg.UseGD {
+			out = gradientDescent(obj, x0, cfg.MaxIter)
+		} else {
+			out = optim.LBFGS(obj, x0, cfg.MaxIter, 8, 1e-7)
+		}
+		insert(out.F, out.X)
+	}
+
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("relax: no feasible solution found in %d restarts", cfg.Restarts)
+	}
+	n := cfg.NDerive
+	if n > len(pool) {
+		n = len(pool)
+	}
+	for i := 0; i < n; i++ {
+		gd, err := guidance.FromFlat(pool[i].c, cfg.CMax)
+		if err != nil {
+			return nil, err
+		}
+		res.Guides = append(res.Guides, gd.Clamp(0.02))
+		res.Potentials = append(res.Potentials, pool[i].pot)
+	}
+	return res, nil
+}
+
+// gradientDescent is the UseGD ablation optimizer: steepest descent with a
+// simple backtracking line search.
+func gradientDescent(obj optim.Objective, x0 []float64, maxIter int) optim.LBFGSResult {
+	x := append([]float64(nil), x0...)
+	f, g := obj(x)
+	res := optim.LBFGSResult{X: x, F: f}
+	step := 0.1
+	for it := 0; it < maxIter; it++ {
+		res.Iterations = it + 1
+		ok := false
+		for ls := 0; ls < 20; ls++ {
+			xn := make([]float64, len(x))
+			for i := range x {
+				xn[i] = x[i] - step*g[i]
+			}
+			fn, gn := obj(xn)
+			if !math.IsNaN(fn) && !math.IsInf(fn, 0) && fn < f {
+				x, f, g = xn, fn, gn
+				step *= 1.3
+				ok = true
+				break
+			}
+			step *= 0.5
+		}
+		if !ok {
+			break
+		}
+	}
+	res.X = x
+	res.F = f
+	return res
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,190 @@
+package relax
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"analogfold/internal/gnn3d"
+	"analogfold/internal/grid"
+	"analogfold/internal/guidance"
+	"analogfold/internal/hetgraph"
+	"analogfold/internal/netlist"
+	"analogfold/internal/place"
+	"analogfold/internal/tech"
+	"analogfold/internal/tensor"
+)
+
+func buildGraph(t testing.TB, c *netlist.Circuit, seed int64) *hetgraph.Graph {
+	t.Helper()
+	p, err := place.Place(c, place.Config{Profile: place.ProfileA, Seed: seed, Iterations: 1500})
+	if err != nil {
+		t.Fatalf("place: %v", err)
+	}
+	g, err := grid.Build(p, tech.Sim40())
+	if err != nil {
+		t.Fatalf("grid: %v", err)
+	}
+	hg, err := hetgraph.Build(g, hetgraph.Config{})
+	if err != nil {
+		t.Fatalf("hetgraph: %v", err)
+	}
+	return hg
+}
+
+// trainedModel fits a small model to a smooth synthetic objective so the
+// potential landscape has real structure to descend.
+func trainedModel(t testing.TB, g *hetgraph.Graph, seed int64) *gnn3d.Model {
+	t.Helper()
+	m := gnn3d.New(gnn3d.Config{Seed: seed, Hidden: 16, Layers: 2, RBFBins: 8})
+	rng := rand.New(rand.NewSource(seed))
+	n := len(g.Circuit.Nets)
+	var samples []gnn3d.Sample
+	for i := 0; i < 20; i++ {
+		gd := guidance.Sample(n, rng, 2)
+		ct := tensor.New(n, 3)
+		copy(ct.Data, gd.Flat())
+		sx := 0.0
+		for j := 0; j < n; j++ {
+			sx += ct.At(j, 0) + 0.5*ct.At(j, 1)
+		}
+		var y [gnn3d.NumMetrics]float64
+		y[0] = 100 * sx // offset: lower better -> prefers small C
+		y[1] = 50 + sx  // CMRR: higher better -> prefers large C
+		y[2] = 40 + 2*sx
+		y[3] = 30 + sx
+		y[4] = 300 * sx
+		samples = append(samples, gnn3d.Sample{C: ct, Y: y})
+	}
+	if _, err := m.Fit(g, samples, gnn3d.TrainConfig{Epochs: 15, LR: 5e-3, Seed: seed}); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPotentialFiniteAndDifferentiable(t *testing.T) {
+	c := netlist.OTA1()
+	g := buildGraph(t, c, 1)
+	m := gnn3d.New(gnn3d.Config{Seed: 1, Hidden: 16, Layers: 2, RBFBins: 8})
+	ct := tensor.New(len(c.Nets), 3)
+	ct.Fill(1)
+	v, grad, err := Potential(m, g, ct, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("potential not finite: %g", v)
+	}
+	if grad == nil || grad.Norm() == 0 {
+		t.Fatalf("no gradient")
+	}
+	if !tensor.SameShape(grad, ct) {
+		t.Fatalf("gradient shape %v", grad.Shape)
+	}
+}
+
+func TestBarrierDivergesAtBoundary(t *testing.T) {
+	c := netlist.OTA1()
+	g := buildGraph(t, c, 2)
+	m := gnn3d.New(gnn3d.Config{Seed: 2, Hidden: 16, Layers: 2, RBFBins: 8})
+	// A strong barrier isolates g(C) from the (untrained) network term.
+	cfg := Config{BarrierR: 0.5}
+	mid := tensor.New(len(c.Nets), 3)
+	mid.Fill(1)
+	vMid, _, err := Potential(m, g, mid, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge := tensor.New(len(c.Nets), 3)
+	edge.Fill(1)
+	edge.Data[0] = 1e-6 // nearly at the lower boundary
+	vEdge, _, err := Potential(m, g, edge, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vEdge <= vMid {
+		t.Errorf("barrier must grow near the boundary: mid=%g edge=%g", vMid, vEdge)
+	}
+}
+
+func TestOptimizeImprovesOverRandom(t *testing.T) {
+	c := netlist.OTA1()
+	g := buildGraph(t, c, 3)
+	m := trainedModel(t, g, 3)
+	cfg := Config{Restarts: 6, MaxIter: 25, NPool: 4, NDerive: 2, Seed: 9}
+	res, err := Optimize(m, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Guides) != 2 || len(res.Potentials) != 2 {
+		t.Fatalf("derive count: %d", len(res.Guides))
+	}
+	// Compare the best potential against random guidance.
+	rng := rand.New(rand.NewSource(11))
+	worse := 0
+	for i := 0; i < 10; i++ {
+		gd := guidance.Sample(len(c.Nets), rng, 2)
+		ct := tensor.New(len(c.Nets), 3)
+		copy(ct.Data, gd.Flat())
+		v, _, err := Potential(m, g, ct, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v > res.Potentials[0] {
+			worse++
+		}
+	}
+	if worse < 8 {
+		t.Errorf("optimized potential %g beats only %d/10 random draws", res.Potentials[0], worse)
+	}
+}
+
+func TestOptimizeResultsFeasibleAndSorted(t *testing.T) {
+	c := netlist.OTA2()
+	g := buildGraph(t, c, 4)
+	m := trainedModel(t, g, 4)
+	res, err := Optimize(m, g, Config{Restarts: 5, MaxIter: 15, NDerive: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, gd := range res.Guides {
+		if err := gd.Validate(); err != nil {
+			t.Errorf("guide %d infeasible: %v", i, err)
+		}
+		if i > 0 && res.Potentials[i] < res.Potentials[i-1] {
+			t.Errorf("potentials not sorted: %v", res.Potentials)
+		}
+	}
+	if res.Evals == 0 {
+		t.Errorf("no objective evaluations recorded")
+	}
+}
+
+func TestOptimizeDeterministic(t *testing.T) {
+	c := netlist.OTA1()
+	g := buildGraph(t, c, 6)
+	m := trainedModel(t, g, 6)
+	cfg := Config{Restarts: 4, MaxIter: 10, Seed: 42}
+	r1, err := Optimize(m, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Optimize(m, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Potentials[0] != r2.Potentials[0] {
+		t.Errorf("relaxation not deterministic: %g vs %g", r1.Potentials[0], r2.Potentials[0])
+	}
+}
+
+func TestMetricSignsOrientation(t *testing.T) {
+	// Offset and noise are minimized (positive sign), CMRR/BW/gain maximized
+	// (negative sign in the potential).
+	if MetricSigns[0] <= 0 || MetricSigns[4] <= 0 {
+		t.Errorf("offset/noise must have positive sign")
+	}
+	if MetricSigns[1] >= 0 || MetricSigns[2] >= 0 || MetricSigns[3] >= 0 {
+		t.Errorf("CMRR/BW/gain must have negative sign")
+	}
+}

@@ -1,0 +1,34 @@
+package route_test
+
+import (
+	"fmt"
+
+	"analogfold/internal/grid"
+	"analogfold/internal/guidance"
+	"analogfold/internal/lvs"
+	"analogfold/internal/netlist"
+	"analogfold/internal/place"
+	"analogfold/internal/route"
+	"analogfold/internal/tech"
+)
+
+// Example routes the OTA1 benchmark with neutral guidance and verifies the
+// result with the LVS checker.
+func Example() {
+	c := netlist.OTA1()
+	p, err := place.Place(c, place.Config{Profile: place.ProfileA, Seed: 1, Iterations: 2000})
+	if err != nil {
+		panic(err)
+	}
+	g, err := grid.Build(p, tech.Sim40())
+	if err != nil {
+		panic(err)
+	}
+	res, err := route.Route(g, guidance.Uniform(len(c.Nets)), route.Config{})
+	if err != nil {
+		panic(err)
+	}
+	rep := lvs.Check(g, res)
+	fmt.Printf("all nets routed: %v, LVS clean: %v\n", res.WirelengthNm > 0, rep.Clean())
+	// Output: all nets routed: true, LVS clean: true
+}

@@ -1,0 +1,103 @@
+package route
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"analogfold/internal/grid"
+)
+
+// NetReport summarizes one net's routed quality.
+type NetReport struct {
+	Net          int
+	Name         string
+	WirelengthNm int
+	Vias         int
+	// LayerNm is planar wirelength per routing layer.
+	LayerNm []int
+	// DetourRatio is routed length / half-perimeter of the net's pin
+	// bounding box (≥ ~1 for 2-pin nets; large values flag bad topology).
+	DetourRatio float64
+}
+
+// QualityReport aggregates routed-quality statistics for a solution.
+type QualityReport struct {
+	Nets []NetReport
+	// LayerNm is total planar wirelength per layer (the layer-utilization
+	// histogram).
+	LayerNm []int
+	// TotalWirelengthNm and TotalVias restate the Result totals.
+	TotalWirelengthNm int
+	TotalVias         int
+}
+
+// Report computes quality statistics for a routed result.
+func Report(g *grid.Grid, res *Result) *QualityReport {
+	c := g.Place.Circuit
+	qr := &QualityReport{LayerNm: make([]int, g.NL)}
+	for ni := range c.Nets {
+		nr := NetReport{Net: ni, Name: c.Nets[ni].Name, LayerNm: make([]int, g.NL)}
+		for _, s := range res.NetSegs[ni] {
+			if s.IsVia() {
+				nr.Vias += s.Len()
+				continue
+			}
+			l := s.Len() * g.Pitch
+			nr.WirelengthNm += l
+			nr.LayerNm[s.A.Z] += l
+			qr.LayerNm[s.A.Z] += l
+		}
+		// HPWL of the net's access points.
+		minX, maxX, minY, maxY := 1<<30, -(1 << 30), 1<<30, -(1 << 30)
+		for _, id := range g.NetAPs[ni] {
+			p := g.APs[id].Pos
+			if p.X < minX {
+				minX = p.X
+			}
+			if p.X > maxX {
+				maxX = p.X
+			}
+			if p.Y < minY {
+				minY = p.Y
+			}
+			if p.Y > maxY {
+				maxY = p.Y
+			}
+		}
+		hpwl := (maxX - minX) + (maxY - minY)
+		if hpwl > 0 {
+			nr.DetourRatio = float64(nr.WirelengthNm) / float64(hpwl)
+		}
+		qr.TotalWirelengthNm += nr.WirelengthNm
+		qr.TotalVias += nr.Vias
+		qr.Nets = append(qr.Nets, nr)
+	}
+	return qr
+}
+
+// WorstDetours returns the n nets with the highest detour ratios.
+func (q *QualityReport) WorstDetours(n int) []NetReport {
+	s := append([]NetReport(nil), q.Nets...)
+	sort.Slice(s, func(a, b int) bool { return s[a].DetourRatio > s[b].DetourRatio })
+	if n > len(s) {
+		n = len(s)
+	}
+	return s[:n]
+}
+
+// String renders a human-readable report.
+func (q *QualityReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "total wirelength %.2f µm, %d vias\n", float64(q.TotalWirelengthNm)/1000, q.TotalVias)
+	b.WriteString("layer utilization:")
+	for z, l := range q.LayerNm {
+		fmt.Fprintf(&b, " M%d=%.1fµm", z+1, float64(l)/1000)
+	}
+	b.WriteString("\nworst detours:\n")
+	for _, nr := range q.WorstDetours(5) {
+		fmt.Fprintf(&b, "  %-8s wl=%.2fµm vias=%d detour=%.2f\n",
+			nr.Name, float64(nr.WirelengthNm)/1000, nr.Vias, nr.DetourRatio)
+	}
+	return b.String()
+}

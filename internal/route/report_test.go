@@ -1,0 +1,80 @@
+package route
+
+import (
+	"strings"
+	"testing"
+
+	"analogfold/internal/guidance"
+	"analogfold/internal/netlist"
+)
+
+func TestQualityReport(t *testing.T) {
+	c := netlist.OTA1()
+	g := buildGrid(t, c, 41)
+	res := mustRoute(t, g, guidance.Uniform(len(c.Nets)))
+	qr := Report(g, res)
+
+	if len(qr.Nets) != len(c.Nets) {
+		t.Fatalf("reported %d nets, want %d", len(qr.Nets), len(c.Nets))
+	}
+	if qr.TotalWirelengthNm != res.WirelengthNm {
+		t.Errorf("total wirelength %d != result %d", qr.TotalWirelengthNm, res.WirelengthNm)
+	}
+	if qr.TotalVias != res.Vias {
+		t.Errorf("total vias %d != result %d", qr.TotalVias, res.Vias)
+	}
+	// Per-layer sums reconcile with the total.
+	sum := 0
+	for _, l := range qr.LayerNm {
+		sum += l
+	}
+	if sum != qr.TotalWirelengthNm {
+		t.Errorf("layer sum %d != total %d", sum, qr.TotalWirelengthNm)
+	}
+	// Per-net layer sums reconcile too.
+	for _, nr := range qr.Nets {
+		s := 0
+		for _, l := range nr.LayerNm {
+			s += l
+		}
+		if s != nr.WirelengthNm {
+			t.Errorf("net %s layer sum %d != wirelength %d", nr.Name, s, nr.WirelengthNm)
+		}
+		if nr.DetourRatio < 0 {
+			t.Errorf("net %s negative detour", nr.Name)
+		}
+	}
+}
+
+func TestWorstDetoursSorted(t *testing.T) {
+	c := netlist.OTA3()
+	g := buildGrid(t, c, 42)
+	res := mustRoute(t, g, guidance.Uniform(len(c.Nets)))
+	qr := Report(g, res)
+	worst := qr.WorstDetours(4)
+	if len(worst) != 4 {
+		t.Fatalf("got %d, want 4", len(worst))
+	}
+	for i := 1; i < len(worst); i++ {
+		if worst[i].DetourRatio > worst[i-1].DetourRatio {
+			t.Errorf("detours not sorted at %d", i)
+		}
+	}
+	// Asking for more than available clamps.
+	all := qr.WorstDetours(10_000)
+	if len(all) != len(qr.Nets) {
+		t.Errorf("clamping broken: %d", len(all))
+	}
+}
+
+func TestReportString(t *testing.T) {
+	c := netlist.OTA1()
+	g := buildGrid(t, c, 43)
+	res := mustRoute(t, g, guidance.Uniform(len(c.Nets)))
+	out := Report(g, res).String()
+	for _, frag := range []string{"total wirelength", "layer utilization", "worst detours", "M1="} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("report missing %q", frag)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+// Package route implements the constraint-aware iterative detailed router of
+// the reproduction. It plays two roles from the paper:
+//
+//   - Unguided, it is the MagicalRoute baseline [16]: grid-based A* search
+//     with negotiated-congestion rip-up-and-reroute, analog net ordering,
+//     preferred-direction costing and symmetric-pair mirroring.
+//   - Fed a guidance.Set, it is the guided detailed router of Problem 3: the
+//     per-net guidance C_i[d] scales the step cost along direction d for all
+//     cells, steering each net's topology without overriding design rules.
+//
+// Design-rule correctness is by construction: the routing grid pitch equals
+// min-width + min-spacing on every layer and each grid cell is owned by at
+// most one net, so any conflict-free solution is DRC-clean (verified
+// independently by package drc).
+package route
+
+import (
+	"fmt"
+	"sort"
+
+	"analogfold/internal/geom"
+	"analogfold/internal/grid"
+	"analogfold/internal/guidance"
+	"analogfold/internal/netlist"
+)
+
+// Config tunes the router.
+type Config struct {
+	MaxIters       int     // negotiated-congestion iterations (default 12)
+	ViaCost        float64 // cost of one layer hop (default 4)
+	WrongWayCost   float64 // multiplier for non-preferred planar moves (default 2)
+	HistIncr       float64 // history increment on conflicted cells (default 1.5)
+	PresentFactor  float64 // present-congestion factor, scaled by iteration (default 6)
+	GuidanceWeight float64 // blend of guidance into step cost, 0..1 (default 0.8)
+	SymDiscount    float64 // cost multiplier on mirror cells of the sym peer (default 0.65)
+	MinMult        float64 // floor for guidance multipliers, keeps A* admissible-ish (default 0.3)
+
+	// Order selects the net-ordering strategy (default OrderCritical).
+	Order OrderStrategy
+
+	// MaxLayerByType restricts the highest routing layer per net type —
+	// the analog practice of keeping sensitive signals on lower, thinner
+	// metals and reserving thick top metals for supplies. A nil map (the
+	// default) leaves all layers open; a missing key means no restriction
+	// for that type.
+	MaxLayerByType map[netlist.NetType]int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxIters == 0 {
+		c.MaxIters = 12
+	}
+	if c.ViaCost == 0 {
+		c.ViaCost = 4
+	}
+	if c.WrongWayCost == 0 {
+		c.WrongWayCost = 2
+	}
+	if c.HistIncr == 0 {
+		c.HistIncr = 1.5
+	}
+	if c.PresentFactor == 0 {
+		c.PresentFactor = 6
+	}
+	if c.GuidanceWeight == 0 {
+		c.GuidanceWeight = 0.8
+	}
+	if c.SymDiscount == 0 {
+		c.SymDiscount = 0.65
+	}
+	if c.MinMult == 0 {
+		c.MinMult = 0.3
+	}
+	return c
+}
+
+// Result is a completed routing solution.
+type Result struct {
+	// NetCells lists every grid cell occupied by each net (pin pads + wires).
+	NetCells [][]geom.Point3
+	// NetSegs lists the wire segments of each net, for extraction.
+	NetSegs [][]geom.Seg
+	// WirelengthNm is total planar wirelength in nm; Vias counts layer hops.
+	WirelengthNm int
+	Vias         int
+	// Iterations is the number of rip-up-and-reroute rounds used.
+	Iterations int
+}
+
+// Router holds reusable search state for one grid.
+type Router struct {
+	g   *grid.Grid
+	cfg Config
+
+	// Search scratch, versioned by epoch to avoid O(cells) clears.
+	dist   []float64
+	parent []int32
+	stamp  []int32
+	inOpen []int32
+	epoch  int32
+
+	// usage[cell] = number of nets currently using the cell.
+	usage []int16
+	hist  []float64
+	// owner of wire cells per net during an iteration.
+	cellNets [][]int32 // per cell, small slice of net ids (usually 0–1)
+}
+
+// NewRouter creates a router over a grid.
+func NewRouter(g *grid.Grid, cfg Config) *Router {
+	n := g.NumCells()
+	return &Router{
+		g: g, cfg: cfg.withDefaults(),
+		dist:   make([]float64, n),
+		parent: make([]int32, n),
+		stamp:  make([]int32, n),
+		inOpen: make([]int32, n),
+		usage:  make([]int16, n),
+		hist:   make([]float64, n),
+	}
+}
+
+// Route runs the full iterative flow with the given guidance (use
+// guidance.Uniform for the unguided baseline).
+func Route(g *grid.Grid, gd guidance.Set, cfg Config) (*Result, error) {
+	return NewRouter(g, cfg).Run(gd)
+}
+
+// Run executes rip-up-and-reroute until conflict-free or MaxIters, then a
+// hard-blocked post-pass (the paper's post-processing step) for any
+// leftovers.
+func (r *Router) Run(gd guidance.Set) (*Result, error) {
+	c := r.g.Place.Circuit
+	if len(gd.PerNet) != len(c.Nets) {
+		return nil, fmt.Errorf("route: guidance covers %d nets, circuit has %d", len(gd.PerNet), len(c.Nets))
+	}
+	order := r.netOrder()
+	netCells := make([][]geom.Point3, len(c.Nets))
+	netPaths := make([][][]geom.Point3, len(c.Nets)) // raw A* paths per net
+
+	iter := 0
+	for ; iter < r.cfg.MaxIters; iter++ {
+		conflicts := 0
+		for _, ni := range order {
+			r.ripUp(ni, netCells[ni])
+			cells, paths, err := r.routeNet(ni, gd, iter, netCells)
+			if err != nil {
+				return nil, err
+			}
+			netCells[ni] = cells
+			netPaths[ni] = paths
+			r.commit(ni, cells)
+		}
+		conflicts = r.countConflictsAndRaiseHistory()
+		if conflicts == 0 {
+			iter++
+			break
+		}
+	}
+
+	// Post-processing: if conflicts remain, reroute every conflicted net with
+	// foreign cells as hard obstacles.
+	if r.totalConflicts() > 0 {
+		for _, ni := range order {
+			if !r.netConflicted(ni, netCells[ni]) {
+				continue
+			}
+			r.ripUp(ni, netCells[ni])
+			cells, paths, err := r.routeNetHard(ni, gd, netCells)
+			if err != nil {
+				return nil, fmt.Errorf("route: post-processing failed for net %s: %w", c.Nets[ni].Name, err)
+			}
+			netCells[ni] = cells
+			netPaths[ni] = paths
+			r.commit(ni, cells)
+		}
+		if n := r.totalConflicts(); n > 0 {
+			return nil, fmt.Errorf("route: %d conflicts remain after post-processing", n)
+		}
+	}
+
+	res := &Result{NetCells: netCells, Iterations: iter}
+	res.NetSegs = make([][]geom.Seg, len(c.Nets))
+	for ni, paths := range netPaths {
+		for _, p := range paths {
+			segs := geom.PathToSegs(p)
+			res.NetSegs[ni] = append(res.NetSegs[ni], segs...)
+			for _, s := range segs {
+				if s.IsVia() {
+					res.Vias += s.Len()
+				} else {
+					res.WirelengthNm += s.Len() * r.g.Pitch
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// OrderStrategy selects how nets are sequenced each rip-up-and-reroute
+// iteration. Ordering matters: earlier nets grab the cheapest resources.
+type OrderStrategy int
+
+// Net ordering strategies.
+const (
+	// OrderCritical routes by analog criticality: inputs, signals, outputs,
+	// bias, then supplies — the ordering analog routers use so sensitive
+	// nets get first pick (the default).
+	OrderCritical OrderStrategy = iota
+	// OrderFewestPins routes small nets first (they have the least routing
+	// freedom).
+	OrderFewestPins
+	// OrderLargestSpan routes nets with the widest pin bounding boxes first
+	// (they cross the most territory).
+	OrderLargestSpan
+)
+
+// netOrder returns the net sequence for the configured strategy, always
+// keeping symmetric pairs adjacent so the mirror discount sees a fresh peer.
+func (r *Router) netOrder() []int {
+	c := r.g.Place.Circuit
+	rank := func(t netlist.NetType) int {
+		switch t {
+		case netlist.NetInput:
+			return 0
+		case netlist.NetSignal:
+			return 1
+		case netlist.NetOutput:
+			return 2
+		case netlist.NetBias:
+			return 3
+		case netlist.NetGround:
+			return 4
+		default: // power
+			return 5
+		}
+	}
+	span := func(ni int) int {
+		minX, maxX, minY, maxY := 1<<30, -(1 << 30), 1<<30, -(1 << 30)
+		for _, id := range r.g.NetAPs[ni] {
+			p := r.g.APs[id].Pos
+			if p.X < minX {
+				minX = p.X
+			}
+			if p.X > maxX {
+				maxX = p.X
+			}
+			if p.Y < minY {
+				minY = p.Y
+			}
+			if p.Y > maxY {
+				maxY = p.Y
+			}
+		}
+		if maxX < minX {
+			return 0
+		}
+		return (maxX - minX) + (maxY - minY)
+	}
+	less := func(a, b int) bool {
+		switch r.cfg.Order {
+		case OrderFewestPins:
+			pa, pb := len(c.Nets[a].Pins), len(c.Nets[b].Pins)
+			if pa != pb {
+				return pa < pb
+			}
+		case OrderLargestSpan:
+			sa, sb := span(a), span(b)
+			if sa != sb {
+				return sa > sb
+			}
+		default:
+			ra, rb := rank(c.Nets[a].Type), rank(c.Nets[b].Type)
+			if ra != rb {
+				return ra < rb
+			}
+		}
+		return a < b
+	}
+
+	peer := make([]int, len(c.Nets))
+	for i := range peer {
+		peer[i] = -1
+	}
+	for _, pr := range c.SymNetPairs {
+		peer[pr[0]] = pr[1]
+		peer[pr[1]] = pr[0]
+	}
+	order := make([]int, 0, len(c.Nets))
+	used := make([]bool, len(c.Nets))
+	idx := make([]int, len(c.Nets))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return less(idx[a], idx[b]) })
+	for _, ni := range idx {
+		if used[ni] {
+			continue
+		}
+		order = append(order, ni)
+		used[ni] = true
+		if p := peer[ni]; p >= 0 && !used[p] {
+			order = append(order, p)
+			used[p] = true
+		}
+	}
+	return order
+}
+
+// symPeer returns the symmetric peer net of ni, or -1.
+func (r *Router) symPeer(ni int) int {
+	for _, pr := range r.g.Place.Circuit.SymNetPairs {
+		if pr[0] == ni {
+			return pr[1]
+		}
+		if pr[1] == ni {
+			return pr[0]
+		}
+	}
+	return -1
+}

@@ -1,0 +1,263 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+
+	"analogfold/internal/geom"
+	"analogfold/internal/grid"
+	"analogfold/internal/guidance"
+	"analogfold/internal/netlist"
+	"analogfold/internal/place"
+	"analogfold/internal/tech"
+)
+
+func buildGrid(t testing.TB, c *netlist.Circuit, seed int64) *grid.Grid {
+	t.Helper()
+	p, err := place.Place(c, place.Config{Profile: place.ProfileA, Seed: seed, Iterations: 2000})
+	if err != nil {
+		t.Fatalf("place: %v", err)
+	}
+	g, err := grid.Build(p, tech.Sim40())
+	if err != nil {
+		t.Fatalf("grid: %v", err)
+	}
+	return g
+}
+
+func mustRoute(t testing.TB, g *grid.Grid, gd guidance.Set) *Result {
+	t.Helper()
+	res, err := Route(g, gd, Config{})
+	if err != nil {
+		t.Fatalf("route: %v", err)
+	}
+	return res
+}
+
+// connected verifies that a net's cells form one connected component that
+// touches every pin.
+func connected(g *grid.Grid, cells []geom.Point3, ni int) bool {
+	if len(cells) == 0 {
+		return false
+	}
+	set := map[geom.Point3]bool{}
+	for _, c := range cells {
+		set[c] = true
+	}
+	// BFS from the first cell.
+	seen := map[geom.Point3]bool{cells[0]: true}
+	queue := []geom.Point3{cells[0]}
+	dirs := []geom.Point3{{X: 1}, {X: -1}, {Y: 1}, {Y: -1}, {Z: 1}, {Z: -1}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, d := range dirs {
+			n := cur.Add(d)
+			if set[n] && !seen[n] {
+				seen[n] = true
+				queue = append(queue, n)
+			}
+		}
+	}
+	for _, c := range cells {
+		if !seen[c] {
+			return false
+		}
+	}
+	// Every AP of the net must be among the cells.
+	for _, id := range g.NetAPs[ni] {
+		if !set[g.APs[id].Cell] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRouteAllBenchmarks(t *testing.T) {
+	for _, c := range netlist.Benchmarks() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			g := buildGrid(t, c, 1)
+			res := mustRoute(t, g, guidance.Uniform(len(c.Nets)))
+			if res.WirelengthNm <= 0 {
+				t.Errorf("wirelength = %d", res.WirelengthNm)
+			}
+			for ni := range c.Nets {
+				if !connected(g, res.NetCells[ni], ni) {
+					t.Errorf("net %s not connected", c.Nets[ni].Name)
+				}
+			}
+		})
+	}
+}
+
+func TestRouteConflictFree(t *testing.T) {
+	g := buildGrid(t, netlist.OTA1(), 2)
+	res := mustRoute(t, g, guidance.Uniform(len(g.Place.Circuit.Nets)))
+	occ := map[geom.Point3]int{}
+	for ni, cells := range res.NetCells {
+		for _, c := range cells {
+			if prev, ok := occ[c]; ok && prev != ni {
+				t.Fatalf("cell %v used by nets %d and %d", c, prev, ni)
+			}
+			occ[c] = ni
+		}
+	}
+}
+
+func TestRouteRespectsObstacles(t *testing.T) {
+	g := buildGrid(t, netlist.OTA2(), 3)
+	res := mustRoute(t, g, guidance.Uniform(len(g.Place.Circuit.Nets)))
+	for ni, cells := range res.NetCells {
+		for _, c := range cells {
+			if g.Blocked(c) {
+				t.Errorf("net %d uses blocked cell %v", ni, c)
+			}
+			if o := g.Owner(c); o >= 0 && o != ni {
+				t.Errorf("net %d trespasses on net %d pad at %v", ni, o, c)
+			}
+		}
+	}
+}
+
+func TestRouteDeterministic(t *testing.T) {
+	c1 := netlist.OTA1()
+	g1 := buildGrid(t, c1, 4)
+	r1 := mustRoute(t, g1, guidance.Uniform(len(c1.Nets)))
+	c2 := netlist.OTA1()
+	g2 := buildGrid(t, c2, 4)
+	r2 := mustRoute(t, g2, guidance.Uniform(len(c2.Nets)))
+	if r1.WirelengthNm != r2.WirelengthNm || r1.Vias != r2.Vias {
+		t.Errorf("routing not deterministic: (%d,%d) vs (%d,%d)",
+			r1.WirelengthNm, r1.Vias, r2.WirelengthNm, r2.Vias)
+	}
+}
+
+func TestGuidanceChangesRouting(t *testing.T) {
+	c := netlist.OTA1()
+	g := buildGrid(t, c, 5)
+	base := mustRoute(t, g, guidance.Uniform(len(c.Nets)))
+
+	// Penalize horizontal routing on every signal net heavily.
+	gd := guidance.Uniform(len(c.Nets))
+	for ni, n := range c.Nets {
+		if n.Type == netlist.NetSignal {
+			gd.PerNet[ni] = guidance.Vec{1.9, 0.2, 1.0}
+		}
+	}
+	skew := mustRoute(t, g, gd)
+	if base.WirelengthNm == skew.WirelengthNm && base.Vias == skew.Vias {
+		t.Errorf("guidance had no effect on routing (wl=%d vias=%d)", base.WirelengthNm, base.Vias)
+	}
+}
+
+func TestGuidanceDirectionBias(t *testing.T) {
+	// With cheap vertical and expensive horizontal guidance, the routed
+	// solution must contain relatively more vertical wire than the opposite
+	// skew produces.
+	c := netlist.OTA1()
+	g := buildGrid(t, c, 6)
+	vert := guidance.Uniform(len(c.Nets))
+	horz := guidance.Uniform(len(c.Nets))
+	for ni := range c.Nets {
+		vert.PerNet[ni] = guidance.Vec{1.8, 0.3, 1}
+		horz.PerNet[ni] = guidance.Vec{0.3, 1.8, 1}
+	}
+	rv := mustRoute(t, g, vert)
+	rh := mustRoute(t, g, horz)
+	ratio := func(r *Result) float64 {
+		var h, v int
+		for _, segs := range r.NetSegs {
+			for _, s := range segs {
+				if s.IsHorizontal() {
+					h += s.Len()
+				} else if s.IsVertical() {
+					v += s.Len()
+				}
+			}
+		}
+		return float64(v) / float64(v+h+1)
+	}
+	if ratio(rv) <= ratio(rh) {
+		t.Errorf("vertical-bias ratio %.3f not above horizontal-bias ratio %.3f", ratio(rv), ratio(rh))
+	}
+}
+
+func TestSymmetricNetsMirrorTendency(t *testing.T) {
+	c := netlist.OTA1()
+	g := buildGrid(t, c, 7)
+	res := mustRoute(t, g, guidance.Uniform(len(c.Nets)))
+	inp, _ := c.NetByName("VINP")
+	inn, _ := c.NetByName("VINN")
+	// Count VINN cells whose mirror is a VINP cell: the symmetry discount
+	// should give substantial overlap.
+	pSet := map[geom.Point3]bool{}
+	for _, cell := range res.NetCells[inp] {
+		pSet[cell] = true
+	}
+	match, total := 0, 0
+	for _, cell := range res.NetCells[inn] {
+		total++
+		if pSet[g.MirrorCell(cell)] {
+			match++
+		}
+	}
+	if total == 0 || float64(match)/float64(total) < 0.5 {
+		t.Errorf("mirror overlap %d/%d too low for symmetric inputs", match, total)
+	}
+}
+
+func TestGuidanceWrongSizeRejected(t *testing.T) {
+	c := netlist.OTA1()
+	g := buildGrid(t, c, 8)
+	if _, err := Route(g, guidance.Uniform(3), Config{}); err == nil {
+		t.Errorf("mismatched guidance must be rejected")
+	}
+}
+
+func TestRandomGuidanceAlwaysRoutes(t *testing.T) {
+	c := netlist.OTA2()
+	g := buildGrid(t, c, 9)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5; trial++ {
+		gd := guidance.Sample(len(c.Nets), rng, guidance.DefaultCMax)
+		res, err := Route(g, gd, Config{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for ni := range c.Nets {
+			if !connected(g, res.NetCells[ni], ni) {
+				t.Fatalf("trial %d: net %s disconnected", trial, c.Nets[ni].Name)
+			}
+		}
+	}
+}
+
+func TestSegsMatchCells(t *testing.T) {
+	c := netlist.OTA1()
+	g := buildGrid(t, c, 10)
+	res := mustRoute(t, g, guidance.Uniform(len(c.Nets)))
+	for ni, segs := range res.NetSegs {
+		set := map[geom.Point3]bool{}
+		for _, cell := range res.NetCells[ni] {
+			set[cell] = true
+		}
+		for _, s := range segs {
+			if !set[s.A] || !set[s.B] {
+				t.Errorf("net %d segment %v endpoints not in net cells", ni, s)
+			}
+		}
+	}
+}
+
+func BenchmarkRouteOTA1(b *testing.B) {
+	c := netlist.OTA1()
+	g := buildGrid(b, c, 1)
+	gd := guidance.Uniform(len(c.Nets))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Route(g, gd, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,443 @@
+package route
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"analogfold/internal/geom"
+	"analogfold/internal/guidance"
+	"analogfold/internal/tech"
+)
+
+// pq is the A* open list.
+type pqItem struct {
+	cell int32
+	f    float64
+}
+
+type pq []pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].f < p[j].f }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}
+
+// ripUp removes a net's cells from the usage map.
+func (r *Router) ripUp(ni int, cells []geom.Point3) {
+	for _, c := range cells {
+		idx := r.g.CellIndex(c)
+		if r.usage[idx] > 0 {
+			r.usage[idx]--
+		}
+		r.removeCellNet(idx, int32(ni))
+	}
+}
+
+// commit records a net's cells in the usage map.
+func (r *Router) commit(ni int, cells []geom.Point3) {
+	for _, c := range cells {
+		idx := r.g.CellIndex(c)
+		r.usage[idx]++
+		r.addCellNet(idx, int32(ni))
+	}
+}
+
+func (r *Router) addCellNet(idx int, ni int32) {
+	if r.cellNets == nil {
+		r.cellNets = make([][]int32, r.g.NumCells())
+	}
+	for _, n := range r.cellNets[idx] {
+		if n == ni {
+			return
+		}
+	}
+	r.cellNets[idx] = append(r.cellNets[idx], ni)
+}
+
+func (r *Router) removeCellNet(idx int, ni int32) {
+	if r.cellNets == nil {
+		return
+	}
+	s := r.cellNets[idx]
+	for i, n := range s {
+		if n == ni {
+			s[i] = s[len(s)-1]
+			r.cellNets[idx] = s[:len(s)-1]
+			return
+		}
+	}
+}
+
+// foreignUsage returns how many nets other than ni use the cell.
+func (r *Router) foreignUsage(idx int, ni int32) int {
+	if r.cellNets == nil {
+		return 0
+	}
+	n := 0
+	for _, o := range r.cellNets[idx] {
+		if o != ni {
+			n++
+		}
+	}
+	return n
+}
+
+// countConflictsAndRaiseHistory counts multi-net cells and bumps their
+// history cost (PathFinder-style negotiation).
+func (r *Router) countConflictsAndRaiseHistory() int {
+	n := 0
+	for idx, u := range r.usage {
+		if u > 1 {
+			n++
+			r.hist[idx] += r.cfg.HistIncr
+		}
+	}
+	return n
+}
+
+func (r *Router) totalConflicts() int {
+	n := 0
+	for _, u := range r.usage {
+		if u > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *Router) netConflicted(ni int, cells []geom.Point3) bool {
+	for _, c := range cells {
+		if r.usage[r.g.CellIndex(c)] > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// pinGroup is one pin's candidate access-point cells.
+type pinGroup struct {
+	cells []geom.Point3
+}
+
+// pinGroups gathers the access-point cells of each pin of the net.
+func (r *Router) pinGroups(ni int) []pinGroup {
+	g := r.g
+	type key struct {
+		dev  int
+		term string
+	}
+	groups := map[key]*pinGroup{}
+	var order []key
+	for _, id := range g.NetAPs[ni] {
+		ap := g.APs[id]
+		k := key{ap.Device, ap.Terminal}
+		pg, ok := groups[k]
+		if !ok {
+			pg = &pinGroup{}
+			groups[k] = pg
+			order = append(order, k)
+		}
+		pg.cells = append(pg.cells, ap.Cell)
+	}
+	out := make([]pinGroup, 0, len(order))
+	for _, k := range order {
+		out = append(out, *groups[k])
+	}
+	return out
+}
+
+// routeNet connects all pins of net ni with soft congestion costs, returning
+// the net's cells and the raw paths found.
+func (r *Router) routeNet(ni int, gd guidance.Set, iter int, netCells [][]geom.Point3) ([]geom.Point3, [][]geom.Point3, error) {
+	return r.routeNetImpl(ni, gd, iter, netCells, false)
+}
+
+// routeNetHard is the post-processing variant: foreign cells are hard
+// obstacles.
+func (r *Router) routeNetHard(ni int, gd guidance.Set, netCells [][]geom.Point3) ([]geom.Point3, [][]geom.Point3, error) {
+	return r.routeNetImpl(ni, gd, r.cfg.MaxIters, netCells, true)
+}
+
+func (r *Router) routeNetImpl(ni int, gd guidance.Set, iter int, netCells [][]geom.Point3, hard bool) ([]geom.Point3, [][]geom.Point3, error) {
+	g := r.g
+	groups := r.pinGroups(ni)
+	if len(groups) == 0 {
+		return nil, nil, fmt.Errorf("route: net %s has no pins", g.Place.Circuit.Nets[ni].Name)
+	}
+
+	// Mirror cells of the already-routed symmetric peer get a discount so the
+	// pair converges to (near-)mirrored topologies.
+	mirror := map[int]bool{}
+	if peer := r.symPeer(ni); peer >= 0 && len(netCells[peer]) > 0 {
+		for _, c := range netCells[peer] {
+			m := g.MirrorCell(c)
+			if g.InBounds(m) {
+				mirror[g.CellIndex(m)] = true
+			}
+		}
+	}
+
+	// Tree starts as the first group's cells plus every AP cell of the net
+	// (pin pads are net metal regardless of the wires chosen).
+	cellSet := map[int]geom.Point3{}
+	for _, pg := range groups {
+		for _, c := range pg.cells {
+			cellSet[g.CellIndex(c)] = c
+		}
+	}
+	tree := map[int]geom.Point3{}
+	for _, c := range groups[0].cells {
+		tree[g.CellIndex(c)] = c
+	}
+
+	remaining := make([]pinGroup, len(groups)-1)
+	copy(remaining, groups[1:])
+	// Connect nearest groups first.
+	sort.SliceStable(remaining, func(a, b int) bool {
+		return groupDist(groups[0].cells, remaining[a].cells) < groupDist(groups[0].cells, remaining[b].cells)
+	})
+
+	var paths [][]geom.Point3
+	for _, pg := range remaining {
+		// Skip if this group is already touching the tree.
+		touched := false
+		for _, c := range pg.cells {
+			if _, ok := tree[g.CellIndex(c)]; ok {
+				touched = true
+				break
+			}
+		}
+		if touched {
+			continue
+		}
+		path, err := r.astar(ni, gd, iter, tree, pg.cells, mirror, hard)
+		if err != nil {
+			return nil, nil, fmt.Errorf("route: net %s: %w", g.Place.Circuit.Nets[ni].Name, err)
+		}
+		paths = append(paths, path)
+		for _, c := range path {
+			tree[g.CellIndex(c)] = c
+			cellSet[g.CellIndex(c)] = c
+		}
+	}
+
+	cells := make([]geom.Point3, 0, len(cellSet))
+	for _, c := range cellSet {
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(a, b int) bool {
+		return g.CellIndex(cells[a]) < g.CellIndex(cells[b])
+	})
+	return cells, paths, nil
+}
+
+func groupDist(a, b []geom.Point3) int {
+	best := math.MaxInt32
+	for _, p := range a {
+		for _, q := range b {
+			if d := p.ManhattanDist(q); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// stepMult converts a guidance element into a step-cost multiplier, blended
+// by GuidanceWeight and floored by MinMult.
+func (r *Router) stepMult(c float64) float64 {
+	m := 1 + r.cfg.GuidanceWeight*(c-1)
+	if m < r.cfg.MinMult {
+		m = r.cfg.MinMult
+	}
+	return m
+}
+
+// astar searches from the tree (multi-source) to any target cell.
+func (r *Router) astar(ni int, gd guidance.Set, iter int, tree map[int]geom.Point3, targets []geom.Point3, mirror map[int]bool, hard bool) ([]geom.Point3, error) {
+	g := r.g
+	r.epoch++
+	ep := r.epoch
+	n32 := int32(ni)
+	maxZ := g.NL - 1
+	if r.cfg.MaxLayerByType != nil {
+		if mz, ok := r.cfg.MaxLayerByType[g.Place.Circuit.Nets[ni].Type]; ok && mz < maxZ {
+			maxZ = mz
+		}
+	}
+	gv := gd.PerNet[ni]
+	multX := r.stepMult(gv[0])
+	multY := r.stepMult(gv[1])
+	multZ := r.stepMult(gv[2])
+
+	targetSet := map[int]bool{}
+	// Heuristic: scaled distance to the targets' bounding box (a lower bound
+	// on the distance to any target), weighted greedily — the router trades a
+	// little path optimality for a large search-space reduction, as detailed
+	// routers commonly do.
+	var tbb struct{ loX, hiX, loY, hiY, loZ, hiZ int }
+	tbb.loX, tbb.loY, tbb.loZ = math.MaxInt32, math.MaxInt32, math.MaxInt32
+	tbb.hiX, tbb.hiY, tbb.hiZ = math.MinInt32, math.MinInt32, math.MinInt32
+	for _, t := range targets {
+		targetSet[g.CellIndex(t)] = true
+		tbb.loX, tbb.hiX = minI(tbb.loX, t.X), maxI(tbb.hiX, t.X)
+		tbb.loY, tbb.hiY = minI(tbb.loY, t.Y), maxI(tbb.hiY, t.Y)
+		tbb.loZ, tbb.hiZ = minI(tbb.loZ, t.Z), maxI(tbb.hiZ, t.Z)
+	}
+	hScale := minF(multX, multY)
+	if hScale > 1 {
+		hScale = 1
+	}
+	h := func(p geom.Point3) float64 {
+		dx := maxI(0, maxI(tbb.loX-p.X, p.X-tbb.hiX))
+		dy := maxI(0, maxI(tbb.loY-p.Y, p.Y-tbb.hiY))
+		dz := maxI(0, maxI(tbb.loZ-p.Z, p.Z-tbb.hiZ))
+		return hScale * float64(dx+dy+dz)
+	}
+
+	// Seed the open list in deterministic (index) order: map iteration order
+	// would otherwise break equal-cost tie-breaking reproducibility.
+	seedIdx := make([]int, 0, len(tree))
+	for idx := range tree {
+		seedIdx = append(seedIdx, idx)
+	}
+	sort.Ints(seedIdx)
+	open := make(pq, 0, 256)
+	for _, idx := range seedIdx {
+		r.dist[idx] = 0
+		r.parent[idx] = -1
+		r.stamp[idx] = ep
+		heap.Push(&open, pqItem{cell: int32(idx), f: h(tree[idx])})
+	}
+
+	var found int32 = -1
+	for open.Len() > 0 {
+		it := heap.Pop(&open).(pqItem)
+		idx := int(it.cell)
+		if r.inOpen[idx] == ep {
+			continue // already expanded this search
+		}
+		r.inOpen[idx] = ep
+		cur := r.cellFromIndex(idx)
+		if targetSet[idx] {
+			found = it.cell
+			break
+		}
+		for _, d := range neighborDirs {
+			nxt := cur.Add(d)
+			if !g.InBounds(nxt) {
+				continue
+			}
+			if nxt.Z > maxZ {
+				continue
+			}
+			nIdx := g.CellIndex(nxt)
+			if g.Blocked(nxt) {
+				continue
+			}
+			if o := g.Owner(nxt); o >= 0 && o != ni {
+				continue // foreign pin pad: hard obstacle
+			}
+			// Step cost.
+			var cost float64
+			switch {
+			case d.Z != 0:
+				cost = r.cfg.ViaCost * multZ
+			case d.X != 0:
+				cost = multX
+				if g.Tech.Layers[nxt.Z].Dir == tech.Vertical {
+					cost *= r.cfg.WrongWayCost
+				}
+			default:
+				cost = multY
+				if g.Tech.Layers[nxt.Z].Dir == tech.Horizontal {
+					cost *= r.cfg.WrongWayCost
+				}
+			}
+			if mirror[nIdx] {
+				cost *= r.cfg.SymDiscount
+			}
+			// Congestion.
+			if fu := r.foreignUsage(nIdx, n32); fu > 0 {
+				if hard {
+					continue
+				}
+				cost += r.cfg.PresentFactor * float64(iter+1) * float64(fu)
+			}
+			cost += r.hist[nIdx]
+
+			nd := r.dist[idx] + cost
+			if r.stamp[nIdx] == ep && nd >= r.dist[nIdx] {
+				continue
+			}
+			r.dist[nIdx] = nd
+			r.parent[nIdx] = it.cell
+			r.stamp[nIdx] = ep
+			heap.Push(&open, pqItem{cell: int32(nIdx), f: nd + h(nxt)})
+		}
+	}
+	if found < 0 {
+		return nil, fmt.Errorf("no path to target (hard=%v)", hard)
+	}
+	// Reconstruct.
+	var rev []geom.Point3
+	for at := found; at >= 0; at = r.parent[at] {
+		rev = append(rev, r.cellFromIndex(int(at)))
+		if r.parent[at] < 0 {
+			break
+		}
+	}
+	path := make([]geom.Point3, len(rev))
+	for i := range rev {
+		path[i] = rev[len(rev)-1-i]
+	}
+	return path, nil
+}
+
+var neighborDirs = []geom.Point3{
+	{X: 1}, {X: -1}, {Y: 1}, {Y: -1}, {Z: 1}, {Z: -1},
+}
+
+func (r *Router) cellFromIndex(idx int) geom.Point3 {
+	nx, ny := r.g.NX, r.g.NY
+	z := idx / (nx * ny)
+	rem := idx % (nx * ny)
+	return geom.Point3{X: rem % nx, Y: rem / nx, Z: z}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,133 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses: Pearson and Spearman correlation (model-quality validation),
+// geometric means (the Table-2 Average row), and simple summaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean; NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the population standard deviation.
+func Std(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// GeoMean returns the geometric mean of positive values; an error is
+// returned when any value is non-positive.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return math.NaN(), fmt.Errorf("stats: geomean of empty slice")
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: geomean requires positive values, got %g", x)
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs))), nil
+}
+
+// Pearson returns the linear correlation coefficient of two equal-length
+// samples (0 for degenerate inputs).
+func Pearson(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return 0
+	}
+	n := float64(len(a))
+	var sa, sb, saa, sbb, sab float64
+	for i := range a {
+		sa += a[i]
+		sb += b[i]
+		saa += a[i] * a[i]
+		sbb += b[i] * b[i]
+		sab += a[i] * b[i]
+	}
+	num := sab - sa*sb/n
+	den := math.Sqrt((saa - sa*sa/n) * (sbb - sb*sb/n))
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// ranks assigns average ranks (ties share the mean rank).
+func ranks(xs []float64) []float64 {
+	type iv struct {
+		i int
+		v float64
+	}
+	s := make([]iv, len(xs))
+	for i, v := range xs {
+		s[i] = iv{i, v}
+	}
+	sort.Slice(s, func(a, b int) bool { return s[a].v < s[b].v })
+	out := make([]float64, len(xs))
+	for i := 0; i < len(s); {
+		j := i
+		for j+1 < len(s) && s[j+1].v == s[i].v {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[s[k].i] = avg
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// Spearman returns the rank correlation coefficient — the measure that
+// matters for the relaxation, which only needs the model to *order*
+// guidance candidates correctly.
+func Spearman(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return 0
+	}
+	return Pearson(ranks(a), ranks(b))
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) by linear interpolation.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}

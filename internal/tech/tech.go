@@ -1,0 +1,237 @@
+// Package tech defines the simulated technology the AnalogFold reproduction
+// routes against.
+//
+// The paper evaluates under the TSMC 40 nm PDK, which is closed. This package
+// substitutes a self-consistent synthetic 40 nm-class back-end-of-line stack:
+// six routing metals with alternating preferred directions, width/spacing
+// rules at 40 nm-node magnitudes, and per-layer parasitic coefficients (sheet
+// resistance, area+fringe capacitance, lateral coupling capacitance). The
+// router, DRC, and extractor consume only these coefficients, so every
+// algorithm in the flow exercises the same code path as with a foundry deck.
+package tech
+
+import "fmt"
+
+// Direction is a routing layer's preferred direction.
+type Direction int
+
+// Preferred directions.
+const (
+	Horizontal Direction = iota
+	Vertical
+)
+
+func (d Direction) String() string {
+	if d == Vertical {
+		return "V"
+	}
+	return "H"
+}
+
+// Layer describes one routing metal.
+type Layer struct {
+	Name  string
+	Index int // 0-based routing layer index (0 = M1)
+	Dir   Direction
+
+	MinWidth   int // nm
+	MinSpacing int // nm
+	Pitch      int // nm, routing track pitch
+
+	// Parasitic coefficients.
+	SheetRes   float64 // ohm/square
+	CapPerNm   float64 // F per nm of wire length (area+fringe to ground)
+	CoupPerNm  float64 // F per nm of parallel run at minimum spacing
+	CoupDecay  float64 // spacing decay: C_coup = CoupPerNm * run * MinSpacing/sep
+	ThicknessR float64 // relative thickness factor (affects SheetRes scaling)
+}
+
+// Via describes the cut between layer Index and Index+1.
+type Via struct {
+	Index int     // lower layer index
+	Res   float64 // ohm per cut
+	Cap   float64 // F per cut to ground
+}
+
+// Tech is a complete routing technology.
+type Tech struct {
+	Name   string
+	Layers []Layer
+	Vias   []Via
+
+	// GridPitch is the uniform routing grid pitch in nm used by the global
+	// grid the detailed router searches. It equals the coarsest layer pitch so
+	// every layer's tracks align to the grid.
+	GridPitch int
+
+	// Temperature in kelvin for noise computations downstream.
+	TemperatureK float64
+}
+
+// NumLayers returns the number of routing layers.
+func (t *Tech) NumLayers() int { return len(t.Layers) }
+
+// Layer returns the layer with the given index.
+func (t *Tech) Layer(i int) (Layer, error) {
+	if i < 0 || i >= len(t.Layers) {
+		return Layer{}, fmt.Errorf("tech: layer index %d out of range [0,%d)", i, len(t.Layers))
+	}
+	return t.Layers[i], nil
+}
+
+// ViaBetween returns the via connecting layer i and i+1.
+func (t *Tech) ViaBetween(i int) (Via, error) {
+	if i < 0 || i >= len(t.Vias) {
+		return Via{}, fmt.Errorf("tech: via index %d out of range [0,%d)", i, len(t.Vias))
+	}
+	return t.Vias[i], nil
+}
+
+// WireRes returns the resistance in ohm of a wire of the given length on
+// layer i, assuming minimum width.
+func (t *Tech) WireRes(i, lengthNm int) float64 {
+	l := t.Layers[i]
+	if l.MinWidth == 0 {
+		return 0
+	}
+	squares := float64(lengthNm) / float64(l.MinWidth)
+	return l.SheetRes * squares
+}
+
+// WireCap returns the ground capacitance in farad of a wire of the given
+// length on layer i.
+func (t *Tech) WireCap(i, lengthNm int) float64 {
+	return t.Layers[i].CapPerNm * float64(lengthNm)
+}
+
+// CouplingCap returns the lateral coupling capacitance in farad between two
+// parallel wires on layer i with the given parallel run length and
+// center-to-center separation (both nm). Separations at or below the minimum
+// spacing + width use the full coefficient; wider separations decay as 1/sep.
+func (t *Tech) CouplingCap(i, runNm, sepNm int) float64 {
+	l := t.Layers[i]
+	if runNm <= 0 || sepNm <= 0 {
+		return 0
+	}
+	minSep := l.MinWidth + l.MinSpacing
+	c := l.CoupPerNm * float64(runNm)
+	if sepNm <= minSep {
+		return c
+	}
+	return c * l.CoupDecay * float64(minSep) / float64(sepNm)
+}
+
+// Validate checks internal consistency of the technology.
+func (t *Tech) Validate() error {
+	if len(t.Layers) == 0 {
+		return fmt.Errorf("tech %q: no layers", t.Name)
+	}
+	if len(t.Vias) != len(t.Layers)-1 {
+		return fmt.Errorf("tech %q: %d layers need %d vias, have %d",
+			t.Name, len(t.Layers), len(t.Layers)-1, len(t.Vias))
+	}
+	for i, l := range t.Layers {
+		if l.Index != i {
+			return fmt.Errorf("tech %q: layer %d has index %d", t.Name, i, l.Index)
+		}
+		if l.MinWidth <= 0 || l.MinSpacing <= 0 || l.Pitch <= 0 {
+			return fmt.Errorf("tech %q: layer %s has non-positive rule", t.Name, l.Name)
+		}
+		if l.Pitch < l.MinWidth+l.MinSpacing {
+			return fmt.Errorf("tech %q: layer %s pitch %d < width+spacing %d",
+				t.Name, l.Name, l.Pitch, l.MinWidth+l.MinSpacing)
+		}
+		if l.SheetRes <= 0 || l.CapPerNm <= 0 || l.CoupPerNm <= 0 {
+			return fmt.Errorf("tech %q: layer %s has non-positive parasitic coefficient", t.Name, l.Name)
+		}
+		if i > 0 && l.Dir == t.Layers[i-1].Dir {
+			return fmt.Errorf("tech %q: layers %d,%d share preferred direction", t.Name, i-1, i)
+		}
+	}
+	for i, v := range t.Vias {
+		if v.Index != i {
+			return fmt.Errorf("tech %q: via %d has index %d", t.Name, i, v.Index)
+		}
+		if v.Res <= 0 {
+			return fmt.Errorf("tech %q: via %d has non-positive resistance", t.Name, i)
+		}
+	}
+	if t.GridPitch <= 0 {
+		return fmt.Errorf("tech %q: non-positive grid pitch", t.Name)
+	}
+	return nil
+}
+
+// Sim40 returns the synthetic 40 nm-class technology used throughout the
+// reproduction. Geometry follows published 40/45 nm BEOL data (M1/M2 at
+// ~140 nm pitch, copper sheet resistance around 0.25 Ω/sq). The capacitance
+// coefficients are *effective* values (~1 fF/µm, several times the bare-wire
+// figure): they fold in via stacks, worst-case fringe and the surrounding
+// dense metal that a full PEX deck would count, so that routing choices load
+// the fF-scale analog nodes as strongly as the paper's Calibre-extracted
+// layouts do.
+func Sim40() *Tech {
+	mk := func(idx int, name string, dir Direction, w, s, pitch int, rs, c, cc float64) Layer {
+		return Layer{
+			Name: name, Index: idx, Dir: dir,
+			MinWidth: w, MinSpacing: s, Pitch: pitch,
+			SheetRes: rs, CapPerNm: c, CoupPerNm: cc,
+			CoupDecay: 0.85, ThicknessR: 1,
+		}
+	}
+	t := &Tech{
+		Name: "sim40",
+		Layers: []Layer{
+			// name dir  width spacing pitch sheetR  cap/nm     coup/nm
+			mk(0, "M1", Horizontal, 60, 60, 140, 0.38, 1.2e-18, 5.0e-19),
+			mk(1, "M2", Vertical, 60, 60, 140, 0.25, 1.2e-18, 5.5e-19),
+			mk(2, "M3", Horizontal, 60, 60, 140, 0.25, 1.1e-18, 5.5e-19),
+			mk(3, "M4", Vertical, 70, 70, 160, 0.21, 1.1e-18, 5.0e-19),
+			mk(4, "M5", Horizontal, 100, 100, 220, 0.12, 1.0e-18, 4.0e-19),
+			mk(5, "M6", Vertical, 100, 100, 220, 0.12, 1.0e-18, 4.0e-19),
+		},
+		Vias: []Via{
+			{Index: 0, Res: 4.5, Cap: 2.0e-17},
+			{Index: 1, Res: 4.0, Cap: 2.0e-17},
+			{Index: 2, Res: 3.5, Cap: 1.8e-17},
+			{Index: 3, Res: 3.0, Cap: 1.6e-17},
+			{Index: 4, Res: 1.5, Cap: 1.5e-17},
+		},
+		GridPitch:    140,
+		TemperatureK: 300,
+	}
+	return t
+}
+
+// Sim65 returns a coarser 65 nm-class technology: 5 metals at 200 nm pitch
+// with lower sheet resistance and lower per-length capacitance. Running the
+// flow under a second node demonstrates that every algorithm is
+// technology-independent (only this package encodes node constants).
+func Sim65() *Tech {
+	mk := func(idx int, name string, dir Direction, w, s, pitch int, rs, c, cc float64) Layer {
+		return Layer{
+			Name: name, Index: idx, Dir: dir,
+			MinWidth: w, MinSpacing: s, Pitch: pitch,
+			SheetRes: rs, CapPerNm: c, CoupPerNm: cc,
+			CoupDecay: 0.85, ThicknessR: 1,
+		}
+	}
+	return &Tech{
+		Name: "sim65",
+		Layers: []Layer{
+			mk(0, "M1", Horizontal, 90, 90, 200, 0.25, 9.0e-19, 4.0e-19),
+			mk(1, "M2", Vertical, 90, 90, 200, 0.18, 9.0e-19, 4.5e-19),
+			mk(2, "M3", Horizontal, 100, 100, 200, 0.18, 8.5e-19, 4.5e-19),
+			mk(3, "M4", Vertical, 100, 100, 220, 0.15, 8.0e-19, 4.0e-19),
+			mk(4, "M5", Horizontal, 140, 140, 300, 0.08, 7.5e-19, 3.5e-19),
+		},
+		Vias: []Via{
+			{Index: 0, Res: 3.5, Cap: 2.5e-17},
+			{Index: 1, Res: 3.0, Cap: 2.5e-17},
+			{Index: 2, Res: 2.5, Cap: 2.2e-17},
+			{Index: 3, Res: 1.2, Cap: 2.0e-17},
+		},
+		GridPitch:    200,
+		TemperatureK: 300,
+	}
+}

@@ -1,0 +1,153 @@
+package tech
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSim40Valid(t *testing.T) {
+	tk := Sim40()
+	if err := tk.Validate(); err != nil {
+		t.Fatalf("Sim40 invalid: %v", err)
+	}
+	if tk.NumLayers() != 6 {
+		t.Errorf("NumLayers = %d", tk.NumLayers())
+	}
+}
+
+func TestLayerAccess(t *testing.T) {
+	tk := Sim40()
+	l, err := tk.Layer(1)
+	if err != nil || l.Name != "M2" {
+		t.Errorf("Layer(1) = %v, %v", l, err)
+	}
+	if _, err := tk.Layer(-1); err == nil {
+		t.Errorf("Layer(-1) should fail")
+	}
+	if _, err := tk.Layer(99); err == nil {
+		t.Errorf("Layer(99) should fail")
+	}
+	v, err := tk.ViaBetween(0)
+	if err != nil || v.Res <= 0 {
+		t.Errorf("ViaBetween(0) = %v, %v", v, err)
+	}
+	if _, err := tk.ViaBetween(5); err == nil {
+		t.Errorf("ViaBetween(5) should fail with 6 layers")
+	}
+}
+
+func TestAlternatingDirections(t *testing.T) {
+	tk := Sim40()
+	for i := 1; i < tk.NumLayers(); i++ {
+		if tk.Layers[i].Dir == tk.Layers[i-1].Dir {
+			t.Errorf("layers %d and %d share direction %v", i-1, i, tk.Layers[i].Dir)
+		}
+	}
+}
+
+func TestWireRes(t *testing.T) {
+	tk := Sim40()
+	// 1 µm of M2 at 60 nm width: 1000/60 squares * 0.25 ohm/sq.
+	got := tk.WireRes(1, 1000)
+	want := 1000.0 / 60.0 * 0.25
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("WireRes = %g, want %g", got, want)
+	}
+	// Resistance scales linearly with length.
+	if r2 := tk.WireRes(1, 2000); math.Abs(r2-2*got) > 1e-9 {
+		t.Errorf("WireRes not linear: %g vs 2*%g", r2, got)
+	}
+}
+
+func TestWireCapMagnitude(t *testing.T) {
+	tk := Sim40()
+	// Effective ~1.2 fF/µm: 1 µm of M1 should be around 1.2e-15 F.
+	c := tk.WireCap(0, 1000)
+	if c < 5e-16 || c > 3e-15 {
+		t.Errorf("WireCap(1µm M1) = %g F, outside 40nm-class range", c)
+	}
+}
+
+func TestCouplingCap(t *testing.T) {
+	tk := Sim40()
+	l := tk.Layers[1]
+	minSep := l.MinWidth + l.MinSpacing
+	cMin := tk.CouplingCap(1, 1000, minSep)
+	cFar := tk.CouplingCap(1, 1000, 4*minSep)
+	if cMin <= 0 {
+		t.Fatalf("coupling at min spacing must be positive")
+	}
+	if cFar >= cMin {
+		t.Errorf("coupling must decay with separation: near %g far %g", cMin, cFar)
+	}
+	if tk.CouplingCap(1, 0, minSep) != 0 {
+		t.Errorf("zero run must have zero coupling")
+	}
+	if tk.CouplingCap(1, 1000, 0) != 0 {
+		t.Errorf("zero separation is degenerate, must return 0")
+	}
+	// Monotone decay.
+	prev := math.Inf(1)
+	for sep := minSep; sep < 10*minSep; sep += minSep {
+		c := tk.CouplingCap(1, 1000, sep)
+		if c > prev {
+			t.Fatalf("coupling not monotone at sep=%d: %g > %g", sep, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	bad := Sim40()
+	bad.Layers[2].Dir = bad.Layers[1].Dir
+	if err := bad.Validate(); err == nil {
+		t.Errorf("Validate should reject same-direction adjacent layers")
+	}
+
+	bad2 := Sim40()
+	bad2.Layers[0].Pitch = 10
+	if err := bad2.Validate(); err == nil {
+		t.Errorf("Validate should reject pitch < width+spacing")
+	}
+
+	bad3 := Sim40()
+	bad3.Vias = bad3.Vias[:3]
+	if err := bad3.Validate(); err == nil {
+		t.Errorf("Validate should reject wrong via count")
+	}
+
+	bad4 := Sim40()
+	bad4.GridPitch = 0
+	if err := bad4.Validate(); err == nil {
+		t.Errorf("Validate should reject zero grid pitch")
+	}
+
+	bad5 := Sim40()
+	bad5.Layers[3].SheetRes = 0
+	if err := bad5.Validate(); err == nil {
+		t.Errorf("Validate should reject zero sheet resistance")
+	}
+
+	empty := &Tech{Name: "empty"}
+	if err := empty.Validate(); err == nil {
+		t.Errorf("Validate should reject empty tech")
+	}
+}
+
+func TestSim65Valid(t *testing.T) {
+	tk := Sim65()
+	if err := tk.Validate(); err != nil {
+		t.Fatalf("Sim65 invalid: %v", err)
+	}
+	if tk.NumLayers() != 5 || tk.GridPitch != 200 {
+		t.Errorf("Sim65 geometry wrong: %d layers, pitch %d", tk.NumLayers(), tk.GridPitch)
+	}
+	// Coarser node: lower capacitance per length, lower sheet resistance.
+	s40 := Sim40()
+	if tk.Layers[0].CapPerNm >= s40.Layers[0].CapPerNm {
+		t.Errorf("65nm cap/nm should be below 40nm effective value")
+	}
+	if tk.Layers[1].SheetRes >= s40.Layers[1].SheetRes {
+		t.Errorf("65nm sheet resistance should be below 40nm")
+	}
+}

@@ -1,0 +1,249 @@
+// Package vae reimplements the GeniusRoute baseline [11]: a variational
+// autoencoder that imitates existing routing patterns and emits a *uniform
+// 2D* guidance map — exactly the paradigm the paper argues against (no
+// explicit performance term, resolution-limited, biased toward the training
+// corpus).
+//
+// The original trains on manually routed layouts, which are proprietary. The
+// reproduction substitutes a corpus of rasterized wire-density maps from
+// automatically routed sibling placements: like the original, the model
+// learns "where wires usually go" with no notion of post-layout performance,
+// reproducing the baseline's characteristic failure mode. Decoded maps are
+// converted to per-net guidance vectors by comparing predicted wire density
+// in the horizontal and vertical corridors around each net's pins.
+package vae
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"analogfold/internal/ad"
+	"analogfold/internal/grid"
+	"analogfold/internal/guidance"
+	"analogfold/internal/nn"
+	"analogfold/internal/optim"
+	"analogfold/internal/route"
+	"analogfold/internal/tensor"
+)
+
+// MapSize is the side of the rasterized density maps (MapSize × MapSize).
+const MapSize = 16
+
+// Model is the pin-map → wire-map VAE.
+type Model struct {
+	enc    *nn.MLP // pin map -> hidden
+	muHead *nn.Linear
+	lvHead *nn.Linear
+	dec    *nn.MLP // latent -> wire map
+	Latent int
+}
+
+// New builds an untrained model.
+func New(latent int, seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	in := MapSize * MapSize
+	hidden := 64
+	m := &Model{Latent: latent}
+	m.enc = nn.NewMLP(rng, in, hidden)
+	m.muHead = nn.NewLinear(hidden, latent, rng)
+	m.lvHead = nn.NewLinear(hidden, latent, rng)
+	m.dec = nn.NewMLP(rng, latent, hidden, in)
+	return m
+}
+
+// Params returns all trainable parameters.
+func (m *Model) Params() []*ad.Var {
+	var ps []*ad.Var
+	ps = append(ps, m.enc.Params()...)
+	ps = append(ps, m.muHead.Params()...)
+	ps = append(ps, m.lvHead.Params()...)
+	ps = append(ps, m.dec.Params()...)
+	return ps
+}
+
+// RasterizePins renders the placement's pin density into a MapSize² map in
+// [0, 1] — the conditioning input.
+func RasterizePins(g *grid.Grid) *tensor.Tensor {
+	t := tensor.New(1, MapSize*MapSize)
+	for _, ap := range g.APs {
+		x := ap.Cell.X * MapSize / g.NX
+		y := ap.Cell.Y * MapSize / g.NY
+		t.Data[cellIdx(x, y)]++
+	}
+	normalize(t)
+	return t
+}
+
+// RasterizeWires renders a routed solution's wire density — the training
+// target ("what good routing looks like").
+func RasterizeWires(g *grid.Grid, res *route.Result) *tensor.Tensor {
+	t := tensor.New(1, MapSize*MapSize)
+	for _, cells := range res.NetCells {
+		for _, c := range cells {
+			x := c.X * MapSize / g.NX
+			y := c.Y * MapSize / g.NY
+			t.Data[cellIdx(x, y)]++
+		}
+	}
+	normalize(t)
+	return t
+}
+
+func cellIdx(x, y int) int {
+	if x < 0 {
+		x = 0
+	}
+	if y < 0 {
+		y = 0
+	}
+	if x >= MapSize {
+		x = MapSize - 1
+	}
+	if y >= MapSize {
+		y = MapSize - 1
+	}
+	return y*MapSize + x
+}
+
+func normalize(t *tensor.Tensor) {
+	m := t.MaxAbs()
+	if m == 0 {
+		return
+	}
+	for i := range t.Data {
+		t.Data[i] /= m
+	}
+}
+
+// forward runs encode → reparameterize → decode and returns recon, mu, logvar.
+func (m *Model) forward(x *ad.Var, eps *tensor.Tensor) (recon, mu, lv *ad.Var) {
+	h := ad.SiLU(m.enc.Forward(x))
+	mu = m.muHead.Forward(h)
+	lv = m.lvHead.Forward(h)
+	// z = mu + exp(lv/2) ⊙ eps.
+	std := expHalf(lv)
+	z := ad.Add(mu, ad.Mul(std, ad.Const(eps)))
+	recon = m.dec.Forward(z)
+	return recon, mu, lv
+}
+
+// expHalf computes exp(x/2), the standard-deviation map of the
+// reparameterization trick.
+func expHalf(x *ad.Var) *ad.Var {
+	return ad.Exp(ad.Scale(x, 0.5))
+}
+
+// TrainConfig controls VAE training.
+type TrainConfig struct {
+	Epochs int
+	LR     float64
+	Beta   float64 // KL weight
+	Seed   int64
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Epochs == 0 {
+		c.Epochs = 60
+	}
+	if c.LR == 0 {
+		c.LR = 2e-3
+	}
+	if c.Beta == 0 {
+		c.Beta = 1e-3
+	}
+	return c
+}
+
+// Pair is one training example: a pin map and the wire map of its routing.
+type Pair struct {
+	Pins  *tensor.Tensor
+	Wires *tensor.Tensor
+}
+
+// Fit trains the VAE on (pin map → wire map) pairs with the standard ELBO:
+// reconstruction MSE + β·KL(q(z|x) ‖ N(0, I)).
+func (m *Model) Fit(pairs []Pair, cfg TrainConfig) ([]float64, error) {
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("vae: empty corpus")
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	opt := optim.NewAdam(m.Params(), cfg.LR)
+	var losses []float64
+	for ep := 0; ep < cfg.Epochs; ep++ {
+		sum := 0.0
+		for _, p := range pairs {
+			opt.ZeroGrad()
+			eps := tensor.New(1, m.Latent).Randn(rng, 1)
+			recon, mu, lv := m.forward(ad.Const(p.Pins), eps)
+			rec := ad.MSE(recon, ad.Const(p.Wires))
+			// KL = -0.5 Σ (1 + lv - mu² - e^lv); e^lv = (e^(lv/2))².
+			eLv := ad.Square(expHalf(lv))
+			kl := ad.Scale(ad.Sum(ad.Sub(ad.Add(ad.AddConst(lv, 1), ad.Scale(ad.Square(mu), -1)), eLv)), -0.5)
+			loss := ad.Add(rec, ad.Scale(kl, cfg.Beta))
+			sum += loss.Value.Data[0]
+			if err := ad.Backward(loss); err != nil {
+				return nil, err
+			}
+			opt.Step()
+		}
+		losses = append(losses, sum/float64(len(pairs)))
+	}
+	return losses, nil
+}
+
+// PredictMap decodes the wire-density map for a placement (posterior mean,
+// no sampling — inference mode).
+func (m *Model) PredictMap(g *grid.Grid) *tensor.Tensor {
+	x := ad.Const(RasterizePins(g))
+	h := ad.SiLU(m.enc.Forward(x))
+	mu := m.muHead.Forward(h)
+	out := m.dec.Forward(mu)
+	t := out.Value.Clone()
+	for i, v := range t.Data {
+		t.Data[i] = math.Max(0, math.Min(1, v))
+	}
+	return t
+}
+
+// GuidanceFromMap converts a decoded wire map into per-net guidance: for each
+// net, the predicted density in the horizontal corridor through its pin
+// centroid is compared against the vertical corridor; the denser corridor
+// gets the cheaper cost. This is how a uniform 2D map can steer the
+// guidance-vector router — and it carries the baseline's biases with it.
+func (m *Model) GuidanceFromMap(g *grid.Grid, wireMap *tensor.Tensor) guidance.Set {
+	c := g.Place.Circuit
+	gd := guidance.Uniform(len(c.Nets))
+	for ni := range c.Nets {
+		aps := g.NetAPs[ni]
+		if len(aps) == 0 {
+			continue
+		}
+		// Pin centroid in map coordinates.
+		cx, cy := 0, 0
+		for _, id := range aps {
+			cx += g.APs[id].Cell.X * MapSize / g.NX
+			cy += g.APs[id].Cell.Y * MapSize / g.NY
+		}
+		cx /= len(aps)
+		cy /= len(aps)
+		var hDen, vDen float64
+		for k := 0; k < MapSize; k++ {
+			hDen += wireMap.Data[cellIdx(k, cy)]
+			vDen += wireMap.Data[cellIdx(cx, k)]
+		}
+		total := hDen + vDen
+		if total < 1e-9 {
+			continue
+		}
+		// Map densities to costs in (0.4, 1.6): denser corridor → cheaper.
+		hFrac := hDen / total
+		gd.PerNet[ni] = guidance.Vec{
+			1.6 - 1.2*hFrac,     // x cost low when horizontal corridor dense
+			1.6 - 1.2*(1-hFrac), // y cost low when vertical corridor dense
+			1.0,                 // the 2D baseline cannot reason about layers
+		}
+	}
+	return gd.Clamp(0.05)
+}

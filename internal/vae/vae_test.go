@@ -1,0 +1,117 @@
+package vae
+
+import (
+	"math"
+	"testing"
+
+	"analogfold/internal/grid"
+	"analogfold/internal/guidance"
+	"analogfold/internal/netlist"
+	"analogfold/internal/place"
+	"analogfold/internal/route"
+	"analogfold/internal/tech"
+)
+
+func routedGrid(t testing.TB, c *netlist.Circuit, seed int64) (*grid.Grid, *route.Result) {
+	t.Helper()
+	p, err := place.Place(c, place.Config{Profile: place.ProfileA, Seed: seed, Iterations: 1500})
+	if err != nil {
+		t.Fatalf("place: %v", err)
+	}
+	g, err := grid.Build(p, tech.Sim40())
+	if err != nil {
+		t.Fatalf("grid: %v", err)
+	}
+	res, err := route.Route(g, guidance.Uniform(len(c.Nets)), route.Config{})
+	if err != nil {
+		t.Fatalf("route: %v", err)
+	}
+	return g, res
+}
+
+func TestRasterize(t *testing.T) {
+	g, res := routedGrid(t, netlist.OTA1(), 1)
+	pins := RasterizePins(g)
+	wires := RasterizeWires(g, res)
+	if pins.Len() != MapSize*MapSize || wires.Len() != MapSize*MapSize {
+		t.Fatalf("map sizes %d %d", pins.Len(), wires.Len())
+	}
+	checkRange := func(name string, m []float64) {
+		t.Helper()
+		mx := 0.0
+		for _, v := range m {
+			if v < 0 || v > 1 {
+				t.Fatalf("%s value %g out of [0,1]", name, v)
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		if mx != 1 {
+			t.Errorf("%s max = %g, want normalized to 1", name, mx)
+		}
+	}
+	checkRange("pins", pins.Data)
+	checkRange("wires", wires.Data)
+}
+
+func TestFitReducesLoss(t *testing.T) {
+	g, res := routedGrid(t, netlist.OTA1(), 2)
+	g2, res2 := routedGrid(t, netlist.OTA1(), 3)
+	pairs := []Pair{
+		{Pins: RasterizePins(g), Wires: RasterizeWires(g, res)},
+		{Pins: RasterizePins(g2), Wires: RasterizeWires(g2, res2)},
+	}
+	m := New(8, 1)
+	losses, err := m.Fit(pairs, TrainConfig{Epochs: 40, LR: 2e-3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if losses[len(losses)-1] > losses[0]*0.8 {
+		t.Errorf("VAE loss did not drop: %g -> %g", losses[0], losses[len(losses)-1])
+	}
+	for _, l := range losses {
+		if math.IsNaN(l) {
+			t.Fatalf("NaN loss")
+		}
+	}
+}
+
+func TestFitRejectsEmpty(t *testing.T) {
+	m := New(4, 1)
+	if _, err := m.Fit(nil, TrainConfig{}); err == nil {
+		t.Errorf("empty corpus must be rejected")
+	}
+}
+
+func TestPredictAndGuidance(t *testing.T) {
+	g, res := routedGrid(t, netlist.OTA2(), 4)
+	m := New(8, 2)
+	pairs := []Pair{{Pins: RasterizePins(g), Wires: RasterizeWires(g, res)}}
+	if _, err := m.Fit(pairs, TrainConfig{Epochs: 10}); err != nil {
+		t.Fatal(err)
+	}
+	wm := m.PredictMap(g)
+	for _, v := range wm.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("decoded map value %g out of range", v)
+		}
+	}
+	gd := m.GuidanceFromMap(g, wm)
+	if len(gd.PerNet) != len(g.Place.Circuit.Nets) {
+		t.Fatalf("guidance size %d", len(gd.PerNet))
+	}
+	if err := gd.Validate(); err != nil {
+		t.Fatalf("guidance infeasible: %v", err)
+	}
+	// The 2D baseline cannot express layer preferences.
+	for _, v := range gd.PerNet {
+		if v[2] != 1 {
+			t.Errorf("z guidance must stay neutral for the 2D baseline, got %g", v[2])
+		}
+	}
+	// Routed guidance must still produce a legal solution.
+	if _, err := route.Route(g, gd, route.Config{}); err != nil {
+		t.Fatalf("VAE guidance broke routing: %v", err)
+	}
+}
