@@ -1,0 +1,30 @@
+# AnalogFold build/test entry points. `make ci` mirrors scripts/ci.sh.
+
+GO ?= go
+
+.PHONY: build test vet race bench bench-parallel ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the packages that execute work concurrently under the race
+# detector with short settings; the full suite under -race is much slower.
+race:
+	$(GO) test -race ./internal/parallel/ ./internal/relax/ ./internal/circuit/ ./internal/gnn3d/ ./internal/dataset/
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# bench-parallel measures the serial-vs-parallel wall time of the
+# parallelized phases and writes BENCH_parallel.json.
+bench-parallel:
+	$(GO) test -run NONE -bench BenchmarkParallelSpeedup -benchtime 1x .
+
+ci:
+	./scripts/ci.sh

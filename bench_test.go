@@ -10,7 +10,12 @@
 package analogfold_bench
 
 import (
+	"encoding/json"
+	"math"
+	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"analogfold/internal/circuit"
 	"analogfold/internal/core"
@@ -247,6 +252,120 @@ func BenchmarkDatasetSample(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := dataset.Label(g, gd, route.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// parallelPhase is one row of the BENCH_parallel.json report.
+type parallelPhase struct {
+	Phase      string  `json:"phase"`
+	SerialMs   float64 `json:"serial_ms"`
+	ParallelMs float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// parallelReport is the machine-readable output of BenchmarkParallelSpeedup.
+type parallelReport struct {
+	GoMaxProcs int             `json:"gomaxprocs"`
+	NumCPU     int             `json:"numcpu"`
+	Workers    int             `json:"workers"`
+	Phases     []parallelPhase `json:"phases"`
+}
+
+// BenchmarkParallelSpeedup measures serial (Workers=1) versus parallel
+// (Workers=GOMAXPROCS) wall time of the four parallelized phases —
+// relaxation, Monte Carlo, dataset generation, and minibatch training — and
+// writes BENCH_parallel.json next to the benchmark. The speedup metric is
+// the geometric mean across phases; on a single-core host it reports ~1×,
+// and the ≥2× acceptance target applies at GOMAXPROCS ≥ 4. Results are
+// bit-identical across worker counts (see the *WorkerCountInvariant tests),
+// so only wall time changes.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	g := builtGrid(b, netlist.OTA1())
+	hg, err := hetgraph.Build(g, hetgraph.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := gnn3d.New(gnn3d.Config{Seed: 1, Hidden: 16, Layers: 2, RBFBins: 8})
+	res, err := route.Route(g, guidance.Uniform(len(g.Place.Circuit.Nets)), route.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := circuit.NewSimulator(g.Place.Circuit, extract.Extract(g, res))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := dataset.Generate(g, dataset.Config{Samples: 8, Seed: 1, IncludeUniform: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	phases := []struct {
+		name string
+		run  func(w int) error
+	}{
+		{"relaxation", func(w int) error {
+			_, err := relax.Optimize(m, hg, relax.Config{Restarts: 8, MaxIter: 10, Seed: 1, Workers: w})
+			return err
+		}},
+		{"montecarlo", func(w int) error {
+			_, err := sim.MonteCarloOffsetWorkers(4000, 1, w)
+			return err
+		}},
+		{"dataset", func(w int) error {
+			_, err := dataset.Generate(g, dataset.Config{Samples: 8, Seed: 1, Workers: w, IncludeUniform: true})
+			return err
+		}},
+		{"train", func(w int) error {
+			mm := gnn3d.New(gnn3d.Config{Seed: 1, Hidden: 16, Layers: 2, RBFBins: 8})
+			_, err := mm.Fit(hg, ds.Samples(), gnn3d.TrainConfig{Epochs: 3, Seed: 1, BatchSize: 4, Workers: w})
+			return err
+		}},
+	}
+
+	measure := func(run func(int) error, w int) time.Duration {
+		t0 := time.Now()
+		if err := run(w); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+
+	rep := parallelReport{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Workers: workers}
+	logSum := 0.0
+	for _, p := range phases {
+		p.run(workers) // warm caches so neither arm pays first-touch costs
+		serial := measure(p.run, 1)
+		par := measure(p.run, workers)
+		sp := serial.Seconds() / par.Seconds()
+		rep.Phases = append(rep.Phases, parallelPhase{
+			Phase:      p.name,
+			SerialMs:   float64(serial.Microseconds()) / 1e3,
+			ParallelMs: float64(par.Microseconds()) / 1e3,
+			Speedup:    sp,
+		})
+		logSum += math.Log(sp)
+		b.Logf("%-12s serial %8.1fms  parallel(%d) %8.1fms  speedup %.2fx",
+			p.name, serial.Seconds()*1e3, workers, par.Seconds()*1e3, sp)
+	}
+	geo := math.Exp(logSum / float64(len(phases)))
+	b.ReportMetric(geo, "speedup")
+	b.ReportMetric(float64(workers), "workers")
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_parallel.json", append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Log("wrote BENCH_parallel.json")
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := phases[0].run(workers); err != nil {
 			b.Fatal(err)
 		}
 	}

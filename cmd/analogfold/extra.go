@@ -22,9 +22,14 @@ func cmdAblate(args []string) error {
 	fs := flag.NewFlagSet("ablate", flag.ExitOnError)
 	bench := fs.String("bench", "OTA1-A", "benchmark")
 	opts := optionsFlags(fs)
+	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := prof.start(); err != nil {
+		return err
+	}
+	defer prof.stop()
 	c, p, err := parseBench(*bench)
 	if err != nil {
 		return err
@@ -146,9 +151,15 @@ func cmdMC(args []string) error {
 	bench := fs.String("bench", "OTA1-A", "benchmark")
 	n := fs.Int("n", 1000, "Monte Carlo samples")
 	seed := fs.Int64("seed", 1, "seed")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	pr := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := pr.start(); err != nil {
+		return err
+	}
+	defer pr.stop()
 	c, prof, err := parseBench(*bench)
 	if err != nil {
 		return err
@@ -169,7 +180,7 @@ func cmdMC(args []string) error {
 	if err != nil {
 		return err
 	}
-	mc, err := s.MonteCarloOffset(*n, *seed)
+	mc, err := s.MonteCarloOffsetWorkers(*n, *seed, *workers)
 	if err != nil {
 		return err
 	}

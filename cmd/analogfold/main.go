@@ -118,11 +118,12 @@ func optionsFlags(fs *flag.FlagSet) func() core.Options {
 	epochs := fs.Int("epochs", 30, "3DGNN training epochs")
 	restarts := fs.Int("restarts", 10, "relaxation restarts")
 	seed := fs.Int64("seed", 1, "experiment seed")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS); results are identical for any value")
 	quick := fs.Bool("quick", false, "small fast settings for smoke runs")
 	return func() core.Options {
 		o := core.Options{
 			Samples: *samples, TrainEpochs: *epochs,
-			RelaxRestarts: *restarts, Seed: *seed,
+			RelaxRestarts: *restarts, Seed: *seed, Workers: *workers,
 		}
 		if *quick {
 			o.Samples, o.TrainEpochs, o.RelaxRestarts = 12, 8, 4
@@ -149,9 +150,14 @@ func cmdTable2(args []string) error {
 	bench := fs.String("bench", "", "single benchmark (e.g. OTA1-A); empty = all ten")
 	jsonOut := fs.String("json", "", "also write a machine-readable report to this path")
 	opts := optionsFlags(fs)
+	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := prof.start(); err != nil {
+		return err
+	}
+	defer prof.stop()
 
 	var rows []*core.Row
 	run := func(c *netlist.Circuit, p place.Profile) error {
@@ -197,9 +203,14 @@ func cmdFig5(args []string) error {
 	fs := flag.NewFlagSet("fig5", flag.ExitOnError)
 	bench := fs.String("bench", "OTA1-A", "benchmark")
 	opts := optionsFlags(fs)
+	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := prof.start(); err != nil {
+		return err
+	}
+	defer prof.stop()
 	c, p, err := parseBench(*bench)
 	if err != nil {
 		return err
@@ -330,9 +341,15 @@ func cmdDataset(args []string) error {
 	n := fs.Int("n", 48, "number of samples")
 	out := fs.String("out", "dataset.json", "output file")
 	seed := fs.Int64("seed", 1, "seed")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	pr := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := pr.start(); err != nil {
+		return err
+	}
+	defer pr.stop()
 	c, prof, err := parseBench(*bench)
 	if err != nil {
 		return err
@@ -345,7 +362,7 @@ func cmdDataset(args []string) error {
 	if err != nil {
 		return err
 	}
-	ds, err := dataset.Generate(g, dataset.Config{Samples: *n, Seed: *seed, IncludeUniform: true})
+	ds, err := dataset.Generate(g, dataset.Config{Samples: *n, Seed: *seed, Workers: *workers, IncludeUniform: true})
 	if err != nil {
 		return err
 	}

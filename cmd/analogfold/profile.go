@@ -1,0 +1,83 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// profiler holds the -cpuprofile/-memprofile/-trace flag values for one
+// subcommand and the files opened while profiling is active.
+type profiler struct {
+	cpu, mem, trc *string
+	cpuFile       *os.File
+	trcFile       *os.File
+}
+
+// profileFlags registers the profiling flags on a subcommand's FlagSet.
+// Call start after fs.Parse and defer the returned stop.
+func profileFlags(fs *flag.FlagSet) *profiler {
+	p := &profiler{}
+	p.cpu = fs.String("cpuprofile", "", "write a CPU profile to this file")
+	p.mem = fs.String("memprofile", "", "write a heap profile to this file on exit")
+	p.trc = fs.String("trace", "", "write a runtime execution trace to this file")
+	return p
+}
+
+// start begins CPU profiling and execution tracing if requested.
+func (p *profiler) start() error {
+	if *p.cpu != "" {
+		f, err := os.Create(*p.cpu)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	if *p.trc != "" {
+		f, err := os.Create(*p.trc)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return fmt.Errorf("trace: %w", err)
+		}
+		p.trcFile = f
+	}
+	return nil
+}
+
+// stop flushes every active profile. Safe to call when nothing was enabled.
+func (p *profiler) stop() {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		p.cpuFile.Close()
+		fmt.Fprintln(os.Stderr, "wrote CPU profile to", *p.cpu)
+	}
+	if p.trcFile != nil {
+		trace.Stop()
+		p.trcFile.Close()
+		fmt.Fprintln(os.Stderr, "wrote execution trace to", *p.trc)
+	}
+	if *p.mem != "" {
+		f, err := os.Create(*p.mem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows live objects
+		if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			return
+		}
+		fmt.Fprintln(os.Stderr, "wrote heap profile to", *p.mem)
+	}
+}

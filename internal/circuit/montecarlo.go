@@ -1,11 +1,14 @@
 package circuit
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/cmplx"
 	"math/rand"
 	"sort"
+
+	"analogfold/internal/parallel"
 )
 
 // MCResult summarizes a Monte Carlo offset analysis.
@@ -25,6 +28,14 @@ type MCResult struct {
 // transimpedances. This is the 3σ-style analysis an analog sign-off flow
 // runs on the extracted netlist.
 func (s *Simulator) MonteCarloOffset(n int, seed int64) (*MCResult, error) {
+	return s.MonteCarloOffsetWorkers(n, seed, 0)
+}
+
+// MonteCarloOffsetWorkers is MonteCarloOffset with an explicit worker bound
+// (0 → GOMAXPROCS). Every sample draws from a private RNG derived from
+// (seed, sampleIndex) and the summary statistics are reduced in sample order,
+// so the result depends only on (n, seed) — never on the worker count.
+func (s *Simulator) MonteCarloOffsetWorkers(n int, seed int64, workers int) (*MCResult, error) {
 	if s.par == nil {
 		return nil, fmt.Errorf("circuit: Monte Carlo offset requires parasitics")
 	}
@@ -80,15 +91,21 @@ func (s *Simulator) MonteCarloOffset(n int, seed int64) (*MCResult, error) {
 	// directly to the input.
 	intrinsicV := gmMismatch * s.inputPairVov() / 2
 
-	rng := rand.New(rand.NewSource(seed))
+	// Fan the draws out: each sample's Gaussians come from its own
+	// splitmix-derived stream, so sample i is the same number no matter which
+	// worker computes it.
 	offsets := make([]float64, n)
-	sumAbs, sum, sumSq := 0.0, 0.0, 0.0
-	for i := 0; i < n; i++ {
+	_ = parallel.ForEach(context.Background(), workers, n, func(i int) error {
+		rng := rand.New(rand.NewSource(parallel.SeedFor(seed, i)))
 		v := rng.NormFloat64() * intrinsicV
 		for _, c := range contribs {
 			v += rng.NormFloat64() * c.sigmaI * c.z / admDC
 		}
 		offsets[i] = v * 1e6
+		return nil
+	})
+	sumAbs, sum, sumSq := 0.0, 0.0, 0.0
+	for i := 0; i < n; i++ {
 		sumAbs += math.Abs(offsets[i])
 		sum += offsets[i]
 		sumSq += offsets[i] * offsets[i]

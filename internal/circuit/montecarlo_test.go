@@ -65,6 +65,28 @@ func TestMonteCarloDeterministicSeed(t *testing.T) {
 	}
 }
 
+func TestMonteCarloWorkerCountInvariant(t *testing.T) {
+	// Per-sample RNG streams + in-order reduction: the worker count must not
+	// change any summary statistic.
+	c := netlist.OTA1()
+	par := routedParasitics(t, c, 63)
+	s, err := NewSimulator(c, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.MonteCarloOffsetWorkers(300, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.MonteCarloOffsetWorkers(300, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Errorf("worker count changed MC result:\n1: %+v\n8: %+v", a, b)
+	}
+}
+
 func TestMonteCarloRequiresParasitics(t *testing.T) {
 	s, err := NewSimulator(netlist.OTA1(), nil)
 	if err != nil {

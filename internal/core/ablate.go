@@ -71,7 +71,10 @@ func (f *Flow) RunAblation() (*AblationResult, error) {
 				gcfg = v.gcfg(gcfg)
 			}
 			model = gnn3d.New(gcfg)
-			rep, err := model.Fit(hg, ds.Samples(), gnn3d.TrainConfig{Epochs: o.TrainEpochs, Seed: o.Seed})
+			rep, err := model.Fit(hg, ds.Samples(), gnn3d.TrainConfig{
+				Epochs: o.TrainEpochs, Seed: o.Seed,
+				BatchSize: o.TrainBatch, Workers: o.Workers,
+			})
 			if err != nil {
 				return nil, fmt.Errorf("core: ablation %s: %w", v.name, err)
 			}
@@ -80,7 +83,7 @@ func (f *Flow) RunAblation() (*AblationResult, error) {
 				fullModel = model
 			}
 		}
-		rcfg := relax.Config{Restarts: o.RelaxRestarts, NDerive: 1, Seed: o.Seed}
+		rcfg := relax.Config{Restarts: o.RelaxRestarts, NDerive: 1, Seed: o.Seed, Workers: o.Workers}
 		if v.rcfg != nil {
 			rcfg = v.rcfg(rcfg)
 		}

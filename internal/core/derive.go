@@ -31,11 +31,14 @@ func (f *Flow) DeriveGuidance() (guidance.Set, error) {
 	gcfg := o.GNN
 	gcfg.Seed = o.Seed
 	model := gnn3d.New(gcfg)
-	if _, err := model.Fit(hg, ds.Samples(), gnn3d.TrainConfig{Epochs: o.TrainEpochs, Seed: o.Seed}); err != nil {
+	if _, err := model.Fit(hg, ds.Samples(), gnn3d.TrainConfig{
+		Epochs: o.TrainEpochs, Seed: o.Seed,
+		BatchSize: o.TrainBatch, Workers: o.Workers,
+	}); err != nil {
 		return guidance.Set{}, fmt.Errorf("core: derive: %w", err)
 	}
 	rres, err := relax.Optimize(model, hg, relax.Config{
-		Restarts: o.RelaxRestarts, NDerive: 1, Seed: o.Seed,
+		Restarts: o.RelaxRestarts, NDerive: 1, Seed: o.Seed, Workers: o.Workers,
 	})
 	if err != nil {
 		return guidance.Set{}, fmt.Errorf("core: derive: %w", err)

@@ -8,7 +8,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"time"
 
 	"analogfold/internal/circuit"
@@ -19,6 +21,7 @@ import (
 	"analogfold/internal/guidance"
 	"analogfold/internal/hetgraph"
 	"analogfold/internal/netlist"
+	"analogfold/internal/parallel"
 	"analogfold/internal/place"
 	"analogfold/internal/relax"
 	"analogfold/internal/route"
@@ -45,13 +48,20 @@ type Options struct {
 	TrainEpochs   int
 	RelaxRestarts int
 	NDerive       int
-	Workers       int
-	Seed          int64
-	PlaceIters    int
-	GNN           gnn3d.Config
-	RouteCfg      route.Config
-	VAECorpus     int // sibling placements for the GeniusRoute corpus
-	VAEEpochs     int
+	// Workers bounds every parallel fan-out of the flow: dataset labeling,
+	// minibatch gradients, relaxation restarts, candidate routing and the
+	// per-method benchmark evaluation (0 → GOMAXPROCS). All paths are
+	// deterministic in the worker count.
+	Workers int
+	// TrainBatch is the 3DGNN minibatch size; per-sample gradients within a
+	// batch are computed in parallel (default 4).
+	TrainBatch int
+	Seed       int64
+	PlaceIters int
+	GNN        gnn3d.Config
+	RouteCfg   route.Config
+	VAECorpus  int // sibling placements for the GeniusRoute corpus
+	VAEEpochs  int
 }
 
 func (o Options) withDefaults() Options {
@@ -76,7 +86,17 @@ func (o Options) withDefaults() Options {
 	if o.VAEEpochs == 0 {
 		o.VAEEpochs = 40
 	}
+	if o.TrainBatch == 0 {
+		o.TrainBatch = 4
+	}
 	return o
+}
+
+// withPhase tags everything fn runs (including goroutines it spawns) with a
+// pprof "phase" label, so -cpuprofile output attributes samples to the
+// Figure-5 stages instead of one undifferentiated flow.
+func withPhase(phase string, fn func()) {
+	pprof.Do(context.Background(), pprof.Labels("phase", phase), func(context.Context) { fn() })
 }
 
 // StageTimes records the Figure-5 runtime breakdown.
@@ -145,8 +165,22 @@ func (f *Flow) Schematic() (circuit.Metrics, error) {
 
 // evaluateRouted extracts and simulates one routed solution.
 func (f *Flow) evaluateRouted(res *route.Result) (circuit.Metrics, error) {
-	par := extract.Extract(f.Grid, res)
+	return f.evaluateRoutedOn(f.Grid, res)
+}
+
+// evaluateRoutedOn is evaluateRouted against an explicit (possibly cloned)
+// grid, for concurrent candidate evaluation.
+func (f *Flow) evaluateRoutedOn(g *grid.Grid, res *route.Result) (circuit.Metrics, error) {
+	par := extract.Extract(g, res)
 	return circuit.Evaluate(f.Circuit, par)
+}
+
+// cloneForMethod returns a copy of the flow whose grid is independent of the
+// original, so concurrently-running methods never alias lattice state.
+func (f *Flow) cloneForMethod() *Flow {
+	fc := *f
+	fc.Grid = f.Grid.Clone()
+	return &fc
 }
 
 // RunMagical runs the unguided baseline router.
@@ -255,15 +289,21 @@ func (f *Flow) RunGenius() (*Outcome, error) {
 	}, nil
 }
 
-// RunAnalogFold runs the full proposed flow.
+// RunAnalogFold runs the full proposed flow. Every stage fans out over
+// Opts.Workers goroutines and is tagged with a pprof "phase" label for the
+// profiling flags of cmd/analogfold.
 func (f *Flow) RunAnalogFold() (*Outcome, error) {
 	o := f.Opts
 
 	// Construct database: guidance-labeled routing samples.
 	tDB := time.Now()
-	ds, err := dataset.Generate(f.Grid, dataset.Config{
-		Samples: o.Samples, Workers: o.Workers, Seed: o.Seed,
-		RouteCfg: o.RouteCfg, IncludeUniform: true,
+	var ds *dataset.Dataset
+	var err error
+	withPhase("construct-database", func() {
+		ds, err = dataset.Generate(f.Grid, dataset.Config{
+			Samples: o.Samples, Workers: o.Workers, Seed: o.Seed,
+			RouteCfg: o.RouteCfg, IncludeUniform: true,
+		})
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: analogfold: %w", err)
@@ -279,41 +319,76 @@ func (f *Flow) RunAnalogFold() (*Outcome, error) {
 	gcfg := o.GNN
 	gcfg.Seed = o.Seed
 	model := gnn3d.New(gcfg)
-	if _, err := model.Fit(hg, ds.Samples(), gnn3d.TrainConfig{Epochs: o.TrainEpochs, Seed: o.Seed}); err != nil {
+	withPhase("train-3dgnn", func() {
+		_, err = model.Fit(hg, ds.Samples(), gnn3d.TrainConfig{
+			Epochs: o.TrainEpochs, Seed: o.Seed,
+			BatchSize: o.TrainBatch, Workers: o.Workers,
+		})
+	})
+	if err != nil {
 		return nil, fmt.Errorf("core: analogfold: %w", err)
 	}
 	trainTime := time.Since(tTrain)
 
 	// Guidance generation: potential relaxation.
 	tRelax := time.Now()
-	rres, err := relax.Optimize(model, hg, relax.Config{
-		Restarts: o.RelaxRestarts, NDerive: o.NDerive, Seed: o.Seed, MaxIter: 25,
+	var rres *relax.Result
+	withPhase("relaxation", func() {
+		rres, err = relax.Optimize(model, hg, relax.Config{
+			Restarts: o.RelaxRestarts, NDerive: o.NDerive, Seed: o.Seed,
+			MaxIter: 25, Workers: o.Workers,
+		})
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: analogfold: %w", err)
 	}
 	relaxTime := time.Since(tRelax)
 
-	// Guided routing: route every derived guidance set and keep the best
-	// measured FoM (the model's normalization makes the FoM scale-free).
+	// Guided routing: route every derived guidance set concurrently on a
+	// cloned grid and keep the best measured FoM (the model's normalization
+	// makes the FoM scale-free). Candidates that fail to route are skipped;
+	// the winner is chosen scanning in guidance order so ties resolve the
+	// same way for any worker count.
 	tRoute := time.Now()
+	type candidate struct {
+		ok           bool
+		metrics      circuit.Metrics
+		fom          float64
+		wirelengthNm int
+		vias         int
+	}
+	var cands []candidate
+	withPhase("guided-routing", func() {
+		cands, err = parallel.Map(context.Background(), o.Workers, len(rres.Guides), func(i int) (candidate, error) {
+			g := f.Grid.Clone()
+			res, rerr := route.Route(g, rres.Guides[i], o.RouteCfg)
+			if rerr != nil {
+				return candidate{}, nil
+			}
+			m, merr := f.evaluateRoutedOn(g, res)
+			if merr != nil {
+				return candidate{}, nil
+			}
+			return candidate{
+				ok: true, metrics: m, fom: scalarFoM(model, m),
+				wirelengthNm: res.WirelengthNm, vias: res.Vias,
+			}, nil
+		})
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: analogfold: %w", err)
+	}
 	var best *Outcome
 	var bestFoM float64
-	for _, gd := range rres.Guides {
-		res, err := route.Route(f.Grid, gd, o.RouteCfg)
-		if err != nil {
+	for _, c := range cands {
+		if !c.ok {
 			continue
 		}
-		m, err := f.evaluateRouted(res)
-		if err != nil {
-			continue
-		}
-		fom := scalarFoM(model, m)
-		if best == nil || fom < bestFoM {
-			bestFoM = fom
+		if best == nil || c.fom < bestFoM {
+			bestFoM = c.fom
 			best = &Outcome{
-				Method: MethodAnalogFold, Metrics: m,
-				WirelengthNm: res.WirelengthNm, Vias: res.Vias,
+				Method: MethodAnalogFold, Metrics: c.metrics,
+				WirelengthNm: c.wirelengthNm, Vias: c.vias,
 			}
 		}
 	}

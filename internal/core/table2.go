@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"analogfold/internal/circuit"
 	"analogfold/internal/netlist"
+	"analogfold/internal/parallel"
 	"analogfold/internal/place"
 )
 
@@ -20,6 +22,9 @@ type Row struct {
 }
 
 // RunBenchmark executes all methods on one (circuit, placement profile) pair.
+// The three routed methods run concurrently, each on a flow copy with a
+// cloned grid, so no lattice or per-method state is shared; each method is
+// internally deterministic, so the row is identical to a serial run.
 func RunBenchmark(c *netlist.Circuit, profile place.Profile, opts Options) (*Row, error) {
 	f, err := NewFlow(c, profile, opts)
 	if err != nil {
@@ -29,13 +34,22 @@ func RunBenchmark(c *netlist.Circuit, profile place.Profile, opts Options) (*Row
 	if row.Schematic, err = f.Schematic(); err != nil {
 		return nil, err
 	}
-	if row.Magical, err = f.RunMagical(); err != nil {
-		return nil, err
+	methods := []struct {
+		run func(*Flow) (*Outcome, error)
+		dst **Outcome
+	}{
+		{(*Flow).RunMagical, &row.Magical},
+		{(*Flow).RunGenius, &row.Genius},
+		{(*Flow).RunAnalogFold, &row.Ours},
 	}
-	if row.Genius, err = f.RunGenius(); err != nil {
-		return nil, err
-	}
-	if row.Ours, err = f.RunAnalogFold(); err != nil {
+	if err := parallel.ForEach(context.Background(), opts.Workers, len(methods), func(i int) error {
+		out, err := methods[i].run(f.cloneForMethod())
+		if err != nil {
+			return err
+		}
+		*methods[i].dst = out
+		return nil
+	}); err != nil {
 		return nil, err
 	}
 	return row, nil

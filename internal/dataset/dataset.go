@@ -7,18 +7,18 @@
 package dataset
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
 	"os"
-	"runtime"
-	"sync"
 
 	"analogfold/internal/circuit"
 	"analogfold/internal/extract"
 	"analogfold/internal/gnn3d"
 	"analogfold/internal/grid"
 	"analogfold/internal/guidance"
+	"analogfold/internal/parallel"
 	"analogfold/internal/route"
 	"analogfold/internal/tensor"
 )
@@ -53,9 +53,7 @@ func (c Config) withDefaults() Config {
 	if c.Samples == 0 {
 		c.Samples = 64
 	}
-	if c.Workers == 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
-	}
+	c.Workers = parallel.Workers(c.Workers)
 	if c.CMax == 0 {
 		c.CMax = guidance.DefaultCMax
 	}
@@ -94,25 +92,20 @@ func Generate(g *grid.Grid, cfg Config) (*Dataset, error) {
 		guides = append(guides, guidance.Sample(numNets, rng, cfg.CMax))
 	}
 
+	// Fan the labeling out over the shared pool. Per-sample routing failures
+	// are recorded, not returned: an adversarial guidance draw must not abort
+	// the corpus, so the pool only ever sees nil errors here.
 	entries := make([]Entry, len(guides))
 	errs := make([]error, len(guides))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
-	for i := range guides {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			y, err := Label(g, guides[i], cfg.RouteCfg)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			entries[i] = Entry{C: guides[i].Flat(), Y: y}
-		}(i)
-	}
-	wg.Wait()
+	_ = parallel.ForEach(context.Background(), cfg.Workers, len(guides), func(i int) error {
+		y, err := Label(g, guides[i], cfg.RouteCfg)
+		if err != nil {
+			errs[i] = err
+			return nil
+		}
+		entries[i] = Entry{C: guides[i].Flat(), Y: y}
+		return nil
+	})
 	ds := &Dataset{Circuit: c.Name, NumNets: numNets, CMax: cfg.CMax}
 	for i, e := range entries {
 		if errs[i] != nil {

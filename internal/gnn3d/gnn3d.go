@@ -168,6 +168,29 @@ func New(cfg Config) *Model {
 	return m
 }
 
+// Clone returns an independent deep copy of the model: same architecture,
+// same weights and target normalization, but no shared tensors. Concurrent
+// relaxation restarts and minibatch gradient workers each own a clone,
+// because ad.Backward accumulates into the parameters' Grad tensors — running
+// two backward passes through one Model races on those accumulators.
+func (m *Model) Clone() *Model {
+	c := New(m.Cfg)
+	c.YMean = m.YMean
+	c.YStd = m.YStd
+	c.CopyWeightsFrom(m)
+	return c
+}
+
+// CopyWeightsFrom copies every parameter value of src (same Cfg) into m,
+// leaving gradients untouched. Minibatch workers use it to refresh their
+// clones after each optimizer step without reallocating the architecture.
+func (m *Model) CopyWeightsFrom(src *Model) {
+	dst, ps := m.Params(), src.Params()
+	for i := range ps {
+		copy(dst[i].Value.Data, ps[i].Value.Data)
+	}
+}
+
 // Params returns every trainable parameter.
 func (m *Model) Params() []*ad.Var {
 	var ps []*ad.Var

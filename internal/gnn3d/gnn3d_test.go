@@ -185,6 +185,102 @@ func TestFitReducesLoss(t *testing.T) {
 	}
 }
 
+func fitSamples(t *testing.T, g *hetgraph.Graph, n int) []Sample {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	var samples []Sample
+	for i := 0; i < n; i++ {
+		gd := guidance.Sample(len(g.Circuit.Nets), rng, 2)
+		ct := tensor.New(len(g.Circuit.Nets), 3)
+		copy(ct.Data, gd.Flat())
+		var y [NumMetrics]float64
+		sx := 0.0
+		for j := 0; j < len(g.Circuit.Nets); j++ {
+			sx += ct.At(j, 0)
+		}
+		y = [NumMetrics]float64{100 * sx, 80 - sx, 50 + 3*sx, 35 + sx, 400 - 5*sx}
+		samples = append(samples, Sample{C: ct, Y: y})
+	}
+	return samples
+}
+
+func TestFitBatchedWorkerCountInvariant(t *testing.T) {
+	// Per-sample gradients inside a batch are computed on clones and reduced
+	// in sample order, so training is bit-identical for any worker count.
+	c := netlist.OTA1()
+	g := buildGraph(t, c, 9)
+	samples := fitSamples(t, g, 16)
+	run := func(workers int) (*Model, *TrainReport) {
+		m := New(Config{Seed: 5, Hidden: 12, Layers: 1, RBFBins: 6})
+		rep, err := m.Fit(g, samples, TrainConfig{
+			Epochs: 6, LR: 5e-3, Seed: 1, BatchSize: 4, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, rep
+	}
+	m1, r1 := run(1)
+	m8, r8 := run(8)
+	for e := range r1.TrainLoss {
+		if r1.TrainLoss[e] != r8.TrainLoss[e] {
+			t.Fatalf("epoch %d train loss differs: %g vs %g", e, r1.TrainLoss[e], r8.TrainLoss[e])
+		}
+		if r1.ValLoss[e] != r8.ValLoss[e] {
+			t.Fatalf("epoch %d val loss differs: %g vs %g", e, r1.ValLoss[e], r8.ValLoss[e])
+		}
+	}
+	p1, p8 := m1.Params(), m8.Params()
+	for i := range p1 {
+		for j := range p1[i].Value.Data {
+			if p1[i].Value.Data[j] != p8[i].Value.Data[j] {
+				t.Fatalf("param %d[%d] differs: %g vs %g", i, j, p1[i].Value.Data[j], p8[i].Value.Data[j])
+			}
+		}
+	}
+}
+
+func TestFitBatchedReducesLoss(t *testing.T) {
+	c := netlist.OTA1()
+	g := buildGraph(t, c, 10)
+	samples := fitSamples(t, g, 24)
+	m := New(Config{Seed: 5, Hidden: 16, Layers: 2, RBFBins: 8})
+	rep, err := m.Fit(g, samples, TrainConfig{Epochs: 40, LR: 5e-3, Seed: 1, BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FinalTrain() > rep.TrainLoss[0]*0.5 {
+		t.Errorf("batched training loss did not halve: %g -> %g", rep.TrainLoss[0], rep.FinalTrain())
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	m := New(Config{Seed: 3, Hidden: 8, Layers: 1, RBFBins: 4})
+	m.YMean[0] = 42
+	c := m.Clone()
+	if c.YMean[0] != 42 {
+		t.Errorf("clone lost normalization")
+	}
+	mp, cp := m.Params(), c.Params()
+	if len(mp) != len(cp) {
+		t.Fatalf("param counts differ: %d vs %d", len(mp), len(cp))
+	}
+	for i := range mp {
+		if mp[i] == cp[i] {
+			t.Fatalf("param %d shared between model and clone", i)
+		}
+		for j := range mp[i].Value.Data {
+			if mp[i].Value.Data[j] != cp[i].Value.Data[j] {
+				t.Fatalf("param %d[%d] differs after clone", i, j)
+			}
+		}
+	}
+	cp[0].Value.Data[0] += 1
+	if mp[0].Value.Data[0] == cp[0].Value.Data[0] {
+		t.Errorf("clone writes visible in source model")
+	}
+}
+
 func TestNormalizeRoundTrip(t *testing.T) {
 	m := New(Config{Seed: 6})
 	m.YMean = [NumMetrics]float64{1, 2, 3, 4, 5}

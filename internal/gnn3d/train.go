@@ -1,6 +1,7 @@
 package gnn3d
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -8,6 +9,7 @@ import (
 	"analogfold/internal/ad"
 	"analogfold/internal/hetgraph"
 	"analogfold/internal/optim"
+	"analogfold/internal/parallel"
 	"analogfold/internal/tensor"
 )
 
@@ -29,6 +31,14 @@ type TrainConfig struct {
 	// improvement and restores the best-validation weights (set negative to
 	// disable).
 	Patience int
+
+	// BatchSize groups this many samples per optimizer step. Within a batch
+	// the per-sample gradients are computed in parallel on model clones and
+	// reduced (averaged) in sample order, so results are identical for any
+	// Workers value. The default (1) keeps the classic per-sample stepping.
+	BatchSize int
+	// Workers bounds the per-sample gradient goroutines (0 → GOMAXPROCS).
+	Workers int
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
@@ -46,6 +56,9 @@ func (c TrainConfig) withDefaults() TrainConfig {
 	}
 	if c.Patience == 0 {
 		c.Patience = 10
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 1
 	}
 	return c
 }
@@ -125,6 +138,54 @@ func (m *Model) Fit(g *hetgraph.Graph, samples []Sample, cfg TrainConfig) (*Trai
 	params := m.Params()
 	opt := optim.NewAdam(params, cfg.LR)
 	opt.WeightDecay = cfg.WeightDecay
+
+	// Worker clones for in-batch gradient parallelism: ad.Backward writes
+	// into the parameters' Grad tensors, so each concurrent sample needs its
+	// own copy of the network. Clones are refreshed from the live weights at
+	// every batch and handed out through a channel.
+	totalP := 0
+	for _, p := range params {
+		totalP += p.Value.Len()
+	}
+	var clones []*Model
+	var cloneParams [][]*ad.Var
+	var cloneIdx chan int
+	if cfg.BatchSize > 1 {
+		nc := parallel.Workers(cfg.Workers)
+		if nc > cfg.BatchSize {
+			nc = cfg.BatchSize
+		}
+		cloneIdx = make(chan int, nc)
+		for i := 0; i < nc; i++ {
+			clones = append(clones, m.Clone())
+			cloneParams = append(cloneParams, clones[i].Params())
+			cloneIdx <- i
+		}
+	}
+
+	// sampleGrad runs one forward/backward on clone ci and returns the loss
+	// and the flattened gradient in Params() order.
+	sampleGrad := func(ci, si int) (float64, []float64, error) {
+		ad.ZeroGrad(cloneParams[ci]...)
+		pred, err := clones[ci].Forward(g, ad.Const(samples[si].C))
+		if err != nil {
+			return 0, nil, err
+		}
+		loss := ad.MSE(pred, ad.Const(targets[si]))
+		if err := ad.Backward(loss); err != nil {
+			return 0, nil, err
+		}
+		gv := make([]float64, 0, totalP)
+		for _, p := range cloneParams[ci] {
+			if p.Grad == nil {
+				gv = append(gv, make([]float64, p.Value.Len())...)
+			} else {
+				gv = append(gv, p.Grad.Data...)
+			}
+		}
+		return loss.Value.Data[0], gv, nil
+	}
+
 	rep := &TrainReport{}
 	bestVal := math.Inf(1)
 	sinceBest := 0
@@ -133,29 +194,84 @@ func (m *Model) Fit(g *hetgraph.Graph, samples []Sample, cfg TrainConfig) (*Trai
 		// Shuffle the training order each epoch.
 		rng.Shuffle(len(train), func(a, b int) { train[a], train[b] = train[b], train[a] })
 		sum := 0.0
-		for _, si := range train {
-			opt.ZeroGrad()
-			pred, err := m.Forward(g, ad.Const(samples[si].C))
-			if err != nil {
+		for start := 0; start < len(train); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(train) {
+				end = len(train)
+			}
+			batch := train[start:end]
+			if len(batch) == 1 || cfg.BatchSize == 1 {
+				// Per-sample stepping (the legacy path, and batch remainders).
+				si := batch[0]
+				opt.ZeroGrad()
+				pred, err := m.Forward(g, ad.Const(samples[si].C))
+				if err != nil {
+					return nil, err
+				}
+				loss := ad.MSE(pred, ad.Const(targets[si]))
+				sum += loss.Value.Data[0]
+				if err := ad.Backward(loss); err != nil {
+					return nil, err
+				}
+				opt.Step()
+				continue
+			}
+
+			// Parallel per-sample gradients, reduced in sample order.
+			for _, c := range clones {
+				c.CopyWeightsFrom(m)
+			}
+			losses := make([]float64, len(batch))
+			grads := make([][]float64, len(batch))
+			if err := parallel.ForEach(context.Background(), cfg.Workers, len(batch), func(k int) error {
+				ci := <-cloneIdx
+				defer func() { cloneIdx <- ci }()
+				l, gv, err := sampleGrad(ci, batch[k])
+				if err != nil {
+					return err
+				}
+				losses[k] = l
+				grads[k] = gv
+				return nil
+			}); err != nil {
 				return nil, err
 			}
-			loss := ad.MSE(pred, ad.Const(targets[si]))
-			sum += loss.Value.Data[0]
-			if err := ad.Backward(loss); err != nil {
-				return nil, err
+			opt.ZeroGrad()
+			scale := 1 / float64(len(batch))
+			pos := 0
+			for _, p := range params {
+				p.Grad = tensor.New(p.Value.Shape...)
+				for j := range p.Grad.Data {
+					s := 0.0
+					for k := range grads {
+						s += grads[k][pos+j]
+					}
+					p.Grad.Data[j] = s * scale
+				}
+				pos += p.Value.Len()
 			}
 			opt.Step()
+			for _, l := range losses {
+				sum += l
+			}
 		}
 		rep.TrainLoss = append(rep.TrainLoss, sum/float64(len(train)))
 
-		vSum := 0.0
-		for _, si := range val {
-			pred, err := m.Forward(g, ad.Const(samples[si].C))
+		// Validation forwards never call Backward, so they can share the live
+		// model across goroutines (parameter tensors are only read).
+		vLosses, err := parallel.Map(context.Background(), cfg.Workers, len(val), func(k int) (float64, error) {
+			pred, err := m.Forward(g, ad.Const(samples[val[k]].C))
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			loss := ad.MSE(pred, ad.Const(targets[si]))
-			vSum += loss.Value.Data[0]
+			return ad.MSE(pred, ad.Const(targets[val[k]])).Value.Data[0], nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		vSum := 0.0
+		for _, l := range vLosses {
+			vSum += l
 		}
 		vAvg := vSum / float64(len(val))
 		rep.ValLoss = append(rep.ValLoss, vAvg)

@@ -142,6 +142,23 @@ func Build(p *place.Placement, tk *tech.Tech) (*Grid, error) {
 	return g, nil
 }
 
+// Clone returns an independent copy of the grid for concurrent flows. After
+// Build the lattice is read-only — the router keeps all mutable search state
+// in its own arrays — but cloning keeps each parallel method free to evolve
+// its grid (or a future in-place router) without aliasing the others. Tech
+// and Place are immutable after construction and stay shared.
+func (g *Grid) Clone() *Grid {
+	ng := *g
+	ng.blocked = append([]bool(nil), g.blocked...)
+	ng.owner = append([]int32(nil), g.owner...)
+	ng.APs = append([]AccessPoint(nil), g.APs...)
+	ng.NetAPs = make([][]int, len(g.NetAPs))
+	for i := range g.NetAPs {
+		ng.NetAPs[i] = append([]int(nil), g.NetAPs[i]...)
+	}
+	return &ng
+}
+
 func (g *Grid) index(p geom.Point3) int {
 	return (p.Z*g.NY+p.Y)*g.NX + p.X
 }

@@ -1,0 +1,144 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(0) < 1 {
+		t.Errorf("Workers(0) = %d", Workers(0))
+	}
+	if Workers(-3) < 1 {
+		t.Errorf("Workers(-3) = %d", Workers(-3))
+	}
+	if Workers(7) != 7 {
+		t.Errorf("Workers(7) = %d", Workers(7))
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 8, 100} {
+		const n = 57
+		hits := make([]int32, n)
+		err := ForEach(context.Background(), w, n, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d run %d times", w, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, func(int) error {
+		t.Fatal("must not run")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachFirstErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	err := ForEach(context.Background(), 4, 100, func(i int) error {
+		if i == 13 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestForEachErrorStopsRemainingWork(t *testing.T) {
+	var started atomic.Int32
+	_ = ForEach(context.Background(), 2, 1000, func(i int) error {
+		started.Add(1)
+		if i == 0 {
+			return errors.New("stop")
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if got := started.Load(); got > 100 {
+		t.Errorf("error did not cancel remaining work: %d/1000 items ran", got)
+	}
+}
+
+func TestForEachContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := atomic.Int32{}
+	err := ForEach(ctx, 4, 50, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMapPreservesIndexOrder(t *testing.T) {
+	for _, w := range []int{1, 3, 16} {
+		out, err := Map(context.Background(), w, 40, func(i int) (string, error) {
+			return fmt.Sprintf("v%d", i), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != fmt.Sprintf("v%d", i) {
+				t.Fatalf("workers=%d: out[%d] = %q", w, i, v)
+			}
+		}
+	}
+}
+
+func TestMapErrorDiscardsResults(t *testing.T) {
+	out, err := Map(context.Background(), 4, 10, func(i int) (int, error) {
+		if i == 3 {
+			return 0, errors.New("bad")
+		}
+		return i, nil
+	})
+	if err == nil || out != nil {
+		t.Errorf("Map with failing item: out=%v err=%v", out, err)
+	}
+}
+
+func TestSeedForDecorrelatesAdjacentBases(t *testing.T) {
+	// The shifted-stream hazard SeedFor exists to prevent: (base, i+1) and
+	// (base+1, i) must not collide the way base+i arithmetic does.
+	if SeedFor(7, 1) == SeedFor(8, 0) {
+		t.Errorf("SeedFor(7,1) == SeedFor(8,0)")
+	}
+	seen := map[int64]bool{}
+	for base := int64(0); base < 8; base++ {
+		for i := 0; i < 64; i++ {
+			s := SeedFor(base, i)
+			if seen[s] {
+				t.Fatalf("seed collision at base=%d i=%d", base, i)
+			}
+			seen[s] = true
+		}
+	}
+	// Streams from consecutive indices must look independent.
+	a := rand.New(rand.NewSource(SeedFor(1, 0))).Float64()
+	b := rand.New(rand.NewSource(SeedFor(1, 1))).Float64()
+	if a == b {
+		t.Errorf("consecutive per-index streams identical")
+	}
+}

@@ -13,16 +13,19 @@
 package relax
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"analogfold/internal/ad"
 	"analogfold/internal/gnn3d"
 	"analogfold/internal/guidance"
 	"analogfold/internal/hetgraph"
 	"analogfold/internal/optim"
+	"analogfold/internal/parallel"
 	"analogfold/internal/tensor"
 )
 
@@ -42,6 +45,18 @@ type Config struct {
 	NoiseSigma float64 // σ of the pool-restart noise
 	Seed       int64
 	WFoM       [gnn3d.NumMetrics]float64 // magnitude weights (default: all 1)
+
+	// Workers bounds the goroutines evaluating one round's restarts
+	// (0 → GOMAXPROCS). Results are bit-identical for any worker count:
+	// every restart owns a private RNG seeded Seed+restartIndex and a private
+	// model clone, and the elite pool is only merged at round barriers, in
+	// restart-index order.
+	Workers int
+	// RoundSize is the number of restarts between pool-merge barriers
+	// (default 4). Restarts within a round see the pool as it stood at the
+	// round's start, so the round partitioning — not the worker count —
+	// defines the algorithm.
+	RoundSize int
 
 	// NoPool disables the elite pool: every restart is an independent random
 	// initialization (the ablation for Section 4.3's pool assistance).
@@ -75,6 +90,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.NoiseSigma == 0 {
 		c.NoiseSigma = 0.15
+	}
+	if c.RoundSize == 0 {
+		c.RoundSize = 4
 	}
 	allZero := true
 	for _, w := range c.WFoM {
@@ -137,49 +155,48 @@ type poolEntry struct {
 	c   []float64
 }
 
-// Optimize runs the full pool-assisted relaxation.
+// restartOut is one restart's contribution, merged at the round barrier.
+type restartOut struct {
+	pot   float64
+	x     []float64
+	evals int
+}
+
+// Optimize runs the full pool-assisted relaxation. Rounds of RoundSize
+// restarts execute concurrently on Workers goroutines; each restart owns a
+// private RNG (Seed+restartIndex) and a private model clone, and the elite
+// pool is merged at a barrier between rounds so the result is independent of
+// the worker count.
 func Optimize(m *gnn3d.Model, g *hetgraph.Graph, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	numNets := len(g.Circuit.Nets)
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	dim := numNets * 3
 
-	res := &Result{}
-	obj := func(x []float64) (float64, []float64) {
-		// Out-of-region points are +Inf: the Wolfe line search backs off.
-		for _, v := range x {
-			if v <= 0 || v >= cfg.CMax {
-				return math.Inf(1), make([]float64, dim)
-			}
-		}
-		cT := tensor.FromSlice(append([]float64(nil), x...), numNets, 3)
-		f, grad, err := Potential(m, g, cT, cfg)
-		if err != nil {
-			// Model errors are programming errors upstream; surface as +Inf
-			// so the search retreats rather than crashing mid-run.
-			return math.Inf(1), make([]float64, dim)
-		}
-		res.Evals++
-		return f, append([]float64(nil), grad.Data...)
-	}
+	// Each concurrent restart differentiates through its own model clone:
+	// ad.Backward accumulates into the parameters' Grad tensors, so sharing
+	// the caller's model across goroutines would race (and pollute the
+	// trained weights' gradients even serially).
+	clones := sync.Pool{New: func() any { return m.Clone() }}
 
+	res := &Result{}
 	var pool []poolEntry
 	insert := func(pot float64, x []float64) {
 		if math.IsNaN(pot) || math.IsInf(pot, 0) {
 			return
 		}
 		pool = append(pool, poolEntry{pot: pot, c: append([]float64(nil), x...)})
-		sort.Slice(pool, func(a, b int) bool { return pool[a].pot < pool[b].pot })
+		sort.SliceStable(pool, func(a, b int) bool { return pool[a].pot < pool[b].pot })
 		if len(pool) > cfg.NPool {
 			pool = pool[:cfg.NPool]
 		}
 	}
 
-	for r := 0; r < cfg.Restarts; r++ {
+	runRestart := func(r int, poolSnap []poolEntry) restartOut {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(r)))
 		var x0 []float64
-		if !cfg.NoPool && len(pool) >= cfg.NPool && rng.Float64() < cfg.PRelax {
+		if !cfg.NoPool && len(poolSnap) >= cfg.NPool && rng.Float64() < cfg.PRelax {
 			// Noisy restart from a pool member (Section 4.3).
-			src := pool[rng.Intn(len(pool))]
+			src := poolSnap[rng.Intn(len(poolSnap))]
 			x0 = make([]float64, dim)
 			for i, v := range src.c {
 				x0[i] = clamp(v+rng.NormFloat64()*cfg.NoiseSigma, 0.02, cfg.CMax-0.02)
@@ -188,13 +205,56 @@ func Optimize(m *gnn3d.Model, g *hetgraph.Graph, cfg Config) (*Result, error) {
 			gd := guidance.Sample(numNets, rng, cfg.CMax)
 			x0 = gd.Flat()
 		}
+
+		mdl := clones.Get().(*gnn3d.Model)
+		defer clones.Put(mdl)
+		evals := 0
+		obj := func(x []float64) (float64, []float64) {
+			// Out-of-region points are +Inf: the Wolfe line search backs off.
+			for _, v := range x {
+				if v <= 0 || v >= cfg.CMax {
+					return math.Inf(1), make([]float64, dim)
+				}
+			}
+			cT := tensor.FromSlice(append([]float64(nil), x...), numNets, 3)
+			f, grad, err := Potential(mdl, g, cT, cfg)
+			if err != nil {
+				// Model errors are programming errors upstream; surface as +Inf
+				// so the search retreats rather than crashing mid-run.
+				return math.Inf(1), make([]float64, dim)
+			}
+			evals++
+			return f, append([]float64(nil), grad.Data...)
+		}
 		var out optim.LBFGSResult
 		if cfg.UseGD {
 			out = gradientDescent(obj, x0, cfg.MaxIter)
 		} else {
 			out = optim.LBFGS(obj, x0, cfg.MaxIter, 8, 1e-7)
 		}
-		insert(out.F, out.X)
+		return restartOut{pot: out.F, x: out.X, evals: evals}
+	}
+
+	for base := 0; base < cfg.Restarts; base += cfg.RoundSize {
+		round := cfg.RoundSize
+		if base+round > cfg.Restarts {
+			round = cfg.Restarts - base
+		}
+		// Restarts in this round all see the pool as of the last barrier.
+		poolSnap := append([]poolEntry(nil), pool...)
+		outs := make([]restartOut, round)
+		if err := parallel.ForEach(context.Background(), cfg.Workers, round, func(k int) error {
+			outs[k] = runRestart(base+k, poolSnap)
+			return nil
+		}); err != nil {
+			return nil, fmt.Errorf("relax: %w", err)
+		}
+		// Barrier: merge in restart-index order so the elite pool — and with
+		// it every later round — is reproducible for any worker count.
+		for _, o := range outs {
+			res.Evals += o.evals
+			insert(o.pot, o.x)
+		}
 	}
 
 	if len(pool) == 0 {

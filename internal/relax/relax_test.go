@@ -178,6 +178,64 @@ func TestOptimizeDeterministic(t *testing.T) {
 	}
 }
 
+func TestOptimizeWorkerCountInvariant(t *testing.T) {
+	// The parallel execution layer must not change the algorithm: per-restart
+	// RNGs and the per-round pool barrier make Workers=1 and Workers=8 runs
+	// bit-identical (same seeds → same pool → same top-N_derive guidance).
+	c := netlist.OTA1()
+	g := buildGraph(t, c, 7)
+	m := trainedModel(t, g, 7)
+	base := Config{Restarts: 8, MaxIter: 12, NPool: 4, NDerive: 3, Seed: 21, RoundSize: 3}
+	cfg1 := base
+	cfg1.Workers = 1
+	cfg8 := base
+	cfg8.Workers = 8
+	r1, err := Optimize(m, g, cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Optimize(m, g, cfg8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Evals != r8.Evals {
+		t.Errorf("eval counts differ: %d vs %d", r1.Evals, r8.Evals)
+	}
+	if len(r1.Guides) != len(r8.Guides) {
+		t.Fatalf("derive counts differ: %d vs %d", len(r1.Guides), len(r8.Guides))
+	}
+	for i := range r1.Guides {
+		if r1.Potentials[i] != r8.Potentials[i] {
+			t.Errorf("potential %d differs: %g vs %g", i, r1.Potentials[i], r8.Potentials[i])
+		}
+		f1, f8 := r1.Guides[i].Flat(), r8.Guides[i].Flat()
+		for j := range f1 {
+			if f1[j] != f8[j] {
+				t.Fatalf("guide %d element %d differs: %g vs %g", i, j, f1[j], f8[j])
+			}
+		}
+	}
+}
+
+func TestOptimizeLeavesModelGradientsClean(t *testing.T) {
+	// Relaxation differentiates w.r.t. the guidance input only; it must not
+	// leak gradient accumulation into the caller's trained model.
+	c := netlist.OTA1()
+	g := buildGraph(t, c, 8)
+	m := trainedModel(t, g, 8)
+	for _, p := range m.Params() {
+		p.Grad = nil
+	}
+	if _, err := Optimize(m, g, Config{Restarts: 2, MaxIter: 5, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range m.Params() {
+		if p.Grad != nil {
+			t.Fatalf("param %d gradient written during relaxation", i)
+		}
+	}
+}
+
 func TestMetricSignsOrientation(t *testing.T) {
 	// Offset and noise are minimized (positive sign), CMRR/BW/gain maximized
 	// (negative sign in the potential).

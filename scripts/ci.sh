@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# CI gate: build + vet + full test suite, then a short race-detector pass
+# over the packages that run work concurrently (worker pool, relaxation,
+# Monte Carlo, training, dataset generation).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (parallel-touching packages) =="
+go test -race -count=1 \
+    ./internal/parallel/ \
+    ./internal/relax/ \
+    ./internal/circuit/ \
+    ./internal/gnn3d/ \
+    ./internal/dataset/
+
+echo "CI OK"
