@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-parallel ci
+.PHONY: build test vet errcheck race chaos bench bench-parallel ci
 
 build:
 	$(GO) build ./...
@@ -13,10 +13,21 @@ test:
 vet:
 	$(GO) vet ./...
 
+# errcheck is a grep-based pass over the repo's error-returning helpers:
+# bare statement calls that drop an error fail the build.
+errcheck:
+	./scripts/errcheck.sh
+
 # race runs the packages that execute work concurrently under the race
 # detector with short settings; the full suite under -race is much slower.
 race:
 	$(GO) test -race ./internal/parallel/ ./internal/relax/ ./internal/circuit/ ./internal/gnn3d/ ./internal/dataset/
+
+# chaos compiles the deterministic fault scheduler into the injection points
+# (faultinject build tag) and runs the fault-injection suite under the race
+# detector: every injected fault must recover or surface a typed error.
+chaos:
+	$(GO) test -race -count=1 -tags faultinject ./internal/fault/... ./internal/parallel/ ./internal/relax/ ./internal/route/ ./internal/core/
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -10,6 +10,7 @@
 package analogfold_bench
 
 import (
+	"context"
 	"encoding/json"
 	"math"
 	"os"
@@ -72,7 +73,7 @@ func BenchmarkTable1Stats(b *testing.B) {
 // scale — one iteration regenerates one Table-2 block.
 func benchTable2Row(b *testing.B, c func() *netlist.Circuit, prof place.Profile) {
 	for i := 0; i < b.N; i++ {
-		row, err := core.RunBenchmark(c(), prof, quickOpts())
+		row, err := core.RunBenchmark(context.Background(), c(), prof, quickOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -119,7 +120,7 @@ func BenchmarkFig5Breakdown(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		out, err := f.RunAnalogFold()
+		out, err := f.RunAnalogFold(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -136,7 +137,7 @@ func BenchmarkFig1Guidance(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		gd, err := f.DeriveGuidance()
+		gd, err := f.DeriveGuidance(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -154,7 +155,7 @@ func BenchmarkFig6Render(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := f.RunGeniusRouted()
+		res, err := f.RunGeniusRouted(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -251,7 +252,7 @@ func BenchmarkDatasetSample(b *testing.B) {
 	gd := guidance.Uniform(len(g.Place.Circuit.Nets))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := dataset.Label(g, gd, route.Config{}); err != nil {
+		if _, err := dataset.Label(context.Background(), g, gd, route.Config{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -297,7 +298,7 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	ds, err := dataset.Generate(g, dataset.Config{Samples: 8, Seed: 1, IncludeUniform: true})
+	ds, err := dataset.Generate(context.Background(), g, dataset.Config{Samples: 8, Seed: 1, IncludeUniform: true})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -307,7 +308,7 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 		run  func(w int) error
 	}{
 		{"relaxation", func(w int) error {
-			_, err := relax.Optimize(m, hg, relax.Config{Restarts: 8, MaxIter: 10, Seed: 1, Workers: w})
+			_, err := relax.Optimize(context.Background(), m, hg, relax.Config{Restarts: 8, MaxIter: 10, Seed: 1, Workers: w})
 			return err
 		}},
 		{"montecarlo", func(w int) error {
@@ -315,12 +316,12 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 			return err
 		}},
 		{"dataset", func(w int) error {
-			_, err := dataset.Generate(g, dataset.Config{Samples: 8, Seed: 1, Workers: w, IncludeUniform: true})
+			_, err := dataset.Generate(context.Background(), g, dataset.Config{Samples: 8, Seed: 1, Workers: w, IncludeUniform: true})
 			return err
 		}},
 		{"train", func(w int) error {
 			mm := gnn3d.New(gnn3d.Config{Seed: 1, Hidden: 16, Layers: 2, RBFBins: 8})
-			_, err := mm.Fit(hg, ds.Samples(), gnn3d.TrainConfig{Epochs: 3, Seed: 1, BatchSize: 4, Workers: w})
+			_, err := mm.Fit(context.Background(), hg, ds.Samples(), gnn3d.TrainConfig{Epochs: 3, Seed: 1, BatchSize: 4, Workers: w})
 			return err
 		}},
 	}
@@ -382,7 +383,7 @@ func BenchmarkRelaxation(b *testing.B) {
 	m := gnn3d.New(gnn3d.Config{Seed: 1, Hidden: 16, Layers: 2, RBFBins: 8})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := relax.Optimize(m, hg, relax.Config{Restarts: 4, MaxIter: 15, Seed: 1}); err != nil {
+		if _, err := relax.Optimize(context.Background(), m, hg, relax.Config{Restarts: 4, MaxIter: 15, Seed: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,7 +18,7 @@ import (
 
 // cmdBode writes schematic and post-layout AC sweeps (Bode data) as CSV and
 // prints the phase margins.
-func cmdBode(args []string) error {
+func cmdBode(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("bode", flag.ExitOnError)
 	bench := fs.String("bench", "OTA1-A", "benchmark")
 	outDir := fs.String("out", ".", "output directory")
@@ -37,7 +38,7 @@ func cmdBode(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := route.Route(g, guidance.Uniform(len(c.Nets)), route.Config{})
+	res, err := route.RouteCtx(ctx, g, guidance.Uniform(len(c.Nets)), route.Config{})
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,7 +19,7 @@ import (
 )
 
 // cmdAblate runs the design-choice ablation study of DESIGN.md §4.
-func cmdAblate(args []string) error {
+func cmdAblate(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("ablate", flag.ExitOnError)
 	bench := fs.String("bench", "OTA1-A", "benchmark")
 	opts := optionsFlags(fs)
@@ -38,7 +39,7 @@ func cmdAblate(args []string) error {
 	if err != nil {
 		return err
 	}
-	a, err := f.RunAblation()
+	a, err := f.RunAblation(ctx)
 	if err != nil {
 		return err
 	}
@@ -49,7 +50,7 @@ func cmdAblate(args []string) error {
 
 // cmdExport writes the SPICE netlist, SPEF parasitics and DEF layout of a
 // routed benchmark.
-func cmdExport(args []string) error {
+func cmdExport(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("export", flag.ExitOnError)
 	bench := fs.String("bench", "OTA1-A", "benchmark")
 	outDir := fs.String("out", ".", "output directory")
@@ -69,7 +70,7 @@ func cmdExport(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := route.Route(g, guidance.Uniform(len(c.Nets)), route.Config{})
+	res, err := route.RouteCtx(ctx, g, guidance.Uniform(len(c.Nets)), route.Config{})
 	if err != nil {
 		return err
 	}
@@ -99,7 +100,7 @@ func cmdExport(args []string) error {
 
 // cmdTransient prints the small-signal step response of a benchmark before
 // and after routing.
-func cmdTransient(args []string) error {
+func cmdTransient(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("transient", flag.ExitOnError)
 	bench := fs.String("bench", "OTA1-A", "benchmark")
 	seed := fs.Int64("seed", 1, "placement seed")
@@ -118,7 +119,7 @@ func cmdTransient(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := route.Route(g, guidance.Uniform(len(c.Nets)), route.Config{})
+	res, err := route.RouteCtx(ctx, g, guidance.Uniform(len(c.Nets)), route.Config{})
 	if err != nil {
 		return err
 	}
@@ -146,7 +147,7 @@ func cmdTransient(args []string) error {
 }
 
 // cmdMC runs Monte Carlo offset analysis on a routed benchmark.
-func cmdMC(args []string) error {
+func cmdMC(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("mc", flag.ExitOnError)
 	bench := fs.String("bench", "OTA1-A", "benchmark")
 	n := fs.Int("n", 1000, "Monte Carlo samples")
@@ -172,7 +173,7 @@ func cmdMC(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := route.Route(g, guidance.Uniform(len(c.Nets)), route.Config{})
+	res, err := route.RouteCtx(ctx, g, guidance.Uniform(len(c.Nets)), route.Config{})
 	if err != nil {
 		return err
 	}

@@ -15,10 +15,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"analogfold/internal/core"
@@ -40,34 +43,38 @@ func main() {
 	}
 	cmd := os.Args[1]
 	args := os.Args[2:]
+	// SIGINT/SIGTERM cancel the root context: every stage observes it and
+	// unwinds with a typed fault instead of dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch cmd {
 	case "table1":
 		err = cmdTable1()
 	case "table2":
-		err = cmdTable2(args)
+		err = cmdTable2(ctx, args)
 	case "fig5":
-		err = cmdFig5(args)
+		err = cmdFig5(ctx, args)
 	case "fig6":
-		err = cmdFig6(args)
+		err = cmdFig6(ctx, args)
 	case "fig1":
-		err = cmdFig1(args)
+		err = cmdFig1(ctx, args)
 	case "route":
-		err = cmdRoute(args)
+		err = cmdRoute(ctx, args)
 	case "dataset":
-		err = cmdDataset(args)
+		err = cmdDataset(ctx, args)
 	case "ablate":
-		err = cmdAblate(args)
+		err = cmdAblate(ctx, args)
 	case "export":
-		err = cmdExport(args)
+		err = cmdExport(ctx, args)
 	case "transient":
-		err = cmdTransient(args)
+		err = cmdTransient(ctx, args)
 	case "validate":
-		err = cmdValidate(args)
+		err = cmdValidate(ctx, args)
 	case "bode":
-		err = cmdBode(args)
+		err = cmdBode(ctx, args)
 	case "mc":
-		err = cmdMC(args)
+		err = cmdMC(ctx, args)
 	default:
 		usage()
 		os.Exit(2)
@@ -120,10 +127,13 @@ func optionsFlags(fs *flag.FlagSet) func() core.Options {
 	seed := fs.Int64("seed", 1, "experiment seed")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS); results are identical for any value")
 	quick := fs.Bool("quick", false, "small fast settings for smoke runs")
+	stageTO := fs.Duration("stage-timeout", 0, "per-stage deadline (database, training, relaxation, routing); 0 disables")
+	totalTO := fs.Duration("total-timeout", 0, "whole-run deadline per benchmark; 0 disables")
 	return func() core.Options {
 		o := core.Options{
 			Samples: *samples, TrainEpochs: *epochs,
 			RelaxRestarts: *restarts, Seed: *seed, Workers: *workers,
+			StageTimeout: *stageTO, TotalTimeout: *totalTO,
 		}
 		if *quick {
 			o.Samples, o.TrainEpochs, o.RelaxRestarts = 12, 8, 4
@@ -145,7 +155,7 @@ func cmdTable1() error {
 	return nil
 }
 
-func cmdTable2(args []string) error {
+func cmdTable2(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("table2", flag.ExitOnError)
 	bench := fs.String("bench", "", "single benchmark (e.g. OTA1-A); empty = all ten")
 	jsonOut := fs.String("json", "", "also write a machine-readable report to this path")
@@ -162,7 +172,7 @@ func cmdTable2(args []string) error {
 	var rows []*core.Row
 	run := func(c *netlist.Circuit, p place.Profile) error {
 		fmt.Fprintf(os.Stderr, "running %s-%s ...\n", c.Name, p)
-		row, err := core.RunBenchmark(c, p, opts())
+		row, err := core.RunBenchmark(ctx, c, p, opts())
 		if err != nil {
 			return fmt.Errorf("%s-%s: %w", c.Name, p, err)
 		}
@@ -199,7 +209,7 @@ func cmdTable2(args []string) error {
 	return nil
 }
 
-func cmdFig5(args []string) error {
+func cmdFig5(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("fig5", flag.ExitOnError)
 	bench := fs.String("bench", "OTA1-A", "benchmark")
 	opts := optionsFlags(fs)
@@ -219,7 +229,7 @@ func cmdFig5(args []string) error {
 	if err != nil {
 		return err
 	}
-	out, err := f.RunAnalogFold()
+	out, err := f.RunAnalogFold(ctx)
 	if err != nil {
 		return err
 	}
@@ -228,7 +238,7 @@ func cmdFig5(args []string) error {
 	return nil
 }
 
-func cmdFig6(args []string) error {
+func cmdFig6(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("fig6", flag.ExitOnError)
 	bench := fs.String("bench", "OTA1-A", "benchmark")
 	outDir := fs.String("out", ".", "output directory for SVGs")
@@ -245,11 +255,11 @@ func cmdFig6(args []string) error {
 		return err
 	}
 	// GeniusRoute solution.
-	gen, err := f.RunGeniusRouted()
+	gen, err := f.RunGeniusRouted(ctx)
 	if err != nil {
 		return err
 	}
-	ours, err := f.RunAnalogFoldRouted()
+	ours, err := f.RunAnalogFoldRouted(ctx)
 	if err != nil {
 		return err
 	}
@@ -269,7 +279,7 @@ func cmdFig6(args []string) error {
 	return nil
 }
 
-func cmdFig1(args []string) error {
+func cmdFig1(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("fig1", flag.ExitOnError)
 	bench := fs.String("bench", "OTA1-A", "benchmark")
 	outDir := fs.String("out", ".", "output directory")
@@ -285,7 +295,7 @@ func cmdFig1(args []string) error {
 	if err != nil {
 		return err
 	}
-	gd, err := f.DeriveGuidance()
+	gd, err := f.DeriveGuidance(ctx)
 	if err != nil {
 		return err
 	}
@@ -302,7 +312,7 @@ func cmdFig1(args []string) error {
 	return nil
 }
 
-func cmdRoute(args []string) error {
+func cmdRoute(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("route", flag.ExitOnError)
 	bench := fs.String("bench", "OTA1-A", "benchmark")
 	seed := fs.Int64("seed", 1, "placement seed")
@@ -321,7 +331,7 @@ func cmdRoute(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := route.Route(g, guidance.Uniform(len(c.Nets)), route.Config{})
+	res, err := route.RouteCtx(ctx, g, guidance.Uniform(len(c.Nets)), route.Config{})
 	if err != nil {
 		return err
 	}
@@ -335,7 +345,7 @@ func cmdRoute(args []string) error {
 	return nil
 }
 
-func cmdDataset(args []string) error {
+func cmdDataset(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("dataset", flag.ExitOnError)
 	bench := fs.String("bench", "OTA1-A", "benchmark")
 	n := fs.Int("n", 48, "number of samples")
@@ -362,7 +372,7 @@ func cmdDataset(args []string) error {
 	if err != nil {
 		return err
 	}
-	ds, err := dataset.Generate(g, dataset.Config{Samples: *n, Seed: *seed, Workers: *workers, IncludeUniform: true})
+	ds, err := dataset.Generate(ctx, g, dataset.Config{Samples: *n, Seed: *seed, Workers: *workers, IncludeUniform: true})
 	if err != nil {
 		return err
 	}

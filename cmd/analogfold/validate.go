@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 
@@ -20,7 +21,7 @@ var metricLabels = [gnn3d.NumMetrics]string{"offset", "CMRR", "bandwidth", "gain
 // metric Pearson and Spearman correlation between predictions and
 // measurements. The Spearman column is the one the relaxation depends on —
 // it only needs guidance candidates to be *ordered* correctly.
-func cmdValidate(args []string) error {
+func cmdValidate(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("validate", flag.ExitOnError)
 	bench := fs.String("bench", "OTA1-A", "benchmark")
 	trainN := fs.Int("train", 200, "training corpus size")
@@ -38,13 +39,13 @@ func cmdValidate(args []string) error {
 		return err
 	}
 
-	trainDS, err := dataset.Generate(f.Grid, dataset.Config{
+	trainDS, err := dataset.Generate(ctx, f.Grid, dataset.Config{
 		Samples: *trainN, Seed: *seed, IncludeUniform: true,
 	})
 	if err != nil {
 		return err
 	}
-	testDS, err := dataset.Generate(f.Grid, dataset.Config{
+	testDS, err := dataset.Generate(ctx, f.Grid, dataset.Config{
 		Samples: *testN, Seed: *seed + 10_000,
 	})
 	if err != nil {
@@ -56,7 +57,7 @@ func cmdValidate(args []string) error {
 		return err
 	}
 	model := gnn3d.New(gnn3d.Config{Seed: *seed})
-	rep, err := model.Fit(hg, trainDS.Samples(), gnn3d.TrainConfig{Epochs: 60, Seed: *seed})
+	rep, err := model.Fit(ctx, hg, trainDS.Samples(), gnn3d.TrainConfig{Epochs: 60, Seed: *seed})
 	if err != nil {
 		return err
 	}

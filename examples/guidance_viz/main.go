@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -32,7 +33,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	gd, err := flow.DeriveGuidance()
+	gd, err := flow.DeriveGuidance(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -31,7 +32,7 @@ func main() {
 		opts = core.Options{Seed: 1}
 	}
 
-	row, err := core.RunBenchmark(netlist.OTA2(), place.ProfileA, opts)
+	row, err := core.RunBenchmark(context.Background(), netlist.OTA2(), place.ProfileA, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

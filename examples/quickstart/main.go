@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -42,7 +43,7 @@ func main() {
 
 	// Route with the unguided baseline router and simulate the extracted
 	// post-layout netlist.
-	out, err := flow.RunMagical()
+	out, err := flow.RunMagical(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

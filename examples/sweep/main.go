@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,7 +29,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			out, err := flow.RunMagical()
+			out, err := flow.RunMagical(context.Background())
 			if err != nil {
 				log.Fatal(err)
 			}

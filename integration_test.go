@@ -1,6 +1,7 @@
 package analogfold_bench
 
 import (
+	"context"
 	"testing"
 
 	"analogfold/internal/core"
@@ -33,13 +34,13 @@ func TestEndToEndVerified(t *testing.T) {
 		}
 	}
 
-	genius, err := f.RunGeniusRouted()
+	genius, err := f.RunGeniusRouted(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	verify("genius", genius)
 
-	ours, err := f.RunAnalogFoldRouted()
+	ours, err := f.RunAnalogFoldRouted(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,8 +51,8 @@ func TestEndToEndVerified(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, runner := range []func() (*core.Outcome, error){f.RunMagical} {
-		out, err := runner()
+	for _, runner := range []func(context.Context) (*core.Outcome, error){f.RunMagical} {
+		out, err := runner(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -93,7 +94,7 @@ func TestCrossCircuitConsistency(t *testing.T) {
 			if s1 != s2 {
 				t.Errorf("schematic evaluation not reproducible")
 			}
-			out, err := f.RunMagical()
+			out, err := f.RunMagical(context.Background())
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -27,9 +28,12 @@ type AblationResult struct {
 
 // RunAblation trains model variants on one shared dataset and relaxes each,
 // producing the numbers behind the ablation benchmarks.
-func (f *Flow) RunAblation() (*AblationResult, error) {
+func (f *Flow) RunAblation(ctx context.Context) (*AblationResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	o := f.Opts
-	ds, err := dataset.Generate(f.Grid, dataset.Config{
+	ds, err := dataset.Generate(ctx, f.Grid, dataset.Config{
 		Samples: o.Samples, Workers: o.Workers, Seed: o.Seed,
 		RouteCfg: o.RouteCfg, IncludeUniform: true,
 	})
@@ -71,7 +75,7 @@ func (f *Flow) RunAblation() (*AblationResult, error) {
 				gcfg = v.gcfg(gcfg)
 			}
 			model = gnn3d.New(gcfg)
-			rep, err := model.Fit(hg, ds.Samples(), gnn3d.TrainConfig{
+			rep, err := model.Fit(ctx, hg, ds.Samples(), gnn3d.TrainConfig{
 				Epochs: o.TrainEpochs, Seed: o.Seed,
 				BatchSize: o.TrainBatch, Workers: o.Workers,
 			})
@@ -87,7 +91,7 @@ func (f *Flow) RunAblation() (*AblationResult, error) {
 		if v.rcfg != nil {
 			rcfg = v.rcfg(rcfg)
 		}
-		rr, err := relax.Optimize(model, hg, rcfg)
+		rr, err := relax.Optimize(ctx, model, hg, rcfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: ablation %s: %w", v.name, err)
 		}

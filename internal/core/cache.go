@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -28,7 +29,7 @@ func (f *Flow) modelPath(dir string) string {
 // LoadOrGenerateDataset returns the cached dataset when present and
 // consistent, otherwise generates and stores it. An empty dir disables
 // caching.
-func (f *Flow) LoadOrGenerateDataset(dir string) (*dataset.Dataset, error) {
+func (f *Flow) LoadOrGenerateDataset(ctx context.Context, dir string) (*dataset.Dataset, error) {
 	if dir != "" {
 		if ds, err := dataset.Load(f.datasetPath(dir)); err == nil {
 			if ds.Circuit == f.Circuit.Name && ds.NumNets == len(f.Circuit.Nets) {
@@ -36,7 +37,7 @@ func (f *Flow) LoadOrGenerateDataset(dir string) (*dataset.Dataset, error) {
 			}
 		}
 	}
-	ds, err := dataset.Generate(f.Grid, dataset.Config{
+	ds, err := dataset.Generate(ctx, f.Grid, dataset.Config{
 		Samples: f.Opts.Samples, Workers: f.Opts.Workers, Seed: f.Opts.Seed,
 		RouteCfg: f.Opts.RouteCfg, IncludeUniform: true,
 	})
@@ -57,7 +58,7 @@ func (f *Flow) LoadOrGenerateDataset(dir string) (*dataset.Dataset, error) {
 // LoadOrTrainModel returns the cached trained model when present, otherwise
 // trains on the (possibly cached) dataset and stores the result. The
 // heterogeneous graph is returned alongside, since every caller needs it.
-func (f *Flow) LoadOrTrainModel(dir string) (*gnn3d.Model, *hetgraph.Graph, error) {
+func (f *Flow) LoadOrTrainModel(ctx context.Context, dir string) (*gnn3d.Model, *hetgraph.Graph, error) {
 	hg, err := hetgraph.Build(f.Grid, hetgraph.Config{})
 	if err != nil {
 		return nil, nil, err
@@ -67,14 +68,14 @@ func (f *Flow) LoadOrTrainModel(dir string) (*gnn3d.Model, *hetgraph.Graph, erro
 			return m, hg, nil
 		}
 	}
-	ds, err := f.LoadOrGenerateDataset(dir)
+	ds, err := f.LoadOrGenerateDataset(ctx, dir)
 	if err != nil {
 		return nil, nil, err
 	}
 	gcfg := f.Opts.GNN
 	gcfg.Seed = f.Opts.Seed
 	m := gnn3d.New(gcfg)
-	if _, err := m.Fit(hg, ds.Samples(), gnn3d.TrainConfig{Epochs: f.Opts.TrainEpochs, Seed: f.Opts.Seed}); err != nil {
+	if _, err := m.Fit(ctx, hg, ds.Samples(), gnn3d.TrainConfig{Epochs: f.Opts.TrainEpochs, Seed: f.Opts.Seed}); err != nil {
 		return nil, nil, err
 	}
 	if dir != "" {

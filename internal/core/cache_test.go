@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"os"
 	"testing"
 
@@ -14,14 +15,14 @@ func TestDatasetCacheRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()
-	d1, err := f.LoadOrGenerateDataset(dir)
+	d1, err := f.LoadOrGenerateDataset(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(f.datasetPath(dir)); err != nil {
 		t.Fatalf("dataset not cached: %v", err)
 	}
-	d2, err := f.LoadOrGenerateDataset(dir)
+	d2, err := f.LoadOrGenerateDataset(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,19 +45,19 @@ func TestModelCacheRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()
-	m1, hg, err := f.LoadOrTrainModel(dir)
+	m1, hg, err := f.LoadOrTrainModel(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(f.modelPath(dir)); err != nil {
 		t.Fatalf("model not cached: %v", err)
 	}
-	m2, _, err := f.LoadOrTrainModel(dir)
+	m2, _, err := f.LoadOrTrainModel(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Same predictions from cached and trained model.
-	ds, err := f.LoadOrGenerateDataset(dir)
+	ds, err := f.LoadOrGenerateDataset(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestCacheDisabledByEmptyDir(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.LoadOrGenerateDataset(""); err != nil {
+	if _, err := f.LoadOrGenerateDataset(context.Background(), ""); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,165 @@
+//go:build faultinject
+
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"analogfold/internal/fault"
+	"analogfold/internal/fault/inject"
+	"analogfold/internal/netlist"
+	"analogfold/internal/place"
+)
+
+// chaosFlow builds a small flow for fault-injection runs.
+func chaosFlow(t *testing.T) *Flow {
+	t.Helper()
+	f, err := NewFlow(netlist.OTA1(), place.ProfileA, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// guard fails the test on panic (the harness's core invariant: every injected
+// fault either recovers or surfaces a typed error — never a panic).
+func guard(t *testing.T) {
+	t.Helper()
+	if r := recover(); r != nil {
+		t.Fatalf("injected fault escalated to panic: %v", r)
+	}
+}
+
+func TestChaosPoisonedModelFallsBackToMagical(t *testing.T) {
+	defer inject.Reset()
+	defer guard(t)
+	// Every 3DGNN forward pass emits NaN: training diverges, the learning
+	// stack is dropped, and the flow must still hand back a routed result on
+	// the MagicalRoute rung with the recovery recorded.
+	inject.Configure(inject.Schedule{Rate: map[inject.Point]float64{inject.ModelNaN: 1}})
+	f := chaosFlow(t)
+	out, err := f.RunAnalogFold(context.Background())
+	if err != nil {
+		t.Fatalf("poisoned model must degrade, not fail: %v", err)
+	}
+	if inject.Calls(inject.ModelNaN) == 0 {
+		t.Fatal("injection point never consulted; chaos test is vacuous")
+	}
+	if out.WirelengthNm <= 0 || out.Metrics.BandwidthMHz <= 0 {
+		t.Errorf("fallback outcome not routed/evaluated: %+v", out)
+	}
+	rep := out.Degradation
+	if rep == nil || !rep.Degraded() {
+		t.Fatalf("degradation report missing or empty: %+v", rep)
+	}
+	if rep.FinalRung != RungMagical {
+		t.Errorf("final rung = %q, want %q", rep.FinalRung, RungMagical)
+	}
+	if len(rep.Events) == 0 {
+		t.Errorf("no degradation events recorded")
+	}
+}
+
+func TestChaosStageLatencyHitsStageTimeout(t *testing.T) {
+	defer inject.Reset()
+	defer guard(t)
+	// Injected stage latency overruns the per-stage deadline: the flow must
+	// abort with a typed fault.ErrTimeout well inside a global bound — no
+	// hang, no panic.
+	inject.Configure(inject.Schedule{Latency: map[inject.Point]time.Duration{
+		inject.StageLatency: 300 * time.Millisecond,
+	}})
+	f := chaosFlow(t)
+	f.Opts.StageTimeout = 50 * time.Millisecond
+	t0 := time.Now()
+	_, err := f.RunAnalogFold(context.Background())
+	if err == nil {
+		t.Fatal("stage overrun must surface an error")
+	}
+	if !fault.IsTimeout(err) {
+		t.Fatalf("err = %v, want fault.ErrTimeout", err)
+	}
+	if st, ok := fault.StageOf(err); !ok || st == "" {
+		t.Errorf("timeout fault carries no stage attribution: %v", err)
+	}
+	// The flow has four injected-latency stage boundaries plus real work it
+	// may finish before the deadline check; a minute is a generous ceiling
+	// proving it did not hang on the expired deadline.
+	if el := time.Since(t0); el > time.Minute {
+		t.Errorf("timed-out run took %v, deadline not enforced", el)
+	}
+}
+
+func TestChaosRouteFailuresRecoverOrType(t *testing.T) {
+	defer inject.Reset()
+	defer guard(t)
+	// A burst of injected router failures early in the run: dataset labeling
+	// drops the poisoned samples and the flow either completes (possibly
+	// degraded) or fails with a typed, stage-attributed error — never a
+	// panic, never an untyped error.
+	inject.Configure(inject.Schedule{FailFirst: map[inject.Point]int{inject.RouteFail: 25}})
+	f := chaosFlow(t)
+	out, err := f.RunAnalogFold(context.Background())
+	if inject.Calls(inject.RouteFail) == 0 {
+		t.Fatal("injection point never consulted; chaos test is vacuous")
+	}
+	if err != nil {
+		var fe *fault.Error
+		if !errors.As(err, &fe) {
+			t.Fatalf("router chaos produced an untyped error: %v", err)
+		}
+		return
+	}
+	if out.WirelengthNm <= 0 {
+		t.Errorf("recovered outcome not routed: %+v", out)
+	}
+	if out.Degradation == nil {
+		t.Errorf("recovered run has no degradation report")
+	}
+}
+
+func TestChaosRandomRouteFaultRateNeverPanics(t *testing.T) {
+	defer inject.Reset()
+	defer guard(t)
+	// Probabilistic router faults sprinkled through the whole run.
+	inject.Configure(inject.Schedule{
+		Seed: 7,
+		Rate: map[inject.Point]float64{inject.RouteFail: 0.08},
+	})
+	f := chaosFlow(t)
+	out, err := f.RunAnalogFold(context.Background())
+	if err != nil {
+		var fe *fault.Error
+		if !errors.As(err, &fe) {
+			t.Fatalf("untyped error under random faults: %v", err)
+		}
+		return
+	}
+	if out.Degradation == nil {
+		t.Errorf("run under random faults has no degradation report")
+	}
+}
+
+func TestChaosTotalTimeoutBoundsBenchmark(t *testing.T) {
+	defer inject.Reset()
+	defer guard(t)
+	inject.Configure(inject.Schedule{Latency: map[inject.Point]time.Duration{
+		inject.StageLatency: 200 * time.Millisecond,
+	}})
+	opts := quickOpts()
+	opts.TotalTimeout = 100 * time.Millisecond
+	t0 := time.Now()
+	_, err := RunBenchmark(context.Background(), netlist.OTA1(), place.ProfileA, opts)
+	if err == nil {
+		t.Fatal("total-timeout overrun must surface an error")
+	}
+	if !fault.IsTimeout(err) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want a deadline fault", err)
+	}
+	if el := time.Since(t0); el > time.Minute {
+		t.Errorf("timed-out benchmark took %v", el)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"strings"
@@ -33,7 +34,7 @@ func TestFlowSchematicAndMagical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mag, err := f.RunMagical()
+	mag, err := f.RunMagical(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,15 +54,15 @@ func TestFullPipelineOTA1(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mag, err := f.RunMagical()
+	mag, err := f.RunMagical(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	gen, err := f.RunGenius()
+	gen, err := f.RunGenius(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	ours, err := f.RunAnalogFold()
+	ours, err := f.RunAnalogFold(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestRunAblation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := f.RunAblation()
+	a, err := f.RunAblation(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestDeriveGuidanceFeasible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gd, err := f.DeriveGuidance()
+	gd, err := f.DeriveGuidance(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +331,7 @@ func TestGuidanceTransferAcrossPlacements(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gd, err := src.DeriveGuidance()
+	gd, err := src.DeriveGuidance(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"analogfold/internal/fault"
+)
+
+// Rung identifies how far down the AnalogFold degradation ladder a run
+// landed. The flow tries the relaxation-derived elite guidance sets first,
+// falls back to uniform guidance when none of them routes, and bottoms out
+// at the unguided MagicalRoute baseline when the learning stack itself
+// (database or training) failed.
+type Rung string
+
+// The ladder, best to worst.
+const (
+	RungElite   Rung = "elite"   // a relaxation-derived guidance set routed
+	RungUniform Rung = "uniform" // model trained, but no elite routed; uniform guidance
+	RungMagical Rung = "magical" // learning stack unavailable; unguided baseline
+)
+
+// DegradationEvent records one fallback decision: which stage failed, the
+// underlying fault, and what the flow did about it.
+type DegradationEvent struct {
+	Stage fault.Stage
+	Err   error
+	Msg   string
+}
+
+func (e DegradationEvent) String() string {
+	if e.Err == nil {
+		return fmt.Sprintf("[%s] %s", e.Stage, e.Msg)
+	}
+	return fmt.Sprintf("[%s] %s: %v", e.Stage, e.Msg, e.Err)
+}
+
+// DegradationReport is RunAnalogFold's account of every recovery taken while
+// still producing a routed result. A fault-free run has FinalRung == RungElite
+// and no events.
+type DegradationReport struct {
+	Events    []DegradationEvent
+	FinalRung Rung
+	// CandidatesTried / CandidatesFailed count the elite guidance sets
+	// attempted in the guided-routing stage.
+	CandidatesTried  int
+	CandidatesFailed int
+	// RelaxRetried / RelaxDropped surface the relaxation's internal recovery
+	// accounting (restart reruns and dropped restarts).
+	RelaxRetried int
+	RelaxDropped int
+}
+
+// record appends one fallback event.
+func (r *DegradationReport) record(stage fault.Stage, err error, format string, args ...any) {
+	r.Events = append(r.Events, DegradationEvent{
+		Stage: stage, Err: err, Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// Degraded reports whether the run deviated from the fault-free path at all.
+func (r *DegradationReport) Degraded() bool {
+	return r != nil && (len(r.Events) > 0 || r.FinalRung != RungElite ||
+		r.CandidatesFailed > 0 || r.RelaxDropped > 0)
+}
+
+// String renders the report for logs and the CLI.
+func (r *DegradationReport) String() string {
+	if r == nil {
+		return "degradation: none"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "degradation: rung=%s candidates=%d/%d failed", r.FinalRung,
+		r.CandidatesFailed, r.CandidatesTried)
+	if r.RelaxRetried > 0 || r.RelaxDropped > 0 {
+		fmt.Fprintf(&b, " relax-retried=%d relax-dropped=%d", r.RelaxRetried, r.RelaxDropped)
+	}
+	for _, e := range r.Events {
+		fmt.Fprintf(&b, "\n  %s", e)
+	}
+	return b.String()
+}

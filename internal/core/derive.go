@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"analogfold/internal/dataset"
@@ -15,9 +16,12 @@ import (
 // potential relaxation) and returns the single best guidance set. Used by
 // the visualization commands (Figure 1) that want the guidance itself rather
 // than a full evaluation.
-func (f *Flow) DeriveGuidance() (guidance.Set, error) {
+func (f *Flow) DeriveGuidance(ctx context.Context) (guidance.Set, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	o := f.Opts
-	ds, err := dataset.Generate(f.Grid, dataset.Config{
+	ds, err := dataset.Generate(ctx, f.Grid, dataset.Config{
 		Samples: o.Samples, Workers: o.Workers, Seed: o.Seed,
 		RouteCfg: o.RouteCfg, IncludeUniform: true,
 	})
@@ -31,13 +35,13 @@ func (f *Flow) DeriveGuidance() (guidance.Set, error) {
 	gcfg := o.GNN
 	gcfg.Seed = o.Seed
 	model := gnn3d.New(gcfg)
-	if _, err := model.Fit(hg, ds.Samples(), gnn3d.TrainConfig{
+	if _, err := model.Fit(ctx, hg, ds.Samples(), gnn3d.TrainConfig{
 		Epochs: o.TrainEpochs, Seed: o.Seed,
 		BatchSize: o.TrainBatch, Workers: o.Workers,
 	}); err != nil {
 		return guidance.Set{}, fmt.Errorf("core: derive: %w", err)
 	}
-	rres, err := relax.Optimize(model, hg, relax.Config{
+	rres, err := relax.Optimize(ctx, model, hg, relax.Config{
 		Restarts: o.RelaxRestarts, NDerive: 1, Seed: o.Seed, Workers: o.Workers,
 	})
 	if err != nil {
@@ -48,12 +52,12 @@ func (f *Flow) DeriveGuidance() (guidance.Set, error) {
 
 // RunAnalogFoldRouted derives guidance and returns the routed solution, for
 // rendering (Figure 6).
-func (f *Flow) RunAnalogFoldRouted() (*route.Result, error) {
-	gd, err := f.DeriveGuidance()
+func (f *Flow) RunAnalogFoldRouted(ctx context.Context) (*route.Result, error) {
+	gd, err := f.DeriveGuidance(ctx)
 	if err != nil {
 		return nil, err
 	}
-	res, err := route.Route(f.Grid, gd, f.Opts.RouteCfg)
+	res, err := route.RouteCtx(ctx, f.Grid, gd, f.Opts.RouteCfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: analogfold route: %w", err)
 	}
@@ -62,12 +66,12 @@ func (f *Flow) RunAnalogFoldRouted() (*route.Result, error) {
 
 // RunGeniusRouted runs the GeniusRoute baseline and returns the routed
 // solution, for rendering (Figure 6).
-func (f *Flow) RunGeniusRouted() (*route.Result, error) {
-	gd, err := f.geniusGuidance()
+func (f *Flow) RunGeniusRouted(ctx context.Context) (*route.Result, error) {
+	gd, err := f.geniusGuidance(ctx)
 	if err != nil {
 		return nil, err
 	}
-	res, err := route.Route(f.Grid, gd, f.Opts.RouteCfg)
+	res, err := route.RouteCtx(ctx, f.Grid, gd, f.Opts.RouteCfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: genius route: %w", err)
 	}

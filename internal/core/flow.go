@@ -9,6 +9,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime/pprof"
 	"time"
@@ -16,6 +17,8 @@ import (
 	"analogfold/internal/circuit"
 	"analogfold/internal/dataset"
 	"analogfold/internal/extract"
+	"analogfold/internal/fault"
+	"analogfold/internal/fault/inject"
 	"analogfold/internal/gnn3d"
 	"analogfold/internal/grid"
 	"analogfold/internal/guidance"
@@ -62,6 +65,14 @@ type Options struct {
 	RouteCfg   route.Config
 	VAECorpus  int // sibling placements for the GeniusRoute corpus
 	VAEEpochs  int
+
+	// StageTimeout bounds each pipeline stage (database construction, 3DGNN
+	// training, relaxation, routing) independently; when a stage overruns it,
+	// the run aborts with a typed fault.ErrTimeout attributed to that stage.
+	// TotalTimeout bounds a whole benchmark run (applied by RunBenchmark and
+	// the CLI). Zero disables the respective deadline.
+	StageTimeout time.Duration
+	TotalTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -94,9 +105,34 @@ func (o Options) withDefaults() Options {
 
 // withPhase tags everything fn runs (including goroutines it spawns) with a
 // pprof "phase" label, so -cpuprofile output attributes samples to the
-// Figure-5 stages instead of one undifferentiated flow.
-func withPhase(phase string, fn func()) {
-	pprof.Do(context.Background(), pprof.Labels("phase", phase), func(context.Context) { fn() })
+// Figure-5 stages instead of one undifferentiated flow. The caller's context
+// flows through unchanged, so cancellation crosses the label boundary.
+func withPhase(ctx context.Context, phase string, fn func(context.Context)) {
+	pprof.Do(ctx, pprof.Labels("phase", phase), fn)
+}
+
+// stageCtx derives the per-stage context: Opts.StageTimeout bounds each stage
+// independently when set. The injected stage-latency fault point (chaos
+// builds only) sleeps before the deadline starts being consumed by real work,
+// which is how the harness provokes stage overruns deterministically.
+func (f *Flow) stageCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if f.Opts.StageTimeout > 0 {
+		c, cancel := context.WithTimeout(ctx, f.Opts.StageTimeout)
+		inject.Sleep(inject.StageLatency)
+		return c, cancel
+	}
+	inject.Sleep(inject.StageLatency)
+	return context.WithCancel(ctx)
+}
+
+// terminalFault reports whether err carries a cancellation or deadline: those
+// must abort the flow — retrying or degrading would fight the clock — while
+// every other fault is a candidate for the degradation ladder.
+func terminalFault(err error) bool {
+	return err != nil && (fault.IsTimeout(err) ||
+		errors.Is(err, fault.ErrCanceled) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded))
 }
 
 // StageTimes records the Figure-5 runtime breakdown.
@@ -121,6 +157,10 @@ type Outcome struct {
 	Times        StageTimes
 	WirelengthNm int
 	Vias         int
+	// Degradation is RunAnalogFold's recovery account (nil for the baseline
+	// methods). A fault-free run reports FinalRung == RungElite with no
+	// events; see DegradationReport.
+	Degradation *DegradationReport
 }
 
 // Flow holds the per-benchmark state shared by all methods.
@@ -184,9 +224,14 @@ func (f *Flow) cloneForMethod() *Flow {
 }
 
 // RunMagical runs the unguided baseline router.
-func (f *Flow) RunMagical() (*Outcome, error) {
+func (f *Flow) RunMagical(ctx context.Context) (*Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sctx, cancel := f.stageCtx(ctx)
+	defer cancel()
 	t0 := time.Now()
-	res, err := route.Route(f.Grid, guidance.Uniform(len(f.Circuit.Nets)), f.Opts.RouteCfg)
+	res, err := route.RouteCtx(sctx, f.Grid, guidance.Uniform(len(f.Circuit.Nets)), f.Opts.RouteCfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: magical: %w", err)
 	}
@@ -211,12 +256,15 @@ type geniusTiming struct {
 // trained on routed sibling placements (substitute for the original's
 // manual-layout corpus; see package vae) decodes a 2D wire-density map that
 // is converted to per-net guidance.
-func (f *Flow) geniusGuidanceTimed() (guidance.Set, geniusTiming, error) {
+func (f *Flow) geniusGuidanceTimed(ctx context.Context) (guidance.Set, geniusTiming, error) {
 	o := f.Opts
 	var tm geniusTiming
 	var pairs []vae.Pair
 	tCorpus := time.Now()
 	for k := 0; k < o.VAECorpus; k++ {
+		if err := ctx.Err(); err != nil {
+			return guidance.Set{}, tm, fault.FromContext(fault.StageGuidance, err)
+		}
 		p, err := place.Place(f.Circuit, place.Config{
 			Profile: f.Profile, Seed: o.Seed + int64(100+k), Iterations: o.PlaceIters / 2,
 		})
@@ -227,7 +275,7 @@ func (f *Flow) geniusGuidanceTimed() (guidance.Set, geniusTiming, error) {
 		if err != nil {
 			return guidance.Set{}, tm, fmt.Errorf("core: genius corpus: %w", err)
 		}
-		res, err := route.Route(g, guidance.Uniform(len(f.Circuit.Nets)), o.RouteCfg)
+		res, err := route.RouteCtx(ctx, g, guidance.Uniform(len(f.Circuit.Nets)), o.RouteCfg)
 		if err != nil {
 			return guidance.Set{}, tm, fmt.Errorf("core: genius corpus: %w", err)
 		}
@@ -250,22 +298,32 @@ func (f *Flow) geniusGuidanceTimed() (guidance.Set, geniusTiming, error) {
 }
 
 // geniusGuidance is the timing-free convenience used by visualization.
-func (f *Flow) geniusGuidance() (guidance.Set, error) {
-	gd, _, err := f.geniusGuidanceTimed()
+func (f *Flow) geniusGuidance(ctx context.Context) (guidance.Set, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	gd, _, err := f.geniusGuidanceTimed(ctx)
 	return gd, err
 }
 
 // RunGenius runs the GeniusRoute baseline end to end.
-func (f *Flow) RunGenius() (*Outcome, error) {
+func (f *Flow) RunGenius(ctx context.Context) (*Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	o := f.Opts
-	gd, tm, err := f.geniusGuidanceTimed()
+	gctx, gcancel := f.stageCtx(ctx)
+	gd, tm, err := f.geniusGuidanceTimed(gctx)
+	gcancel()
 	if err != nil {
 		return nil, err
 	}
 	corpusTime, trainTime, infTime := tm.corpus, tm.train, tm.inference
 
+	rctx, rcancel := f.stageCtx(ctx)
+	defer rcancel()
 	tRoute := time.Now()
-	res, err := route.Route(f.Grid, gd, o.RouteCfg)
+	res, err := route.RouteCtx(rctx, f.Grid, gd, o.RouteCfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: genius route: %w", err)
 	}
@@ -292,110 +350,199 @@ func (f *Flow) RunGenius() (*Outcome, error) {
 // RunAnalogFold runs the full proposed flow. Every stage fans out over
 // Opts.Workers goroutines and is tagged with a pprof "phase" label for the
 // profiling flags of cmd/analogfold.
-func (f *Flow) RunAnalogFold() (*Outcome, error) {
+//
+// Failure model: cancellation and stage deadlines abort with a typed fault;
+// every other stage failure degrades instead of aborting, walking the ladder
+// elite guidance → uniform guidance → unguided MagicalRoute baseline so that
+// a routed result is always produced. The recovery path is recorded in the
+// returned Outcome.Degradation.
+func (f *Flow) RunAnalogFold(ctx context.Context) (*Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	o := f.Opts
+	report := &DegradationReport{FinalRung: RungElite}
 
 	// Construct database: guidance-labeled routing samples.
 	tDB := time.Now()
 	var ds *dataset.Dataset
 	var err error
-	withPhase("construct-database", func() {
-		ds, err = dataset.Generate(f.Grid, dataset.Config{
-			Samples: o.Samples, Workers: o.Workers, Seed: o.Seed,
-			RouteCfg: o.RouteCfg, IncludeUniform: true,
+	func() {
+		sctx, cancel := f.stageCtx(ctx)
+		defer cancel()
+		withPhase(sctx, "construct-database", func(pctx context.Context) {
+			ds, err = dataset.Generate(pctx, f.Grid, dataset.Config{
+				Samples: o.Samples, Workers: o.Workers, Seed: o.Seed,
+				RouteCfg: o.RouteCfg, IncludeUniform: true,
+			})
 		})
-	})
+	}()
 	if err != nil {
-		return nil, fmt.Errorf("core: analogfold: %w", err)
+		if terminalFault(err) {
+			return nil, fmt.Errorf("core: analogfold: %w", err)
+		}
+		report.record(fault.StageDatabase, err, "database construction failed; skipping learning stack")
+		ds = nil
 	}
 	dbTime := time.Since(tDB)
 
-	// Heterogeneous graph + model training.
+	// Heterogeneous graph + model training. A diverged or failed fit drops
+	// the model: the flow continues to the unguided rung rather than aborting.
 	tTrain := time.Now()
-	hg, err := hetgraph.Build(f.Grid, hetgraph.Config{})
-	if err != nil {
-		return nil, fmt.Errorf("core: analogfold: %w", err)
-	}
-	gcfg := o.GNN
-	gcfg.Seed = o.Seed
-	model := gnn3d.New(gcfg)
-	withPhase("train-3dgnn", func() {
-		_, err = model.Fit(hg, ds.Samples(), gnn3d.TrainConfig{
-			Epochs: o.TrainEpochs, Seed: o.Seed,
-			BatchSize: o.TrainBatch, Workers: o.Workers,
-		})
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: analogfold: %w", err)
+	var hg *hetgraph.Graph
+	var model *gnn3d.Model
+	if ds != nil {
+		hg, err = hetgraph.Build(f.Grid, hetgraph.Config{})
+		if err != nil {
+			report.record(fault.StageTraining, err, "heterogeneous graph construction failed")
+		} else {
+			gcfg := o.GNN
+			gcfg.Seed = o.Seed
+			model = gnn3d.New(gcfg)
+			func() {
+				sctx, cancel := f.stageCtx(ctx)
+				defer cancel()
+				withPhase(sctx, "train-3dgnn", func(pctx context.Context) {
+					_, err = model.Fit(pctx, hg, ds.Samples(), gnn3d.TrainConfig{
+						Epochs: o.TrainEpochs, Seed: o.Seed,
+						BatchSize: o.TrainBatch, Workers: o.Workers,
+					})
+				})
+			}()
+			if err != nil {
+				if terminalFault(err) {
+					return nil, fmt.Errorf("core: analogfold: %w", err)
+				}
+				report.record(fault.StageTraining, err, "3DGNN training failed; dropping model")
+				model = nil
+			}
+		}
 	}
 	trainTime := time.Since(tTrain)
 
-	// Guidance generation: potential relaxation.
+	// Guidance generation: potential relaxation over the trained model.
 	tRelax := time.Now()
 	var rres *relax.Result
-	withPhase("relaxation", func() {
-		rres, err = relax.Optimize(model, hg, relax.Config{
-			Restarts: o.RelaxRestarts, NDerive: o.NDerive, Seed: o.Seed,
-			MaxIter: 25, Workers: o.Workers,
-		})
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: analogfold: %w", err)
+	if model != nil {
+		func() {
+			sctx, cancel := f.stageCtx(ctx)
+			defer cancel()
+			withPhase(sctx, "relaxation", func(pctx context.Context) {
+				rres, err = relax.Optimize(pctx, model, hg, relax.Config{
+					Restarts: o.RelaxRestarts, NDerive: o.NDerive, Seed: o.Seed,
+					MaxIter: 25, Workers: o.Workers,
+				})
+			})
+		}()
+		if err != nil {
+			if terminalFault(err) {
+				return nil, fmt.Errorf("core: analogfold: %w", err)
+			}
+			report.record(fault.StageRelaxation, err, "relaxation failed; falling back to uniform guidance")
+			rres = nil
+		} else {
+			report.RelaxRetried = rres.Retried
+			report.RelaxDropped = rres.Dropped
+		}
 	}
 	relaxTime := time.Since(tRelax)
 
 	// Guided routing: route every derived guidance set concurrently on a
 	// cloned grid and keep the best measured FoM (the model's normalization
-	// makes the FoM scale-free). Candidates that fail to route are skipped;
-	// the winner is chosen scanning in guidance order so ties resolve the
-	// same way for any worker count.
+	// makes the FoM scale-free). Per-candidate failures step down the ladder
+	// — next elite, then uniform guidance — and the winner is chosen scanning
+	// in guidance order so ties resolve the same way for any worker count.
 	tRoute := time.Now()
+	sctx, cancel := f.stageCtx(ctx)
+	defer cancel()
 	type candidate struct {
 		ok           bool
+		err          error
 		metrics      circuit.Metrics
 		fom          float64
 		wirelengthNm int
 		vias         int
 	}
-	var cands []candidate
-	withPhase("guided-routing", func() {
-		cands, err = parallel.Map(context.Background(), o.Workers, len(rres.Guides), func(i int) (candidate, error) {
-			g := f.Grid.Clone()
-			res, rerr := route.Route(g, rres.Guides[i], o.RouteCfg)
-			if rerr != nil {
-				return candidate{}, nil
-			}
-			m, merr := f.evaluateRoutedOn(g, res)
-			if merr != nil {
-				return candidate{}, nil
-			}
-			return candidate{
-				ok: true, metrics: m, fom: scalarFoM(model, m),
-				wirelengthNm: res.WirelengthNm, vias: res.Vias,
-			}, nil
-		})
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: analogfold: %w", err)
-	}
 	var best *Outcome
-	var bestFoM float64
-	for _, c := range cands {
-		if !c.ok {
-			continue
+	if rres != nil {
+		var cands []candidate
+		withPhase(sctx, "guided-routing", func(pctx context.Context) {
+			cands, err = parallel.Map(pctx, o.Workers, len(rres.Guides), func(i int) (candidate, error) {
+				g := f.Grid.Clone()
+				res, rerr := route.RouteCtx(pctx, g, rres.Guides[i], o.RouteCfg)
+				if rerr != nil {
+					if terminalFault(rerr) {
+						return candidate{}, rerr
+					}
+					return candidate{err: rerr}, nil
+				}
+				m, merr := f.evaluateRoutedOn(g, res)
+				if merr != nil {
+					return candidate{err: merr}, nil
+				}
+				return candidate{
+					ok: true, metrics: m, fom: scalarFoM(model, m),
+					wirelengthNm: res.WirelengthNm, vias: res.Vias,
+				}, nil
+			})
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: analogfold: %w", err)
 		}
-		if best == nil || c.fom < bestFoM {
-			bestFoM = c.fom
-			best = &Outcome{
-				Method: MethodAnalogFold, Metrics: c.metrics,
-				WirelengthNm: c.wirelengthNm, Vias: c.vias,
+		report.CandidatesTried = len(cands)
+		var bestFoM float64
+		for i, c := range cands {
+			if !c.ok {
+				report.CandidatesFailed++
+				if c.err != nil {
+					report.record(fault.StageRouting, c.err, "elite candidate %d failed; trying next", i)
+				}
+				continue
 			}
+			if best == nil || c.fom < bestFoM {
+				bestFoM = c.fom
+				best = &Outcome{
+					Method: MethodAnalogFold, Metrics: c.metrics,
+					WirelengthNm: c.wirelengthNm, Vias: c.vias,
+				}
+			}
+		}
+	}
+
+	// Ladder bottom: no elite routed (or no guidance at all). Route with
+	// uniform guidance — with a trained model this is the "uniform" rung;
+	// with the learning stack gone it is exactly the MagicalRoute baseline.
+	if best == nil {
+		rung := RungMagical
+		if model != nil {
+			rung = RungUniform
+			report.record(fault.StageRouting, nil, "no elite candidate routed; degrading to uniform guidance")
+		} else {
+			report.record(fault.StageRouting, nil, "learning stack unavailable; degrading to MagicalRoute baseline")
+		}
+		g := f.Grid.Clone()
+		res, rerr := route.RouteCtx(sctx, g, guidance.Uniform(len(f.Circuit.Nets)), o.RouteCfg)
+		if rerr != nil {
+			// The unguided baseline is the last rung; its failure is the
+			// flow's failure, typed and attributed.
+			if terminalFault(rerr) {
+				return nil, fmt.Errorf("core: analogfold: %w", rerr)
+			}
+			return nil, fault.Wrap(fault.StageRouting, fault.ErrRouteFailed, rerr,
+				"core: analogfold: degradation ladder exhausted")
+		}
+		m, merr := f.evaluateRoutedOn(g, res)
+		if merr != nil {
+			return nil, fault.Wrap(fault.StageEvaluation, fault.ErrRouteFailed, merr,
+				"core: analogfold: fallback evaluation failed")
+		}
+		report.FinalRung = rung
+		best = &Outcome{
+			Method: MethodAnalogFold, Metrics: m,
+			WirelengthNm: res.WirelengthNm, Vias: res.Vias,
 		}
 	}
 	routeTime := time.Since(tRoute)
-	if best == nil {
-		return nil, fmt.Errorf("core: analogfold: no derived guidance routed successfully")
-	}
 	best.Runtime = relaxTime + routeTime
 	best.Times = StageTimes{
 		Placement:         f.placeTime,
@@ -404,6 +551,7 @@ func (f *Flow) RunAnalogFold() (*Outcome, error) {
 		GuideGeneration:   relaxTime,
 		GuidedRouting:     routeTime,
 	}
+	best.Degradation = report
 	return best, nil
 }
 

@@ -25,7 +25,17 @@ type Row struct {
 // The three routed methods run concurrently, each on a flow copy with a
 // cloned grid, so no lattice or per-method state is shared; each method is
 // internally deterministic, so the row is identical to a serial run.
-func RunBenchmark(c *netlist.Circuit, profile place.Profile, opts Options) (*Row, error) {
+// Opts.TotalTimeout, when set, bounds the whole row; overruns surface as a
+// typed fault.ErrTimeout.
+func RunBenchmark(ctx context.Context, c *netlist.Circuit, profile place.Profile, opts Options) (*Row, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.TotalTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.TotalTimeout)
+		defer cancel()
+	}
 	f, err := NewFlow(c, profile, opts)
 	if err != nil {
 		return nil, err
@@ -35,15 +45,15 @@ func RunBenchmark(c *netlist.Circuit, profile place.Profile, opts Options) (*Row
 		return nil, err
 	}
 	methods := []struct {
-		run func(*Flow) (*Outcome, error)
+		run func(*Flow, context.Context) (*Outcome, error)
 		dst **Outcome
 	}{
 		{(*Flow).RunMagical, &row.Magical},
 		{(*Flow).RunGenius, &row.Genius},
 		{(*Flow).RunAnalogFold, &row.Ours},
 	}
-	if err := parallel.ForEach(context.Background(), opts.Workers, len(methods), func(i int) error {
-		out, err := methods[i].run(f.cloneForMethod())
+	if err := parallel.ForEach(ctx, opts.Workers, len(methods), func(i int) error {
+		out, err := methods[i].run(f.cloneForMethod(), ctx)
 		if err != nil {
 			return err
 		}

@@ -15,6 +15,7 @@ import (
 
 	"analogfold/internal/circuit"
 	"analogfold/internal/extract"
+	"analogfold/internal/fault"
 	"analogfold/internal/gnn3d"
 	"analogfold/internal/grid"
 	"analogfold/internal/guidance"
@@ -35,6 +36,9 @@ type Dataset struct {
 	NumNets int     `json:"num_nets"`
 	CMax    float64 `json:"c_max"`
 	Entries []Entry `json:"entries"`
+	// Dropped counts samples whose labeling failed and were left out of
+	// Entries — the corpus degraded rather than aborting.
+	Dropped int `json:"dropped,omitempty"`
 }
 
 // Config controls generation.
@@ -61,9 +65,9 @@ func (c Config) withDefaults() Config {
 }
 
 // Label routes the design under gd and measures the five metrics.
-func Label(g *grid.Grid, gd guidance.Set, rcfg route.Config) ([gnn3d.NumMetrics]float64, error) {
+func Label(ctx context.Context, g *grid.Grid, gd guidance.Set, rcfg route.Config) ([gnn3d.NumMetrics]float64, error) {
 	var y [gnn3d.NumMetrics]float64
-	res, err := route.Route(g, gd, rcfg)
+	res, err := route.RouteCtx(ctx, g, gd, rcfg)
 	if err != nil {
 		return y, fmt.Errorf("dataset: route: %w", err)
 	}
@@ -75,8 +79,14 @@ func Label(g *grid.Grid, gd guidance.Set, rcfg route.Config) ([gnn3d.NumMetrics]
 	return [gnn3d.NumMetrics]float64{m.OffsetUV, m.CMRRdB, m.BandwidthMHz, m.GainDB, m.NoiseUVrms}, nil
 }
 
-// Generate builds a dataset for the placement behind g.
-func Generate(g *grid.Grid, cfg Config) (*Dataset, error) {
+// Generate builds a dataset for the placement behind g. Labeling observes
+// ctx: cancellation or a deadline aborts the fan-out and surfaces as a typed
+// fault; individual routing failures degrade the corpus instead of killing
+// it, up to the half-empty threshold below.
+func Generate(ctx context.Context, g *grid.Grid, cfg Config) (*Dataset, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg = cfg.withDefaults()
 	c := g.Place.Circuit
 	numNets := len(c.Nets)
@@ -94,30 +104,40 @@ func Generate(g *grid.Grid, cfg Config) (*Dataset, error) {
 
 	// Fan the labeling out over the shared pool. Per-sample routing failures
 	// are recorded, not returned: an adversarial guidance draw must not abort
-	// the corpus, so the pool only ever sees nil errors here.
+	// the corpus, so the pool only sees nil errors here — except cancellation,
+	// which must stop the remaining work.
 	entries := make([]Entry, len(guides))
 	errs := make([]error, len(guides))
-	_ = parallel.ForEach(context.Background(), cfg.Workers, len(guides), func(i int) error {
-		y, err := Label(g, guides[i], cfg.RouteCfg)
+	if err := parallel.ForEach(ctx, cfg.Workers, len(guides), func(i int) error {
+		y, err := Label(ctx, g, guides[i], cfg.RouteCfg)
 		if err != nil {
+			if fault.IsTimeout(err) {
+				return err
+			}
 			errs[i] = err
 			return nil
 		}
 		entries[i] = Entry{C: guides[i].Flat(), Y: y}
 		return nil
-	})
+	}); err != nil {
+		return nil, fault.FromContext(fault.StageDatabase, err)
+	}
 	ds := &Dataset{Circuit: c.Name, NumNets: numNets, CMax: cfg.CMax}
+	dropped := 0
 	for i, e := range entries {
 		if errs[i] != nil {
 			// Individual routing failures (rare, from adversarial guidance)
 			// are dropped rather than aborting the corpus, matching how data
 			// collection farms tolerate failed runs.
+			dropped++
 			continue
 		}
 		ds.Entries = append(ds.Entries, e)
 	}
+	ds.Dropped = dropped
 	if len(ds.Entries) < len(guides)/2 {
-		return nil, fmt.Errorf("dataset: only %d/%d samples succeeded", len(ds.Entries), len(guides))
+		return nil, fault.New(fault.StageDatabase, fault.ErrInfeasible,
+			"dataset: only %d/%d samples succeeded", len(ds.Entries), len(guides))
 	}
 	return ds, nil
 }
@@ -151,11 +171,18 @@ func Load(path string) (*Dataset, error) {
 	}
 	var d Dataset
 	if err := json.Unmarshal(b, &d); err != nil {
-		return nil, fmt.Errorf("dataset: %w", err)
+		return nil, fault.Wrap(fault.StageDatabase, fault.ErrInvalidInput, err, "dataset: %s", path)
+	}
+	if d.NumNets <= 0 {
+		return nil, fault.New(fault.StageDatabase, fault.ErrInvalidInput,
+			"dataset: num_nets = %d, want > 0", d.NumNets)
 	}
 	for i, e := range d.Entries {
-		if len(e.C) != d.NumNets*3 {
-			return nil, fmt.Errorf("dataset: entry %d has %d guidance values, want %d", i, len(e.C), d.NumNets*3)
+		// Validated here with TryFromSlice so Samples (which has no error
+		// path) can use the panicking constructor on already-checked data.
+		if _, err := tensor.TryFromSlice(e.C, d.NumNets, 3); err != nil {
+			return nil, fault.Wrap(fault.StageDatabase, fault.ErrInvalidInput, err,
+				"dataset: entry %d", i)
 		}
 	}
 	return &d, nil

@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -28,7 +29,7 @@ func buildGrid(t testing.TB, c *netlist.Circuit, seed int64) *grid.Grid {
 
 func TestGenerateSmall(t *testing.T) {
 	g := buildGrid(t, netlist.OTA1(), 1)
-	ds, err := Generate(g, Config{Samples: 6, Seed: 1, IncludeUniform: true})
+	ds, err := Generate(context.Background(), g, Config{Samples: 6, Seed: 1, IncludeUniform: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestGenerateSmall(t *testing.T) {
 func TestLabelsDependOnGuidance(t *testing.T) {
 	g := buildGrid(t, netlist.OTA1(), 2)
 	n := len(g.Place.Circuit.Nets)
-	y1, err := Label(g, guidance.Uniform(n), route.Config{})
+	y1, err := Label(context.Background(), g, guidance.Uniform(n), route.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestLabelsDependOnGuidance(t *testing.T) {
 	for i := range skew.PerNet {
 		skew.PerNet[i] = guidance.Vec{1.8, 0.2, 1.5}
 	}
-	y2, err := Label(g, skew, route.Config{})
+	y2, err := Label(context.Background(), g, skew, route.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestLabelsDependOnGuidance(t *testing.T) {
 
 func TestSaveLoadRoundTrip(t *testing.T) {
 	g := buildGrid(t, netlist.OTA2(), 3)
-	ds, err := Generate(g, Config{Samples: 4, Seed: 2})
+	ds, err := Generate(context.Background(), g, Config{Samples: 4, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestLoadRejectsCorrupt(t *testing.T) {
 
 func TestSamplesConversion(t *testing.T) {
 	g := buildGrid(t, netlist.OTA1(), 4)
-	ds, err := Generate(g, Config{Samples: 4, Seed: 3})
+	ds, err := Generate(context.Background(), g, Config{Samples: 4, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,11 +130,11 @@ func TestSamplesConversion(t *testing.T) {
 
 func TestGenerateDeterministic(t *testing.T) {
 	g := buildGrid(t, netlist.OTA1(), 5)
-	d1, err := Generate(g, Config{Samples: 4, Seed: 9, Workers: 3})
+	d1, err := Generate(context.Background(), g, Config{Samples: 4, Seed: 9, Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	d2, err := Generate(g, Config{Samples: 4, Seed: 9, Workers: 1})
+	d2, err := Generate(context.Background(), g, Config{Samples: 4, Seed: 9, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -173,7 +173,10 @@ func ReadSpice(r io.Reader, name string) (*netlist.Circuit, error) {
 	for _, pr := range symDevs {
 		b.SymDevices(pr[0], pr[1])
 	}
-	c := b.Build()
+	c, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("export: %w", err)
+	}
 	assign := func(key string, dst *int) error {
 		name, ok := ports[key]
 		if !ok {

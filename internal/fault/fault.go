@@ -1,0 +1,161 @@
+// Package fault defines the structured error taxonomy of the AnalogFold
+// pipeline. Every stage of the flow — placement, database construction, 3DGNN
+// training, potential relaxation, guided routing, post-layout evaluation —
+// fails in a small number of well-understood ways (numeric divergence, a
+// deadline, an infeasible problem, an unroutable net, a model evaluation
+// error, malformed input), and the recovery machinery in core and relax
+// dispatches on *which* way. The package therefore provides:
+//
+//   - sentinel kinds (ErrDiverged, ErrTimeout, …) matched with errors.Is;
+//   - a wrapping Error carrying stage, restart and net attribution, so a
+//     failure deep inside a worker goroutine still reports where it happened;
+//   - helpers to classify context errors and to recover attribution from an
+//     arbitrarily wrapped chain.
+//
+// The taxonomy is deliberately flat: a fault is one kind, at one stage,
+// optionally at one restart or net. Everything else is message text.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Sentinel kinds. Match with errors.Is; they are never returned bare.
+var (
+	// ErrDiverged marks numeric divergence: NaN or Inf escaped a stage that
+	// should have produced finite values (training loss, relaxation
+	// potential, model output).
+	ErrDiverged = errors.New("numeric divergence")
+	// ErrTimeout marks a stage exceeding its deadline.
+	ErrTimeout = errors.New("deadline exceeded")
+	// ErrCanceled marks cooperative cancellation (Ctrl-C, parent failure).
+	ErrCanceled = errors.New("canceled")
+	// ErrInfeasible marks a stage that completed but found no acceptable
+	// solution (no feasible relaxation start, too few dataset samples).
+	ErrInfeasible = errors.New("infeasible")
+	// ErrRouteFailed marks a routing failure: a net could not be connected
+	// or conflicts survived post-processing.
+	ErrRouteFailed = errors.New("routing failed")
+	// ErrModelEval marks a failed forward/backward pass of a learned model.
+	ErrModelEval = errors.New("model evaluation failed")
+	// ErrInvalidInput marks malformed caller-supplied data (netlist
+	// construction, tensor shapes, serialized artifacts).
+	ErrInvalidInput = errors.New("invalid input")
+	// ErrExhausted marks a retry budget spent without success.
+	ErrExhausted = errors.New("retry budget exhausted")
+)
+
+// Stage names the pipeline stage a fault is attributed to. The constants
+// cover the Figure-2 flow; ad-hoc stages (e.g. sub-steps) are legal values.
+type Stage string
+
+// Pipeline stages.
+const (
+	StagePlacement  Stage = "placement"
+	StageDatabase   Stage = "construct-database"
+	StageTraining   Stage = "train-3dgnn"
+	StageRelaxation Stage = "relaxation"
+	StageRouting    Stage = "guided-routing"
+	StageEvaluation Stage = "evaluation"
+	StageNetlist    Stage = "netlist"
+	StageGuidance   Stage = "guide-generation"
+)
+
+// Error is a classified, attributed pipeline fault.
+type Error struct {
+	Stage   Stage
+	Kind    error  // one of the sentinel kinds above
+	Restart int    // relaxation restart index, -1 when not applicable
+	Net     int    // net index, -1 when not applicable
+	Msg     string // human context
+	Cause   error  // underlying error, may be nil
+}
+
+// New builds an attributed fault with no underlying cause.
+func New(stage Stage, kind error, format string, args ...any) *Error {
+	return &Error{Stage: stage, Kind: kind, Restart: -1, Net: -1, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Wrap builds an attributed fault around an underlying cause. A nil cause is
+// allowed and equivalent to New.
+func Wrap(stage Stage, kind error, cause error, format string, args ...any) *Error {
+	e := New(stage, kind, format, args...)
+	e.Cause = cause
+	return e
+}
+
+// WithRestart attributes the fault to one relaxation restart.
+func (e *Error) WithRestart(r int) *Error { e.Restart = r; return e }
+
+// WithNet attributes the fault to one net.
+func (e *Error) WithNet(n int) *Error { e.Net = n; return e }
+
+// Error renders "stage: kind [restart r] [net n]: msg: cause".
+func (e *Error) Error() string {
+	s := string(e.Stage) + ": " + e.Kind.Error()
+	if e.Restart >= 0 {
+		s += fmt.Sprintf(" [restart %d]", e.Restart)
+	}
+	if e.Net >= 0 {
+		s += fmt.Sprintf(" [net %d]", e.Net)
+	}
+	if e.Msg != "" {
+		s += ": " + e.Msg
+	}
+	if e.Cause != nil {
+		s += ": " + e.Cause.Error()
+	}
+	return s
+}
+
+// Unwrap exposes both the kind (for errors.Is classification) and the cause
+// (for chain inspection).
+func (e *Error) Unwrap() []error {
+	if e.Cause == nil {
+		return []error{e.Kind}
+	}
+	return []error{e.Kind, e.Cause}
+}
+
+// FromContext classifies a context error (DeadlineExceeded → ErrTimeout,
+// Canceled → ErrCanceled) at the given stage. Other errors pass through with
+// kind ErrCanceled, since they reached us via ctx plumbing.
+func FromContext(stage Stage, err error) *Error {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return Wrap(stage, ErrTimeout, err, "")
+	case errors.Is(err, context.Canceled):
+		return Wrap(stage, ErrCanceled, err, "")
+	default:
+		return Wrap(stage, ErrCanceled, err, "")
+	}
+}
+
+// StageOf recovers the stage attribution of the outermost *Error in the
+// chain, reporting ok=false when the chain carries none.
+func StageOf(err error) (Stage, bool) {
+	var fe *Error
+	if errors.As(err, &fe) {
+		return fe.Stage, true
+	}
+	return "", false
+}
+
+// KindOf recovers the sentinel kind of the outermost *Error in the chain,
+// or nil when the chain carries none.
+func KindOf(err error) error {
+	var fe *Error
+	if errors.As(err, &fe) {
+		return fe.Kind
+	}
+	return nil
+}
+
+// IsTimeout reports whether the chain carries a deadline or cancellation
+// fault — the two kinds a retry must not fight.
+func IsTimeout(err error) bool {
+	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrCanceled) ||
+		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}

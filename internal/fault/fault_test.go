@@ -1,0 +1,93 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestErrorClassificationAndAttribution(t *testing.T) {
+	cause := errors.New("lbfgs emitted NaN at iter 7")
+	err := Wrap(StageRelaxation, ErrDiverged, cause, "restart collapsed").WithRestart(3)
+
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("errors.Is(ErrDiverged) = false")
+	}
+	if errors.Is(err, ErrRouteFailed) {
+		t.Fatalf("misclassified as ErrRouteFailed")
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("cause not reachable through Unwrap")
+	}
+	if st, ok := StageOf(err); !ok || st != StageRelaxation {
+		t.Fatalf("StageOf = %q, %v", st, ok)
+	}
+	if KindOf(err) != ErrDiverged {
+		t.Fatalf("KindOf = %v", KindOf(err))
+	}
+	if err.Restart != 3 || err.Net != -1 {
+		t.Fatalf("attribution: restart=%d net=%d", err.Restart, err.Net)
+	}
+}
+
+func TestErrorSurvivesFmtWrapping(t *testing.T) {
+	inner := New(StageRouting, ErrRouteFailed, "net unroutable").WithNet(5)
+	outer := fmt.Errorf("core: analogfold: %w", inner)
+	if !errors.Is(outer, ErrRouteFailed) {
+		t.Fatalf("kind lost through fmt.Errorf wrapping")
+	}
+	if st, ok := StageOf(outer); !ok || st != StageRouting {
+		t.Fatalf("stage lost through fmt.Errorf wrapping: %q %v", st, ok)
+	}
+	var fe *Error
+	if !errors.As(outer, &fe) || fe.Net != 5 {
+		t.Fatalf("net attribution lost")
+	}
+}
+
+func TestFromContext(t *testing.T) {
+	if !errors.Is(FromContext(StageTraining, context.DeadlineExceeded), ErrTimeout) {
+		t.Fatalf("DeadlineExceeded must map to ErrTimeout")
+	}
+	if !errors.Is(FromContext(StageTraining, context.Canceled), ErrCanceled) {
+		t.Fatalf("Canceled must map to ErrCanceled")
+	}
+	if st, _ := StageOf(FromContext(StageDatabase, context.Canceled)); st != StageDatabase {
+		t.Fatalf("stage not attached")
+	}
+}
+
+func TestIsTimeout(t *testing.T) {
+	for _, err := range []error{
+		New(StageRelaxation, ErrTimeout, ""),
+		New(StageRelaxation, ErrCanceled, ""),
+		fmt.Errorf("wrapped: %w", context.DeadlineExceeded),
+	} {
+		if !IsTimeout(err) {
+			t.Errorf("IsTimeout(%v) = false", err)
+		}
+	}
+	if IsTimeout(New(StageRelaxation, ErrDiverged, "")) {
+		t.Errorf("ErrDiverged must not be a timeout")
+	}
+}
+
+func TestErrorString(t *testing.T) {
+	err := Wrap(StageRelaxation, ErrDiverged, errors.New("boom"), "noisy seed").WithRestart(2).WithNet(1)
+	s := err.Error()
+	for _, want := range []string{"relaxation", "numeric divergence", "restart 2", "net 1", "noisy seed", "boom"} {
+		if !contains(s, want) {
+			t.Errorf("Error() = %q missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,28 @@
+// Package inject is the fault-injection harness behind the chaos test suite.
+// Production code is instrumented with named fault points — a NaN poisoning
+// the 3DGNN forward pass, a router refusing a net, artificial stage latency —
+// that compile to constant no-ops in normal builds. Under the `faultinject`
+// build tag (go test -tags faultinject) the points consult a deterministic,
+// seed-scheduled Schedule configured by the test, so every chaos run is
+// reproducible: the same seed fires the same faults at the same call counts.
+//
+// The split lives in this file (stubs, always compiled) and
+// inject_faultinject.go (the real scheduler). Configure/Reset/Calls exist
+// only under the tag; chaos tests carry the tag themselves.
+package inject
+
+// Point names one instrumented fault site in production code.
+type Point string
+
+// The instrumented fault points.
+const (
+	// ModelNaN poisons the 3DGNN forward output with NaN, simulating
+	// numeric divergence of the learned model.
+	ModelNaN Point = "gnn3d.forward.nan"
+	// RouteFail makes the detailed router fail a net, simulating an
+	// unroutable instance or a search defect.
+	RouteFail Point = "route.net.fail"
+	// StageLatency stalls a pipeline stage, simulating a hung restart or
+	// an overloaded host, to exercise stage deadlines.
+	StageLatency Point = "core.stage.latency"
+)

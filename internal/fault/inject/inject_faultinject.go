@@ -1,0 +1,91 @@
+//go:build faultinject
+
+package inject
+
+import (
+	"sync"
+	"time"
+)
+
+// Schedule is a deterministic fault plan. For each point, FailFirst fires the
+// first N calls unconditionally (the "poisoned model" shape: every evaluation
+// fails until the budget is spent — or forever with a huge N); otherwise Rate
+// fires call n when a splitmix64 hash of (Seed, point, n) falls below the
+// rate, giving a reproducible pseudo-random fault stream. Latency adds a
+// fixed sleep to every Sleep call at the point.
+type Schedule struct {
+	Seed      int64
+	FailFirst map[Point]int
+	Rate      map[Point]float64
+	Latency   map[Point]time.Duration
+}
+
+var (
+	mu    sync.Mutex
+	sched Schedule
+	calls = map[Point]int{}
+)
+
+// Configure installs a schedule, resetting all call counters.
+func Configure(s Schedule) {
+	mu.Lock()
+	defer mu.Unlock()
+	sched = s
+	calls = map[Point]int{}
+}
+
+// Reset clears the schedule and counters; subsequent Fire calls return false.
+func Reset() { Configure(Schedule{}) }
+
+// Calls reports how many times the point has been consulted since Configure.
+func Calls(p Point) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return calls[p]
+}
+
+// Enabled reports whether the build carries the fault-injection scheduler.
+func Enabled() bool { return true }
+
+// Fire reports whether the point fails on this call, per the schedule.
+func Fire(p Point) bool {
+	mu.Lock()
+	defer mu.Unlock()
+	n := calls[p]
+	calls[p] = n + 1
+	if ff, ok := sched.FailFirst[p]; ok {
+		return n < ff
+	}
+	rate, ok := sched.Rate[p]
+	if !ok || rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	return float64(hash(sched.Seed, p, n))/float64(^uint64(0)) < rate
+}
+
+// Sleep applies the point's configured artificial latency.
+func Sleep(p Point) {
+	mu.Lock()
+	d := sched.Latency[p]
+	mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// hash is a splitmix64 finalizer over (seed, point, call index), so the fault
+// stream is a pure function of the schedule — independent of goroutine
+// interleaving beyond the per-point call order.
+func hash(seed int64, p Point, n int) uint64 {
+	z := uint64(seed) ^ 0x9e3779b97f4a7c15
+	for i := 0; i < len(p); i++ {
+		z = (z ^ uint64(p[i])) * 0xbf58476d1ce4e5b9
+	}
+	z += 0x9e3779b97f4a7c15 * uint64(n+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

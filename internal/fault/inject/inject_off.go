@@ -1,0 +1,14 @@
+//go:build !faultinject
+
+package inject
+
+// Enabled reports whether the build carries the fault-injection scheduler.
+func Enabled() bool { return false }
+
+// Fire reports whether the point should fail on this call. Constant false in
+// normal builds, so the hooks in gnn3d/route/core cost one inlined branch.
+func Fire(Point) bool { return false }
+
+// Sleep applies the point's configured artificial latency. No-op in normal
+// builds.
+func Sleep(Point) {}

@@ -1,0 +1,71 @@
+//go:build faultinject
+
+package inject
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFailFirstFiresExactlyN(t *testing.T) {
+	Configure(Schedule{FailFirst: map[Point]int{RouteFail: 3}})
+	defer Reset()
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if Fire(RouteFail) {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("FailFirst=3 fired %d times", fired)
+	}
+	if Calls(RouteFail) != 10 {
+		t.Fatalf("Calls = %d, want 10", Calls(RouteFail))
+	}
+}
+
+func TestRateScheduleIsDeterministic(t *testing.T) {
+	run := func() []bool {
+		Configure(Schedule{Seed: 42, Rate: map[Point]float64{ModelNaN: 0.3}})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = Fire(ModelNaN)
+		}
+		return out
+	}
+	a, b := run(), run()
+	Reset()
+	fires := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule not deterministic at call %d", i)
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	// 30% of 200 with generous slack: the stream must be neither empty nor
+	// saturated.
+	if fires < 30 || fires > 90 {
+		t.Fatalf("rate 0.3 fired %d/200 times", fires)
+	}
+}
+
+func TestUnconfiguredPointNeverFires(t *testing.T) {
+	Reset()
+	for i := 0; i < 50; i++ {
+		if Fire(StageLatency) {
+			t.Fatalf("unconfigured point fired")
+		}
+	}
+}
+
+func TestSleepAppliesLatency(t *testing.T) {
+	Configure(Schedule{Latency: map[Point]time.Duration{StageLatency: 30 * time.Millisecond}})
+	defer Reset()
+	t0 := time.Now()
+	Sleep(StageLatency)
+	if d := time.Since(t0); d < 25*time.Millisecond {
+		t.Fatalf("Sleep returned after %v, want ≥30ms", d)
+	}
+}

@@ -16,9 +16,11 @@ package gnn3d
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"analogfold/internal/ad"
+	"analogfold/internal/fault/inject"
 	"analogfold/internal/hetgraph"
 	"analogfold/internal/nn"
 	"analogfold/internal/tensor"
@@ -293,7 +295,15 @@ func (m *Model) Forward(g *hetgraph.Graph, cVar *ad.Var) (*ad.Var, error) {
 	uAP := ad.MatMul(ones1AP, m.out.Forward(vAP)) // [1 × H]
 	uM := ad.MatMul(ones1M, m.out.Forward(vM))
 	u := ad.Scale(ad.Add(uAP, uM), 1.0/float64(numAP+numM))
-	return m.head.Forward(u), nil // [1 × NumMetrics]
+	pred := m.head.Forward(u) // [1 × NumMetrics]
+	if inject.Fire(inject.ModelNaN) {
+		// Chaos harness: poison the prediction the way a diverged network
+		// would, so downstream divergence detection is exercised end to end.
+		for i := range pred.Value.Data {
+			pred.Value.Data[i] = math.NaN()
+		}
+	}
+	return pred, nil
 }
 
 // onesRow builds a 1×n row of ones (used to sum node embeddings via matmul).

@@ -1,6 +1,7 @@
 package gnn3d
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -173,7 +174,7 @@ func TestFitReducesLoss(t *testing.T) {
 		y[4] = 400 - 5*sx
 		samples = append(samples, Sample{C: ct, Y: y})
 	}
-	rep, err := m.Fit(g, samples, TrainConfig{Epochs: 60, LR: 5e-3, Seed: 1})
+	rep, err := m.Fit(context.Background(), g, samples, TrainConfig{Epochs: 60, LR: 5e-3, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +213,7 @@ func TestFitBatchedWorkerCountInvariant(t *testing.T) {
 	samples := fitSamples(t, g, 16)
 	run := func(workers int) (*Model, *TrainReport) {
 		m := New(Config{Seed: 5, Hidden: 12, Layers: 1, RBFBins: 6})
-		rep, err := m.Fit(g, samples, TrainConfig{
+		rep, err := m.Fit(context.Background(), g, samples, TrainConfig{
 			Epochs: 6, LR: 5e-3, Seed: 1, BatchSize: 4, Workers: workers,
 		})
 		if err != nil {
@@ -245,7 +246,7 @@ func TestFitBatchedReducesLoss(t *testing.T) {
 	g := buildGraph(t, c, 10)
 	samples := fitSamples(t, g, 24)
 	m := New(Config{Seed: 5, Hidden: 16, Layers: 2, RBFBins: 8})
-	rep, err := m.Fit(g, samples, TrainConfig{Epochs: 40, LR: 5e-3, Seed: 1, BatchSize: 4})
+	rep, err := m.Fit(context.Background(), g, samples, TrainConfig{Epochs: 40, LR: 5e-3, Seed: 1, BatchSize: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +299,7 @@ func TestFitRejectsTinyDataset(t *testing.T) {
 	c := netlist.OTA1()
 	g := buildGraph(t, c, 8)
 	m := New(Config{Seed: 7})
-	if _, err := m.Fit(g, []Sample{{C: uniformC(len(c.Nets))}}, TrainConfig{}); err == nil {
+	if _, err := m.Fit(context.Background(), g, []Sample{{C: uniformC(len(c.Nets))}}, TrainConfig{}); err == nil {
 		t.Errorf("Fit must reject datasets below the minimum size")
 	}
 }

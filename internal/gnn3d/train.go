@@ -2,11 +2,11 @@ package gnn3d
 
 import (
 	"context"
-	"fmt"
 	"math"
 	"math/rand"
 
 	"analogfold/internal/ad"
+	"analogfold/internal/fault"
 	"analogfold/internal/hetgraph"
 	"analogfold/internal/optim"
 	"analogfold/internal/parallel"
@@ -86,10 +86,17 @@ func (r *TrainReport) FinalVal() float64 {
 }
 
 // Fit trains the model on samples from a fixed graph (one placement), using
-// the L2 loss of Eq. (6) on normalized targets.
-func (m *Model) Fit(g *hetgraph.Graph, samples []Sample, cfg TrainConfig) (*TrainReport, error) {
+// the L2 loss of Eq. (6) on normalized targets. Training observes ctx at
+// every epoch boundary and inside the batch fan-out; a NaN/Inf training or
+// validation loss aborts with a typed fault.ErrDiverged rather than letting
+// the divergence poison the weights silently.
+func (m *Model) Fit(ctx context.Context, g *hetgraph.Graph, samples []Sample, cfg TrainConfig) (*TrainReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(samples) < 4 {
-		return nil, fmt.Errorf("gnn3d: need at least 4 samples, got %d", len(samples))
+		return nil, fault.New(fault.StageTraining, fault.ErrInvalidInput,
+			"gnn3d: need at least 4 samples, got %d", len(samples))
 	}
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -191,6 +198,9 @@ func (m *Model) Fit(g *hetgraph.Graph, samples []Sample, cfg TrainConfig) (*Trai
 	sinceBest := 0
 	var bestSnap []*tensor.Tensor
 	for ep := 0; ep < cfg.Epochs; ep++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fault.FromContext(fault.StageTraining, err)
+		}
 		// Shuffle the training order each epoch.
 		rng.Shuffle(len(train), func(a, b int) { train[a], train[b] = train[b], train[a] })
 		sum := 0.0
@@ -206,12 +216,12 @@ func (m *Model) Fit(g *hetgraph.Graph, samples []Sample, cfg TrainConfig) (*Trai
 				opt.ZeroGrad()
 				pred, err := m.Forward(g, ad.Const(samples[si].C))
 				if err != nil {
-					return nil, err
+					return nil, fault.Wrap(fault.StageTraining, fault.ErrModelEval, err, "sample %d", si)
 				}
 				loss := ad.MSE(pred, ad.Const(targets[si]))
 				sum += loss.Value.Data[0]
 				if err := ad.Backward(loss); err != nil {
-					return nil, err
+					return nil, fault.Wrap(fault.StageTraining, fault.ErrModelEval, err, "sample %d", si)
 				}
 				opt.Step()
 				continue
@@ -223,12 +233,12 @@ func (m *Model) Fit(g *hetgraph.Graph, samples []Sample, cfg TrainConfig) (*Trai
 			}
 			losses := make([]float64, len(batch))
 			grads := make([][]float64, len(batch))
-			if err := parallel.ForEach(context.Background(), cfg.Workers, len(batch), func(k int) error {
+			if err := parallel.ForEach(ctx, cfg.Workers, len(batch), func(k int) error {
 				ci := <-cloneIdx
 				defer func() { cloneIdx <- ci }()
 				l, gv, err := sampleGrad(ci, batch[k])
 				if err != nil {
-					return err
+					return fault.Wrap(fault.StageTraining, fault.ErrModelEval, err, "sample %d", batch[k])
 				}
 				losses[k] = l
 				grads[k] = gv
@@ -255,11 +265,16 @@ func (m *Model) Fit(g *hetgraph.Graph, samples []Sample, cfg TrainConfig) (*Trai
 				sum += l
 			}
 		}
-		rep.TrainLoss = append(rep.TrainLoss, sum/float64(len(train)))
+		avg := sum / float64(len(train))
+		if math.IsNaN(avg) || math.IsInf(avg, 0) {
+			return nil, fault.New(fault.StageTraining, fault.ErrDiverged,
+				"gnn3d: training loss %g at epoch %d", avg, ep)
+		}
+		rep.TrainLoss = append(rep.TrainLoss, avg)
 
 		// Validation forwards never call Backward, so they can share the live
 		// model across goroutines (parameter tensors are only read).
-		vLosses, err := parallel.Map(context.Background(), cfg.Workers, len(val), func(k int) (float64, error) {
+		vLosses, err := parallel.Map(ctx, cfg.Workers, len(val), func(k int) (float64, error) {
 			pred, err := m.Forward(g, ad.Const(samples[val[k]].C))
 			if err != nil {
 				return 0, err
@@ -274,6 +289,10 @@ func (m *Model) Fit(g *hetgraph.Graph, samples []Sample, cfg TrainConfig) (*Trai
 			vSum += l
 		}
 		vAvg := vSum / float64(len(val))
+		if math.IsNaN(vAvg) || math.IsInf(vAvg, 0) {
+			return nil, fault.New(fault.StageTraining, fault.ErrDiverged,
+				"gnn3d: validation loss %g at epoch %d", vAvg, ep)
+		}
 		rep.ValLoss = append(rep.ValLoss, vAvg)
 
 		// Early stopping with best-weights restore.

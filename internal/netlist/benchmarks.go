@@ -57,7 +57,7 @@ func ota12(name string, scale float64, lNm int) *Circuit {
 	b.SymDevices("MN1", "MN2")
 	b.SymDevices("MP1", "MP2")
 
-	c := b.Build()
+	c := b.MustBuild()
 	c.InP, _ = c.NetByName("VINP")
 	c.InN, _ = c.NetByName("VINN")
 	c.OutP, _ = c.NetByName("VOUT")
@@ -154,7 +154,7 @@ func ota34(name string, scale float64, lNm int) *Circuit {
 	b.SymDevices("CL1", "CL2")
 	b.SymDevices("CF1", "CF2")
 
-	c := b.Build()
+	c := b.MustBuild()
 	c.InP, _ = c.NetByName("VINP")
 	c.InN, _ = c.NetByName("VINN")
 	c.OutP, _ = c.NetByName("VOUTP")

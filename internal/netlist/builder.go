@@ -1,16 +1,22 @@
 package netlist
 
 import (
-	"fmt"
-
+	"analogfold/internal/fault"
 	"analogfold/internal/geom"
 )
 
 // Builder assembles a Circuit incrementally with automatic net interning and
-// physical pin-shape synthesis. It panics on malformed construction; the
-// benchmarks are static data, so construction errors are programming errors.
+// physical pin-shape synthesis. Construction errors (conflicting net classes,
+// missing terminals, undeclared symmetry references) are recorded — the first
+// one sticks, later calls become no-ops — and surfaced by Build as a typed
+// fault.ErrInvalidInput error. This matters because builders are driven not
+// only by the static benchmarks but also by parsed external input (see
+// export.ParseSPICE); a malformed SPICE deck must produce an error, not a
+// panic. The static benchmarks use MustBuild, which panics on the same
+// errors, since there a failure is a programming error in checked-in data.
 type Builder struct {
-	c *Circuit
+	c   *Circuit
+	err error
 }
 
 // NewBuilder starts a new circuit.
@@ -18,16 +24,30 @@ func NewBuilder(name string) *Builder {
 	return &Builder{c: &Circuit{Name: name, netIndex: map[string]int{}}}
 }
 
+// fail records the first construction error; subsequent ones are dropped.
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fault.New(fault.StageNetlist, fault.ErrInvalidInput, format, args...)
+	}
+}
+
+// Err returns the first recorded construction error, if any.
+func (b *Builder) Err() error { return b.err }
+
 // Net interns a net name, creating it with the given type on first use. A
 // repeated declaration may upgrade the type from NetSignal to a more specific
 // class but never conflicts two specific classes.
 func (b *Builder) Net(name string, typ NetType) int {
+	if b.err != nil {
+		return -1
+	}
 	if i, ok := b.c.netIndex[name]; ok {
 		n := b.c.Nets[i]
 		if n.Type == NetSignal && typ != NetSignal {
 			n.Type = typ
 		} else if typ != NetSignal && n.Type != typ {
-			panic(fmt.Sprintf("netlist builder: net %q redeclared as %v (was %v)", name, typ, n.Type))
+			b.fail("netlist builder: net %q redeclared as %v (was %v)", name, typ, n.Type)
+			return -1
 		}
 		return i
 	}
@@ -69,14 +89,15 @@ func mosFootprint(w int) (cw, ch int) {
 }
 
 func (b *Builder) addDevice(d *Device, termNets map[string]string) int {
-	for _, t := range d.Terminals {
-		_ = t
+	if b.err != nil {
+		return -1
 	}
 	var terms []Terminal
 	for _, tn := range canonicalTerms(d.Type) {
 		netName, ok := termNets[tn]
 		if !ok {
-			panic(fmt.Sprintf("netlist builder: device %s missing terminal %s", d.Name, tn))
+			b.fail("netlist builder: device %s missing terminal %s", d.Name, tn)
+			return -1
 		}
 		ni := b.net(netName)
 		terms = append(terms, Terminal{Name: tn, Net: ni})
@@ -121,7 +142,8 @@ func synthPinShapes(d *Device) map[string][]geom.Rect {
 // volts.
 func (b *Builder) MOS(typ DeviceType, name, d, g, s string, w, l int, id, vov float64) int {
 	if typ != PMOS && typ != NMOS {
-		panic("netlist builder: MOS requires PMOS or NMOS")
+		b.fail("netlist builder: MOS %s requires PMOS or NMOS", name)
+		return -1
 	}
 	cw, ch := mosFootprint(w)
 	dev := &Device{
@@ -155,7 +177,8 @@ func (b *Builder) SymNets(a, bn string) {
 	ia, ok1 := b.c.netIndex[a]
 	ib, ok2 := b.c.netIndex[bn]
 	if !ok1 || !ok2 {
-		panic(fmt.Sprintf("netlist builder: symmetric nets %q/%q not declared", a, bn))
+		b.fail("netlist builder: symmetric nets %q/%q not declared", a, bn)
+		return
 	}
 	b.c.SymNetPairs = append(b.c.SymNetPairs, [2]int{ia, ib})
 }
@@ -164,7 +187,8 @@ func (b *Builder) SymNets(a, bn string) {
 func (b *Builder) SelfSym(name string) {
 	i, ok := b.c.netIndex[name]
 	if !ok {
-		panic(fmt.Sprintf("netlist builder: self-symmetric net %q not declared", name))
+		b.fail("netlist builder: self-symmetric net %q not declared", name)
+		return
 	}
 	b.c.SelfSymNets = append(b.c.SelfSymNets, i)
 }
@@ -174,15 +198,31 @@ func (b *Builder) SymDevices(a, bn string) {
 	ia := b.c.DeviceByName(a)
 	ib := b.c.DeviceByName(bn)
 	if ia < 0 || ib < 0 {
-		panic(fmt.Sprintf("netlist builder: symmetric devices %q/%q not declared", a, bn))
+		b.fail("netlist builder: symmetric devices %q/%q not declared", a, bn)
+		return
 	}
 	b.c.SymDevPairs = append(b.c.SymDevPairs, [2]int{ia, ib})
 }
 
-// Build validates and returns the circuit.
-func (b *Builder) Build() *Circuit {
-	if err := b.c.Validate(); err != nil {
-		panic("netlist builder: " + err.Error())
+// Build validates and returns the circuit, or the first construction or
+// validation error, typed fault.ErrInvalidInput.
+func (b *Builder) Build() (*Circuit, error) {
+	if b.err != nil {
+		return nil, b.err
 	}
-	return b.c
+	if err := b.c.Validate(); err != nil {
+		return nil, fault.Wrap(fault.StageNetlist, fault.ErrInvalidInput, err, "netlist builder")
+	}
+	return b.c, nil
+}
+
+// MustBuild is Build for the checked-in benchmark circuits, where a
+// construction error is a programming error in static data: it panics
+// instead of returning an error.
+func (b *Builder) MustBuild() *Circuit {
+	c, err := b.Build()
+	if err != nil {
+		panic(err.Error())
+	}
+	return c
 }

@@ -58,7 +58,7 @@ func OTA5() *Circuit {
 	b.SymDevices("MN6", "MN7")
 	b.SymDevices("MN4", "MN5")
 
-	c := b.Build()
+	c := b.MustBuild()
 	c.InP, _ = c.NetByName("VINP")
 	c.InN, _ = c.NetByName("VINN")
 	c.OutP, _ = c.NetByName("VOUT")

@@ -1,8 +1,10 @@
 package netlist
 
 import (
+	"errors"
 	"testing"
 
+	"analogfold/internal/fault"
 	"analogfold/internal/geom"
 )
 
@@ -150,22 +152,45 @@ func TestBuilderNetUpgrade(t *testing.T) {
 	if b.c.Nets[i].Type != NetBias {
 		t.Errorf("net type upgrade failed")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Errorf("conflicting redeclaration must panic")
-		}
-	}()
-	b.Net("X", NetPower)
+	b.Net("X", NetPower) // conflicting redeclaration sticks as an error
+	if b.Err() == nil {
+		t.Fatalf("conflicting redeclaration must record an error")
+	}
+	if _, err := b.Build(); !errors.Is(err, fault.ErrInvalidInput) {
+		t.Errorf("Build error = %v, want fault.ErrInvalidInput", err)
+	}
 }
 
-func TestBuilderPanicsOnUnknownSym(t *testing.T) {
+func TestBuilderErrorsOnUnknownSym(t *testing.T) {
 	b := NewBuilder("t")
+	b.SymNets("nope", "nah")
+	if _, err := b.Build(); !errors.Is(err, fault.ErrInvalidInput) {
+		t.Errorf("SymNets on unknown nets must yield typed error, got %v", err)
+	}
+}
+
+func TestBuilderErrorIsSticky(t *testing.T) {
+	// After the first construction error, later calls are inert no-ops and
+	// the original error survives to Build.
+	b := NewBuilder("t")
+	b.SymNets("nope", "nah")
+	first := b.Err()
+	b.MOS(PMOS, "MP1", "a", "b", "c", 2000, 40, 1e-6, 0.1)
+	b.SelfSym("also-missing")
+	if b.Err() != first {
+		t.Errorf("first error must stick: %v vs %v", b.Err(), first)
+	}
+}
+
+func TestMustBuildPanicsOnMalformed(t *testing.T) {
+	b := NewBuilder("t")
+	b.SymNets("nope", "nah")
 	defer func() {
 		if recover() == nil {
-			t.Errorf("SymNets on unknown nets must panic")
+			t.Errorf("MustBuild must panic on construction errors")
 		}
 	}()
-	b.SymNets("nope", "nah")
+	b.MustBuild()
 }
 
 func TestValidateDetectsCorruption(t *testing.T) {

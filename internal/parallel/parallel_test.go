@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -116,6 +118,98 @@ func TestMapErrorDiscardsResults(t *testing.T) {
 	})
 	if err == nil || out != nil {
 		t.Errorf("Map with failing item: out=%v err=%v", out, err)
+	}
+}
+
+func TestForEachMidRoundCancellation(t *testing.T) {
+	// Cancel while workers are mid-flight: ForEach must return promptly with
+	// the context error, skip unclaimed items, and leak no worker goroutines
+	// (tracked by an in-flight counter since the container has no goleak).
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran, inFlight atomic.Int32
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- ForEach(ctx, 4, 1000, func(i int) error {
+			inFlight.Add(1)
+			defer inFlight.Add(-1)
+			ran.Add(1)
+			if i < 4 {
+				<-release // hold the first wave until cancellation lands
+			}
+			return nil
+		})
+	}()
+	for ran.Load() < 4 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	close(release)
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("ForEach hung past cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got > 100 {
+		t.Errorf("cancellation did not stop claiming: %d/1000 items ran", got)
+	}
+	// All workers must have drained: no item may still be executing.
+	for i := 0; i < 100 && inFlight.Load() != 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if got := inFlight.Load(); got != 0 {
+		t.Errorf("%d worker(s) still executing items after ForEach returned", got)
+	}
+}
+
+func TestForEachLowestIndexErrorWinsWithMultipleFailures(t *testing.T) {
+	// When several workers fail concurrently, the reported error must be the
+	// failing item with the lowest index, for any worker count.
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, w := range []int{2, 4, 16} {
+		var barrier sync.WaitGroup
+		barrier.Add(2)
+		err := ForEach(context.Background(), w, 64, func(i int) error {
+			switch i {
+			case 5:
+				barrier.Done()
+				barrier.Wait() // force both failures to be in flight together
+				return errLow
+			case 6:
+				barrier.Done()
+				barrier.Wait()
+				return errHigh
+			}
+			return nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Errorf("workers=%d: err = %v, want %v (lowest failing index)", w, err, errLow)
+		}
+	}
+}
+
+func TestForEachNoGoroutineGrowthAcrossRuns(t *testing.T) {
+	// Counter-based leak check: repeated pools must not accumulate
+	// goroutines. Allow slack for runtime background goroutines.
+	before := runtime.NumGoroutine()
+	for r := 0; r < 50; r++ {
+		_ = ForEach(context.Background(), 8, 64, func(i int) error {
+			if i == 32 {
+				return errors.New("fail")
+			}
+			return nil
+		})
+	}
+	for i := 0; i < 100 && runtime.NumGoroutine() > before+8; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+8 {
+		t.Errorf("goroutines grew %d -> %d across 50 failing runs", before, after)
 	}
 }
 

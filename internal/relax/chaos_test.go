@@ -1,0 +1,60 @@
+//go:build faultinject
+
+package relax
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"analogfold/internal/fault"
+	"analogfold/internal/fault/inject"
+	"analogfold/internal/netlist"
+)
+
+func TestChaosNaNBurstRecoversViaRetry(t *testing.T) {
+	defer inject.Reset()
+	c := netlist.OTA1()
+	g := buildGraph(t, c, 31)
+	m := trainedModel(t, g, 31) // train BEFORE poisoning the forward pass
+	inject.Configure(inject.Schedule{FailFirst: map[inject.Point]int{inject.ModelNaN: 1}})
+	// Workers=1 pins which restart eats the poisoned forward call.
+	res, err := Optimize(context.Background(), m, g, Config{
+		Restarts: 3, MaxIter: 10, NDerive: 1, Seed: 4, Workers: 1,
+	})
+	if err != nil {
+		t.Fatalf("a single NaN burst must be retried away, got %v", err)
+	}
+	if inject.Calls(inject.ModelNaN) == 0 {
+		t.Fatal("injection point never consulted; chaos test is vacuous")
+	}
+	if res.Retried == 0 {
+		t.Errorf("poisoned restart not retried: %+v", res)
+	}
+	if len(res.Guides) != 1 {
+		t.Errorf("no guidance derived after recovery")
+	}
+}
+
+func TestChaosPermanentNaNSurfacesTypedExhaustion(t *testing.T) {
+	defer inject.Reset()
+	c := netlist.OTA1()
+	g := buildGraph(t, c, 32)
+	m := trainedModel(t, g, 32)
+	inject.Configure(inject.Schedule{Rate: map[inject.Point]float64{inject.ModelNaN: 1}})
+	_, err := Optimize(context.Background(), m, g, Config{
+		Restarts: 2, MaxIter: 5, NDerive: 1, Seed: 4, Workers: 1, MaxRetries: 1,
+	})
+	if err == nil {
+		t.Fatal("permanently poisoned model must fail the relaxation")
+	}
+	if !errors.Is(err, fault.ErrExhausted) {
+		t.Fatalf("err = %v, want kind fault.ErrExhausted", err)
+	}
+	if !errors.Is(err, fault.ErrDiverged) && !errors.Is(err, fault.ErrModelEval) {
+		t.Errorf("exhaustion does not carry the underlying divergence cause: %v", err)
+	}
+	if st, ok := fault.StageOf(err); !ok || st != fault.StageRelaxation {
+		t.Errorf("stage attribution = %v, want %v", st, fault.StageRelaxation)
+	}
+}

@@ -14,13 +14,13 @@ package relax
 
 import (
 	"context"
-	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 	"sync"
 
 	"analogfold/internal/ad"
+	"analogfold/internal/fault"
 	"analogfold/internal/gnn3d"
 	"analogfold/internal/guidance"
 	"analogfold/internal/hetgraph"
@@ -64,6 +64,13 @@ type Config struct {
 	// UseGD replaces L-BFGS with plain gradient descent (fixed step with
 	// backtracking), ablating the second-order relaxation.
 	UseGD bool
+
+	// MaxRetries bounds how many times a diverged restart (NaN/Inf potential,
+	// stalled line search, model evaluation error) is rerun from a fresh
+	// noisy seed before being dropped (default 2; negative disables retry).
+	// Retry seeds are a pure function of (Seed, restart, attempt), so
+	// recovery preserves worker-count invariance.
+	MaxRetries int
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +101,12 @@ func (c Config) withDefaults() Config {
 	if c.RoundSize == 0 {
 		c.RoundSize = 4
 	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
 	allZero := true
 	for _, w := range c.WFoM {
 		if w != 0 {
@@ -118,6 +131,22 @@ type Result struct {
 	Potentials []float64
 	// Evals counts objective evaluations (forward+backward passes).
 	Evals int
+
+	// Retried counts restart attempts rerun after divergence, a stalled
+	// line search or a model evaluation error.
+	Retried int
+	// Dropped counts restarts abandoned after the retry budget.
+	Dropped int
+	// Failures records the terminal fault of every dropped restart, for the
+	// flow's DegradationReport.
+	Failures []RestartFailure
+}
+
+// RestartFailure is one dropped restart's post-mortem.
+type RestartFailure struct {
+	Restart  int
+	Attempts int
+	Err      error
 }
 
 // Potential evaluates V(C) and ∂V/∂C for a guidance tensor.
@@ -157,9 +186,11 @@ type poolEntry struct {
 
 // restartOut is one restart's contribution, merged at the round barrier.
 type restartOut struct {
-	pot   float64
-	x     []float64
-	evals int
+	pot     float64
+	x       []float64
+	evals   int
+	retries int
+	err     error // terminal fault after the retry budget; nil on success
 }
 
 // Optimize runs the full pool-assisted relaxation. Rounds of RoundSize
@@ -167,7 +198,18 @@ type restartOut struct {
 // private RNG (Seed+restartIndex) and a private model clone, and the elite
 // pool is merged at a barrier between rounds so the result is independent of
 // the worker count.
-func Optimize(m *gnn3d.Model, g *hetgraph.Graph, cfg Config) (*Result, error) {
+//
+// Failure model: a restart whose optimization diverges (NaN/Inf potential or
+// iterate), stalls without ever reaching a finite point, or hits a model
+// evaluation error is rerun from a fresh noisy seed up to MaxRetries times,
+// then dropped and recorded in Result.Failures. Cancellation of ctx aborts
+// the whole relaxation with a typed fault. Optimize errors only when every
+// restart was dropped (kind fault.ErrExhausted, wrapping the first terminal
+// fault) or no finite solution survived (fault.ErrInfeasible).
+func Optimize(ctx context.Context, m *gnn3d.Model, g *hetgraph.Graph, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg = cfg.withDefaults()
 	numNets := len(g.Circuit.Nets)
 	dim := numNets * 3
@@ -191,10 +233,19 @@ func Optimize(m *gnn3d.Model, g *hetgraph.Graph, cfg Config) (*Result, error) {
 		}
 	}
 
-	runRestart := func(r int, poolSnap []poolEntry) restartOut {
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(r)))
+	// runAttempt executes one optimization attempt of restart r. Attempt 0
+	// reproduces the pre-recovery behavior exactly (same RNG stream, same
+	// pool seeding); retries draw a fresh random initialization from a
+	// decorrelated (Seed, restart, attempt) stream.
+	runAttempt := func(r, attempt int, poolSnap []poolEntry) (optim.LBFGSResult, int, error) {
+		var rng *rand.Rand
+		if attempt == 0 {
+			rng = rand.New(rand.NewSource(cfg.Seed + int64(r)))
+		} else {
+			rng = rand.New(rand.NewSource(parallel.SeedFor(cfg.Seed, (r+1)*131+attempt)))
+		}
 		var x0 []float64
-		if !cfg.NoPool && len(poolSnap) >= cfg.NPool && rng.Float64() < cfg.PRelax {
+		if attempt == 0 && !cfg.NoPool && len(poolSnap) >= cfg.NPool && rng.Float64() < cfg.PRelax {
 			// Noisy restart from a pool member (Section 4.3).
 			src := poolSnap[rng.Intn(len(poolSnap))]
 			x0 = make([]float64, dim)
@@ -209,7 +260,16 @@ func Optimize(m *gnn3d.Model, g *hetgraph.Graph, cfg Config) (*Result, error) {
 		mdl := clones.Get().(*gnn3d.Model)
 		defer clones.Put(mdl)
 		evals := 0
+		var evalErr error // first model/divergence fault inside the line search
 		obj := func(x []float64) (float64, []float64) {
+			if err := ctx.Err(); err != nil {
+				// Cancellation: poison the search so the optimizer winds down
+				// in O(line-search) steps without another Forward pass.
+				if evalErr == nil || !fault.IsTimeout(evalErr) {
+					evalErr = fault.FromContext(fault.StageRelaxation, err).WithRestart(r)
+				}
+				return math.Inf(1), make([]float64, dim)
+			}
 			// Out-of-region points are +Inf: the Wolfe line search backs off.
 			for _, v := range x {
 				if v <= 0 || v >= cfg.CMax {
@@ -219,11 +279,21 @@ func Optimize(m *gnn3d.Model, g *hetgraph.Graph, cfg Config) (*Result, error) {
 			cT := tensor.FromSlice(append([]float64(nil), x...), numNets, 3)
 			f, grad, err := Potential(mdl, g, cT, cfg)
 			if err != nil {
-				// Model errors are programming errors upstream; surface as +Inf
-				// so the search retreats rather than crashing mid-run.
+				// Propagate a typed model fault into the retry path instead
+				// of masking it as +Inf with a fake zero gradient.
+				if evalErr == nil {
+					evalErr = fault.Wrap(fault.StageRelaxation, fault.ErrModelEval, err, "").WithRestart(r)
+				}
 				return math.Inf(1), make([]float64, dim)
 			}
 			evals++
+			if math.IsNaN(f) || anyNaN(grad.Data) {
+				if evalErr == nil {
+					evalErr = fault.New(fault.StageRelaxation, fault.ErrDiverged,
+						"NaN potential or gradient at eval %d", evals).WithRestart(r)
+				}
+				return math.Inf(1), make([]float64, dim)
+			}
 			return f, append([]float64(nil), grad.Data...)
 		}
 		var out optim.LBFGSResult
@@ -232,10 +302,44 @@ func Optimize(m *gnn3d.Model, g *hetgraph.Graph, cfg Config) (*Result, error) {
 		} else {
 			out = optim.LBFGS(obj, x0, cfg.MaxIter, 8, 1e-7)
 		}
-		return restartOut{pot: out.F, x: out.X, evals: evals}
+		return out, evals, evalErr
+	}
+
+	runRestart := func(r int, poolSnap []poolEntry) restartOut {
+		ro := restartOut{pot: math.Inf(1)}
+		for attempt := 0; ; attempt++ {
+			out, evals, evalErr := runAttempt(r, attempt, poolSnap)
+			ro.evals += evals
+			switch {
+			case evalErr != nil && fault.IsTimeout(evalErr):
+				// Deadlines are terminal: retrying would fight the clock.
+				ro.err = evalErr
+				return ro
+			case evalErr == nil && isFinite(out.F) && !anyNaN(out.X):
+				ro.pot, ro.x, ro.err = out.F, out.X, nil
+				return ro
+			}
+			// Diverged, stalled (never left +Inf) or model-eval fault: retry
+			// with a fresh noisy seed under the bounded budget.
+			var terminal error
+			if evalErr != nil {
+				terminal = evalErr
+			} else {
+				terminal = fault.New(fault.StageRelaxation, fault.ErrDiverged,
+					"restart stalled at potential %g", out.F).WithRestart(r)
+			}
+			if attempt >= cfg.MaxRetries {
+				ro.err = terminal
+				return ro
+			}
+			ro.retries++
+		}
 	}
 
 	for base := 0; base < cfg.Restarts; base += cfg.RoundSize {
+		if err := ctx.Err(); err != nil {
+			return nil, fault.FromContext(fault.StageRelaxation, err)
+		}
 		round := cfg.RoundSize
 		if base+round > cfg.Restarts {
 			round = cfg.Restarts - base
@@ -243,22 +347,38 @@ func Optimize(m *gnn3d.Model, g *hetgraph.Graph, cfg Config) (*Result, error) {
 		// Restarts in this round all see the pool as of the last barrier.
 		poolSnap := append([]poolEntry(nil), pool...)
 		outs := make([]restartOut, round)
-		if err := parallel.ForEach(context.Background(), cfg.Workers, round, func(k int) error {
+		if err := parallel.ForEach(ctx, cfg.Workers, round, func(k int) error {
 			outs[k] = runRestart(base+k, poolSnap)
 			return nil
 		}); err != nil {
-			return nil, fmt.Errorf("relax: %w", err)
+			return nil, fault.FromContext(fault.StageRelaxation, err)
 		}
 		// Barrier: merge in restart-index order so the elite pool — and with
 		// it every later round — is reproducible for any worker count.
-		for _, o := range outs {
+		for k, o := range outs {
 			res.Evals += o.evals
+			res.Retried += o.retries
+			if o.err != nil {
+				if fault.IsTimeout(o.err) {
+					return nil, o.err
+				}
+				res.Dropped++
+				res.Failures = append(res.Failures, RestartFailure{
+					Restart: base + k, Attempts: o.retries + 1, Err: o.err,
+				})
+				continue
+			}
 			insert(o.pot, o.x)
 		}
 	}
 
+	if res.Dropped == cfg.Restarts {
+		return nil, fault.Wrap(fault.StageRelaxation, fault.ErrExhausted, res.Failures[0].Err,
+			"all %d restarts dropped after %d retries", cfg.Restarts, res.Retried)
+	}
 	if len(pool) == 0 {
-		return nil, fmt.Errorf("relax: no feasible solution found in %d restarts", cfg.Restarts)
+		return nil, fault.New(fault.StageRelaxation, fault.ErrInfeasible,
+			"no feasible solution found in %d restarts", cfg.Restarts)
 	}
 	n := cfg.NDerive
 	if n > len(pool) {
@@ -273,6 +393,19 @@ func Optimize(m *gnn3d.Model, g *hetgraph.Graph, cfg Config) (*Result, error) {
 		res.Potentials = append(res.Potentials, pool[i].pot)
 	}
 	return res, nil
+}
+
+// isFinite reports a usable optimization outcome (finite, non-NaN).
+func isFinite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
+// anyNaN scans a vector for NaN contamination.
+func anyNaN(xs []float64) bool {
+	for _, v := range xs {
+		if math.IsNaN(v) {
+			return true
+		}
+	}
+	return false
 }
 
 // gradientDescent is the UseGD ablation optimizer: steepest descent with a

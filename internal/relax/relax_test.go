@@ -1,6 +1,7 @@
 package relax
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -56,7 +57,7 @@ func trainedModel(t testing.TB, g *hetgraph.Graph, seed int64) *gnn3d.Model {
 		y[4] = 300 * sx
 		samples = append(samples, gnn3d.Sample{C: ct, Y: y})
 	}
-	if _, err := m.Fit(g, samples, gnn3d.TrainConfig{Epochs: 15, LR: 5e-3, Seed: seed}); err != nil {
+	if _, err := m.Fit(context.Background(), g, samples, gnn3d.TrainConfig{Epochs: 15, LR: 5e-3, Seed: seed}); err != nil {
 		t.Fatal(err)
 	}
 	return m
@@ -112,7 +113,7 @@ func TestOptimizeImprovesOverRandom(t *testing.T) {
 	g := buildGraph(t, c, 3)
 	m := trainedModel(t, g, 3)
 	cfg := Config{Restarts: 6, MaxIter: 25, NPool: 4, NDerive: 2, Seed: 9}
-	res, err := Optimize(m, g, cfg)
+	res, err := Optimize(context.Background(), m, g, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestOptimizeResultsFeasibleAndSorted(t *testing.T) {
 	c := netlist.OTA2()
 	g := buildGraph(t, c, 4)
 	m := trainedModel(t, g, 4)
-	res, err := Optimize(m, g, Config{Restarts: 5, MaxIter: 15, NDerive: 3, Seed: 5})
+	res, err := Optimize(context.Background(), m, g, Config{Restarts: 5, MaxIter: 15, NDerive: 3, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,11 +166,11 @@ func TestOptimizeDeterministic(t *testing.T) {
 	g := buildGraph(t, c, 6)
 	m := trainedModel(t, g, 6)
 	cfg := Config{Restarts: 4, MaxIter: 10, Seed: 42}
-	r1, err := Optimize(m, g, cfg)
+	r1, err := Optimize(context.Background(), m, g, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Optimize(m, g, cfg)
+	r2, err := Optimize(context.Background(), m, g, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,11 +191,11 @@ func TestOptimizeWorkerCountInvariant(t *testing.T) {
 	cfg1.Workers = 1
 	cfg8 := base
 	cfg8.Workers = 8
-	r1, err := Optimize(m, g, cfg1)
+	r1, err := Optimize(context.Background(), m, g, cfg1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r8, err := Optimize(m, g, cfg8)
+	r8, err := Optimize(context.Background(), m, g, cfg8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestOptimizeLeavesModelGradientsClean(t *testing.T) {
 	for _, p := range m.Params() {
 		p.Grad = nil
 	}
-	if _, err := Optimize(m, g, Config{Restarts: 2, MaxIter: 5, Seed: 3}); err != nil {
+	if _, err := Optimize(context.Background(), m, g, Config{Restarts: 2, MaxIter: 5, Seed: 3}); err != nil {
 		t.Fatal(err)
 	}
 	for i, p := range m.Params() {

@@ -15,9 +15,13 @@
 package route
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
+	"analogfold/internal/fault"
+	"analogfold/internal/fault/inject"
 	"analogfold/internal/geom"
 	"analogfold/internal/grid"
 	"analogfold/internal/guidance"
@@ -104,6 +108,12 @@ type Router struct {
 	hist  []float64
 	// owner of wire cells per net during an iteration.
 	cellNets [][]int32 // per cell, small slice of net ids (usually 0–1)
+
+	// ctx is the run's cancellation context, checked between nets and
+	// periodically inside A* so a deadline interrupts even a single
+	// pathological search. Set by RunCtx; never nil during a run.
+	ctx      context.Context
+	ctxPolls int
 }
 
 // NewRouter creates a router over a grid.
@@ -121,18 +131,36 @@ func NewRouter(g *grid.Grid, cfg Config) *Router {
 }
 
 // Route runs the full iterative flow with the given guidance (use
-// guidance.Uniform for the unguided baseline).
+// guidance.Uniform for the unguided baseline). It is the
+// context-free convenience over RouteCtx.
 func Route(g *grid.Grid, gd guidance.Set, cfg Config) (*Result, error) {
-	return NewRouter(g, cfg).Run(gd)
+	return NewRouter(g, cfg).RunCtx(context.Background(), gd)
+}
+
+// RouteCtx is Route under a cancellation context: the search observes ctx
+// between nets and periodically inside A*, returning a typed fault
+// (fault.ErrTimeout / fault.ErrCanceled) when the deadline lands mid-run.
+func RouteCtx(ctx context.Context, g *grid.Grid, gd guidance.Set, cfg Config) (*Result, error) {
+	return NewRouter(g, cfg).RunCtx(ctx, gd)
 }
 
 // Run executes rip-up-and-reroute until conflict-free or MaxIters, then a
 // hard-blocked post-pass (the paper's post-processing step) for any
 // leftovers.
 func (r *Router) Run(gd guidance.Set) (*Result, error) {
+	return r.RunCtx(context.Background(), gd)
+}
+
+// RunCtx is Run under a cancellation context.
+func (r *Router) RunCtx(ctx context.Context, gd guidance.Set) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r.ctx = ctx
 	c := r.g.Place.Circuit
 	if len(gd.PerNet) != len(c.Nets) {
-		return nil, fmt.Errorf("route: guidance covers %d nets, circuit has %d", len(gd.PerNet), len(c.Nets))
+		return nil, fault.New(fault.StageRouting, fault.ErrInvalidInput,
+			"route: guidance covers %d nets, circuit has %d", len(gd.PerNet), len(c.Nets))
 	}
 	order := r.netOrder()
 	netCells := make([][]geom.Point3, len(c.Nets))
@@ -142,10 +170,17 @@ func (r *Router) Run(gd guidance.Set) (*Result, error) {
 	for ; iter < r.cfg.MaxIters; iter++ {
 		conflicts := 0
 		for _, ni := range order {
+			if err := ctx.Err(); err != nil {
+				return nil, fault.FromContext(fault.StageRouting, err).WithNet(ni)
+			}
+			if inject.Fire(inject.RouteFail) {
+				return nil, fault.New(fault.StageRouting, fault.ErrRouteFailed,
+					"route: injected step failure at net %s", c.Nets[ni].Name).WithNet(ni)
+			}
 			r.ripUp(ni, netCells[ni])
 			cells, paths, err := r.routeNet(ni, gd, iter, netCells)
 			if err != nil {
-				return nil, err
+				return nil, wrapNetErr(err, ni)
 			}
 			netCells[ni] = cells
 			netPaths[ni] = paths
@@ -165,17 +200,21 @@ func (r *Router) Run(gd guidance.Set) (*Result, error) {
 			if !r.netConflicted(ni, netCells[ni]) {
 				continue
 			}
+			if err := ctx.Err(); err != nil {
+				return nil, fault.FromContext(fault.StageRouting, err).WithNet(ni)
+			}
 			r.ripUp(ni, netCells[ni])
 			cells, paths, err := r.routeNetHard(ni, gd, netCells)
 			if err != nil {
-				return nil, fmt.Errorf("route: post-processing failed for net %s: %w", c.Nets[ni].Name, err)
+				return nil, wrapNetErr(fmt.Errorf("route: post-processing failed for net %s: %w", c.Nets[ni].Name, err), ni)
 			}
 			netCells[ni] = cells
 			netPaths[ni] = paths
 			r.commit(ni, cells)
 		}
 		if n := r.totalConflicts(); n > 0 {
-			return nil, fmt.Errorf("route: %d conflicts remain after post-processing", n)
+			return nil, fault.New(fault.StageRouting, fault.ErrRouteFailed,
+				"route: %d conflicts remain after post-processing", n)
 		}
 	}
 
@@ -195,6 +234,17 @@ func (r *Router) Run(gd guidance.Set) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// wrapNetErr attributes a per-net routing failure: already-typed faults
+// (cancellation surfaced from A*) pass through untouched, anything else
+// becomes a typed ErrRouteFailed at the net.
+func wrapNetErr(err error, ni int) error {
+	var fe *fault.Error
+	if errors.As(err, &fe) {
+		return err
+	}
+	return fault.Wrap(fault.StageRouting, fault.ErrRouteFailed, err, "").WithNet(ni)
 }
 
 // OrderStrategy selects how nets are sequenced each rip-up-and-reroute

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"analogfold/internal/fault"
 	"analogfold/internal/geom"
 	"analogfold/internal/guidance"
 	"analogfold/internal/tech"
@@ -321,6 +322,13 @@ func (r *Router) astar(ni int, gd guidance.Set, iter int, tree map[int]geom.Poin
 
 	var found int32 = -1
 	for open.Len() > 0 {
+		// Poll the run context every 1024 expansions so a deadline interrupts
+		// even one pathological search, not just the gaps between nets.
+		if r.ctxPolls++; r.ctxPolls&1023 == 0 && r.ctx != nil {
+			if err := r.ctx.Err(); err != nil {
+				return nil, fault.FromContext(fault.StageRouting, err).WithNet(ni)
+			}
+		}
 		it := heap.Pop(&open).(pqItem)
 		idx := int(it.cell)
 		if r.inOpen[idx] == ep {

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"analogfold/internal/fault"
 )
 
 // Tensor is a dense row-major float64 tensor.
@@ -18,24 +20,59 @@ type Tensor struct {
 }
 
 // New allocates a zero tensor with the given shape.
+//
+// It panics on a negative dimension: shapes originate in code, not input, so
+// a bad one is a programming error (input-derived shapes go through TryNew).
 func New(shape ...int) *Tensor {
+	t, err := TryNew(shape...)
+	if err != nil {
+		panic(err.Error())
+	}
+	return t
+}
+
+// TryNew is New for input-derived shapes: it returns a typed
+// fault.ErrInvalidInput error instead of panicking.
+func TryNew(shape ...int) (*Tensor, error) {
 	n := 1
 	for _, s := range shape {
 		if s < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension %v", shape))
+			return nil, fault.New(fault.StageEvaluation, fault.ErrInvalidInput,
+				"tensor: negative dimension %v", shape)
 		}
 		n *= s
 	}
-	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}, nil
 }
 
 // FromSlice wraps data in a tensor of the given shape (no copy).
+//
+// It panics on a length mismatch: like New, it is for code-originated
+// shapes. Deserialized data goes through TryFromSlice.
 func FromSlice(data []float64, shape ...int) *Tensor {
-	t := &Tensor{Shape: append([]int(nil), shape...), Data: data}
-	if t.Len() != len(data) {
-		panic(fmt.Sprintf("tensor: %v needs %d elements, got %d", shape, t.Len(), len(data)))
+	t, err := TryFromSlice(data, shape...)
+	if err != nil {
+		panic(err.Error())
 	}
 	return t
+}
+
+// TryFromSlice is FromSlice for input-derived data (JSON datasets, parsed
+// artifacts): it returns a typed fault.ErrInvalidInput error instead of
+// panicking when the shape is negative or does not cover the data.
+func TryFromSlice(data []float64, shape ...int) (*Tensor, error) {
+	for _, s := range shape {
+		if s < 0 {
+			return nil, fault.New(fault.StageEvaluation, fault.ErrInvalidInput,
+				"tensor: negative dimension %v", shape)
+		}
+	}
+	t := &Tensor{Shape: append([]int(nil), shape...), Data: data}
+	if t.Len() != len(data) {
+		return nil, fault.New(fault.StageEvaluation, fault.ErrInvalidInput,
+			"tensor: %v needs %d elements, got %d", shape, t.Len(), len(data))
+	}
+	return t, nil
 }
 
 // Len returns the total element count.
@@ -103,6 +140,11 @@ func (t *Tensor) Randn(rng *rand.Rand, std float64) *Tensor {
 }
 
 // MatMul computes out = a @ b for 2-D tensors; out may be nil.
+//
+// The shape-mismatch panics in MatMul/MatMulATB/MatMulABT are deliberate
+// invariant checks, not input validation: operand shapes are fixed by the
+// network architecture at construction time, so a mismatch here is a wiring
+// bug in model code that no caller could meaningfully recover from.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Dims() != 2 || b.Dims() != 2 || a.Shape[1] != b.Shape[0] {
 		panic(fmt.Sprintf("tensor: matmul shape mismatch %v x %v", a.Shape, b.Shape))

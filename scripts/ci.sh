@@ -23,4 +23,19 @@ go test -race -count=1 \
     ./internal/gnn3d/ \
     ./internal/dataset/
 
+echo "== chaos: go test -race -tags faultinject (fault-injection suite) =="
+# The faultinject build tag compiles the deterministic fault scheduler into
+# the injection points (NaN model output, router failures, stage latency);
+# the chaos tests assert every injected fault recovers or surfaces a typed
+# error — never a panic, never a hang past its deadline.
+go test -race -count=1 -tags faultinject \
+    ./internal/fault/... \
+    ./internal/parallel/ \
+    ./internal/relax/ \
+    ./internal/route/ \
+    ./internal/core/
+
+echo "== unchecked-error grep =="
+./scripts/errcheck.sh
+
 echo "CI OK"

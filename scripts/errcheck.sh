@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# errcheck-style grep: flags statements that call error-returning APIs and
+# drop the result on the floor. Not a type-checker — a curated pattern list
+# over the repo's own error-returning helpers, cheap enough for every CI run.
+# A deliberate discard must be written as `_ = call()` (grep-visible intent).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# Bare statement calls of error-returning APIs: no assignment, no `if`, no
+# `return`, not deferred cleanup. Extend the alternation as new
+# error-returning helpers appear.
+pattern='^[[:space:]]*(os\.(WriteFile|MkdirAll|Remove|RemoveAll|Rename)|[A-Za-z_][A-Za-z0-9_.]*\.(Save|WriteJSON|Validate|Fit|Build))\('
+
+if grep -rnE "$pattern" --include='*.go' cmd internal examples 2>/dev/null \
+    | grep -v '_test\.go' \
+    | grep -vE '(//|defer |_ = )'; then
+    echo "errcheck: unchecked error-returning calls above (assign or handle them)" >&2
+    exit 1
+fi
+echo "errcheck grep OK"
