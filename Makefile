@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet errcheck race chaos bench bench-parallel ci
+.PHONY: build test vet errcheck race chaos bench bench-parallel bench-route ci
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ errcheck:
 # race runs the packages that execute work concurrently under the race
 # detector with short settings; the full suite under -race is much slower.
 race:
-	$(GO) test -race ./internal/parallel/ ./internal/relax/ ./internal/circuit/ ./internal/gnn3d/ ./internal/dataset/
+	$(GO) test -race ./internal/parallel/ ./internal/relax/ ./internal/circuit/ ./internal/gnn3d/ ./internal/dataset/ ./internal/route/
 
 # chaos compiles the deterministic fault scheduler into the injection points
 # (faultinject build tag) and runs the fault-injection suite under the race
@@ -36,6 +36,13 @@ bench:
 # parallelized phases and writes BENCH_parallel.json.
 bench-parallel:
 	$(GO) test -run NONE -bench BenchmarkParallelSpeedup -benchtime 1x .
+
+# bench-route measures the detailed-router hot path per OTA benchmark
+# (wall time, allocs, routed quality) and writes BENCH_route.json; the
+# in-package micro-benchmarks cover the A* core and negotiation loop.
+bench-route:
+	$(GO) test -run NONE -bench BenchmarkRouteReport -benchtime 1x .
+	$(GO) test -run NONE -bench 'BenchmarkAstarCore|BenchmarkRouteNegotiation' -benchmem -benchtime 100x ./internal/route/
 
 ci:
 	./scripts/ci.sh

@@ -178,6 +178,13 @@ func (g *Grid) Owner(p geom.Point3) int {
 	return int(g.owner[g.index(p)])
 }
 
+// BlockedAt is Blocked keyed by a flat cell index (see CellIndex), for hot
+// loops that already carry the index and would otherwise recompute it.
+func (g *Grid) BlockedAt(idx int) bool { return g.blocked[idx] }
+
+// OwnerAt is Owner keyed by a flat cell index.
+func (g *Grid) OwnerAt(idx int) int { return int(g.owner[idx]) }
+
 // NumCells returns the total lattice size.
 func (g *Grid) NumCells() int { return g.NX * g.NY * g.NL }
 

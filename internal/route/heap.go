@@ -1,0 +1,64 @@
+package route
+
+// pqHeap is the A* open list: a binary min-heap on f, specialized to
+// (cell, f) pairs so pushes and pops never box through interface{} the way
+// container/heap does. The sift-up/sift-down algorithm mirrors
+// container/heap exactly — strict less-than comparisons, first child
+// preferred on ties — so replacing the boxed heap preserves the pop order
+// (and therefore the routed result) bit for bit. Storage is
+// struct-of-arrays to avoid padding and is reused across searches via
+// reset(), which keeps capacity.
+type pqHeap struct {
+	cell []int32
+	f    []float64
+}
+
+func (h *pqHeap) len() int { return len(h.cell) }
+
+func (h *pqHeap) reset() {
+	h.cell = h.cell[:0]
+	h.f = h.f[:0]
+}
+
+func (h *pqHeap) push(cell int32, f float64) {
+	h.cell = append(h.cell, cell)
+	h.f = append(h.f, f)
+	// Sift up (container/heap.Push semantics).
+	j := len(h.cell) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if h.f[j] >= h.f[i] {
+			break
+		}
+		h.cell[i], h.cell[j] = h.cell[j], h.cell[i]
+		h.f[i], h.f[j] = h.f[j], h.f[i]
+		j = i
+	}
+}
+
+func (h *pqHeap) pop() (int32, float64) {
+	top, topF := h.cell[0], h.f[0]
+	n := len(h.cell) - 1
+	h.cell[0], h.f[0] = h.cell[n], h.f[n]
+	h.cell = h.cell[:n]
+	h.f = h.f[:n]
+	// Sift down (container/heap.Pop semantics).
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h.f[j2] < h.f[j1] {
+			j = j2
+		}
+		if h.f[j] >= h.f[i] {
+			break
+		}
+		h.cell[i], h.cell[j] = h.cell[j], h.cell[i]
+		h.f[i], h.f[j] = h.f[j], h.f[i]
+		i = j
+	}
+	return top, topF
+}

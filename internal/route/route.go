@@ -42,6 +42,16 @@ type Config struct {
 	// Order selects the net-ordering strategy (default OrderCritical).
 	Order OrderStrategy
 
+	// SelectiveReroute, when set, makes negotiation iterations after the
+	// first reroute only nets that are currently conflicted (equivalently:
+	// nets whose cells gained history at the last sweep — history only rises
+	// on multi-use cells, and a net touching one is conflicted). Untouched
+	// nets keep their existing paths. The default (false) preserves the
+	// original reroute-everything schedule, whose outputs are pinned by the
+	// golden-equivalence tests; enabling it can change (not degrade) the
+	// routed topology, so it is opt-in.
+	SelectiveReroute bool
+
 	// MaxLayerByType restricts the highest routing layer per net type —
 	// the analog practice of keeping sensitive signals on lower, thinner
 	// metals and reserving thick top metals for supplies. A nil map (the
@@ -91,7 +101,9 @@ type Result struct {
 	Iterations int
 }
 
-// Router holds reusable search state for one grid.
+// Router holds reusable search state for one grid. All per-search and
+// per-net scratch lives here as epoch-stamped flat arrays and growable
+// buffers, so the steady-state search loop allocates nothing.
 type Router struct {
 	g   *grid.Grid
 	cfg Config
@@ -100,14 +112,55 @@ type Router struct {
 	dist   []float64
 	parent []int32
 	stamp  []int32
-	inOpen []int32
+	closed []int32 // closed set: cell already expanded this search
 	epoch  int32
+
+	// targetStamp marks the current search's target cells (versioned by the
+	// same per-search epoch as dist/parent/stamp/closed).
+	targetStamp []int32
+
+	// Per-net scratch, versioned by netEpoch (one bump per routed net):
+	// treeStamp marks cells of the growing route tree, cellStamp cells of
+	// the net's cell set, mirrorStamp mirror cells of the routed sym peer.
+	treeStamp   []int32
+	cellStamp   []int32
+	mirrorStamp []int32
+	netEpoch    int32
+
+	// Reusable index lists and buffers backing the stamped sets above.
+	treeCells []int32
+	cellIdx   []int32
+	seedBuf   []int32
+	pathBuf   []int32
+	remaining []remGroup
+	open      pqHeap
+
+	// Per-net step-cost tables filled by prepNetCosts: planar step cost per
+	// layer (preferred-direction penalty folded in) and the via step cost.
+	stepX  []float64
+	stepY  []float64
+	stepZ  float64
+	maxZ   int
+	hScale float64
+
+	// dirDelta[i] is the flat-index offset of neighborDirs[i].
+	dirDelta [6]int
 
 	// usage[cell] = number of nets currently using the cell.
 	usage []int16
 	hist  []float64
-	// owner of wire cells per net during an iteration.
-	cellNets [][]int32 // per cell, small slice of net ids (usually 0–1)
+
+	// Incremental conflict accounting: conflictCount tracks cells with
+	// usage > 1 (maintained by commit/ripUp); conflictCells is the worklist
+	// of cells that became multi-use, compacted at each history sweep, with
+	// inConflict guarding membership.
+	conflictCount int
+	conflictCells []int32
+	inConflict    []bool
+
+	// pinGroupCache[net] memoizes pinGroups: access points never change
+	// after grid construction.
+	pinGroupCache [][]pinGroup
 
 	// ctx is the run's cancellation context, checked between nets and
 	// periodically inside A* so a deadline interrupts even a single
@@ -121,13 +174,41 @@ func NewRouter(g *grid.Grid, cfg Config) *Router {
 	n := g.NumCells()
 	return &Router{
 		g: g, cfg: cfg.withDefaults(),
-		dist:   make([]float64, n),
-		parent: make([]int32, n),
-		stamp:  make([]int32, n),
-		inOpen: make([]int32, n),
-		usage:  make([]int16, n),
-		hist:   make([]float64, n),
+		dist:          make([]float64, n),
+		parent:        make([]int32, n),
+		stamp:         make([]int32, n),
+		closed:        make([]int32, n),
+		targetStamp:   make([]int32, n),
+		treeStamp:     make([]int32, n),
+		cellStamp:     make([]int32, n),
+		mirrorStamp:   make([]int32, n),
+		stepX:         make([]float64, g.NL),
+		stepY:         make([]float64, g.NL),
+		dirDelta:      [6]int{1, -1, g.NX, -g.NX, g.NX * g.NY, -(g.NX * g.NY)},
+		usage:         make([]int16, n),
+		hist:          make([]float64, n),
+		inConflict:    make([]bool, n),
+		pinGroupCache: make([][]pinGroup, len(g.NetAPs)),
 	}
+}
+
+// resetState clears the cross-iteration routing state so a reused Router
+// starts a run exactly like a fresh one (the epoch-stamped search scratch
+// needs no clearing). The previous implementation carried stale usage and
+// history into reruns; resetting makes Router reuse exactly equivalent to
+// constructing a new Router.
+func (r *Router) resetState() {
+	for i := range r.usage {
+		r.usage[i] = 0
+	}
+	for i := range r.hist {
+		r.hist[i] = 0
+	}
+	for _, idx := range r.conflictCells {
+		r.inConflict[idx] = false
+	}
+	r.conflictCells = r.conflictCells[:0]
+	r.conflictCount = 0
 }
 
 // Route runs the full iterative flow with the given guidance (use
@@ -157,6 +238,7 @@ func (r *Router) RunCtx(ctx context.Context, gd guidance.Set) (*Result, error) {
 		ctx = context.Background()
 	}
 	r.ctx = ctx
+	r.resetState()
 	c := r.g.Place.Circuit
 	if len(gd.PerNet) != len(c.Nets) {
 		return nil, fault.New(fault.StageRouting, fault.ErrInvalidInput,
@@ -170,6 +252,13 @@ func (r *Router) RunCtx(ctx context.Context, gd guidance.Set) (*Result, error) {
 	for ; iter < r.cfg.MaxIters; iter++ {
 		conflicts := 0
 		for _, ni := range order {
+			// With SelectiveReroute, later iterations only revisit nets on
+			// the conflict worklist: nets sharing a cell with another net
+			// (which is also exactly the set whose cells gained history at
+			// the last sweep). Everything else keeps its committed path.
+			if r.cfg.SelectiveReroute && iter > 0 && !r.netConflicted(ni, netCells[ni]) {
+				continue
+			}
 			if err := ctx.Err(); err != nil {
 				return nil, fault.FromContext(fault.StageRouting, err).WithNet(ni)
 			}

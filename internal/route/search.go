@@ -1,119 +1,73 @@
 package route
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"analogfold/internal/fault"
 	"analogfold/internal/geom"
+	"analogfold/internal/grid"
 	"analogfold/internal/guidance"
 	"analogfold/internal/tech"
 )
 
-// pq is the A* open list.
-type pqItem struct {
-	cell int32
-	f    float64
-}
-
-type pq []pqItem
-
-func (p pq) Len() int            { return len(p) }
-func (p pq) Less(i, j int) bool  { return p[i].f < p[j].f }
-func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
-func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
-func (p *pq) Pop() interface{} {
-	old := *p
-	n := len(old)
-	it := old[n-1]
-	*p = old[:n-1]
-	return it
-}
-
-// ripUp removes a net's cells from the usage map.
+// ripUp removes a net's cells from the usage map, keeping the incremental
+// conflict accounting in step: a cell dropping from two users to one leaves
+// the conflicted count (its worklist entry is reclaimed lazily at the next
+// history sweep).
 func (r *Router) ripUp(ni int, cells []geom.Point3) {
 	for _, c := range cells {
 		idx := r.g.CellIndex(c)
 		if r.usage[idx] > 0 {
 			r.usage[idx]--
+			if r.usage[idx] == 1 {
+				r.conflictCount--
+			}
 		}
-		r.removeCellNet(idx, int32(ni))
 	}
 }
 
-// commit records a net's cells in the usage map.
+// commit records a net's cells in the usage map; a cell reaching two users
+// enters the conflicted count and worklist.
 func (r *Router) commit(ni int, cells []geom.Point3) {
 	for _, c := range cells {
 		idx := r.g.CellIndex(c)
 		r.usage[idx]++
-		r.addCellNet(idx, int32(ni))
-	}
-}
-
-func (r *Router) addCellNet(idx int, ni int32) {
-	if r.cellNets == nil {
-		r.cellNets = make([][]int32, r.g.NumCells())
-	}
-	for _, n := range r.cellNets[idx] {
-		if n == ni {
-			return
-		}
-	}
-	r.cellNets[idx] = append(r.cellNets[idx], ni)
-}
-
-func (r *Router) removeCellNet(idx int, ni int32) {
-	if r.cellNets == nil {
-		return
-	}
-	s := r.cellNets[idx]
-	for i, n := range s {
-		if n == ni {
-			s[i] = s[len(s)-1]
-			r.cellNets[idx] = s[:len(s)-1]
-			return
+		if r.usage[idx] == 2 {
+			r.conflictCount++
+			if !r.inConflict[idx] {
+				r.inConflict[idx] = true
+				r.conflictCells = append(r.conflictCells, int32(idx))
+			}
 		}
 	}
 }
 
-// foreignUsage returns how many nets other than ni use the cell.
-func (r *Router) foreignUsage(idx int, ni int32) int {
-	if r.cellNets == nil {
-		return 0
-	}
-	n := 0
-	for _, o := range r.cellNets[idx] {
-		if o != ni {
-			n++
-		}
-	}
-	return n
-}
-
-// countConflictsAndRaiseHistory counts multi-net cells and bumps their
-// history cost (PathFinder-style negotiation).
+// countConflictsAndRaiseHistory bumps the history cost of every multi-net
+// cell (PathFinder-style negotiation) and returns how many there are. It
+// walks only the conflicted-cell worklist maintained by commit/ripUp — not
+// the whole lattice — compacting out entries whose conflict has since been
+// resolved.
 func (r *Router) countConflictsAndRaiseHistory() int {
+	kept := r.conflictCells[:0]
 	n := 0
-	for idx, u := range r.usage {
-		if u > 1 {
+	for _, idx := range r.conflictCells {
+		if r.usage[idx] > 1 {
 			n++
 			r.hist[idx] += r.cfg.HistIncr
+			kept = append(kept, idx)
+		} else {
+			r.inConflict[idx] = false
 		}
 	}
+	r.conflictCells = kept
 	return n
 }
 
-func (r *Router) totalConflicts() int {
-	n := 0
-	for _, u := range r.usage {
-		if u > 1 {
-			n++
-		}
-	}
-	return n
-}
+// totalConflicts returns the running multi-use cell count (O(1), maintained
+// incrementally by commit/ripUp).
+func (r *Router) totalConflicts() int { return r.conflictCount }
 
 func (r *Router) netConflicted(ni int, cells []geom.Point3) bool {
 	for _, c := range cells {
@@ -129,9 +83,20 @@ type pinGroup struct {
 	cells []geom.Point3
 }
 
-// pinGroups gathers the access-point cells of each pin of the net.
+// pinGroups returns the net's pin groups from the per-Router cache: access
+// points never change after grid construction, so the grouping is computed
+// once per net and reused across every negotiation iteration and run.
 func (r *Router) pinGroups(ni int) []pinGroup {
-	g := r.g
+	if r.pinGroupCache[ni] == nil {
+		r.pinGroupCache[ni] = buildPinGroups(r.g, ni)
+	}
+	return r.pinGroupCache[ni]
+}
+
+// buildPinGroups gathers the access-point cells of each pin of the net, in
+// first-seen (device, terminal) order over g.NetAPs — a deterministic slice
+// walk, never map iteration.
+func buildPinGroups(g *grid.Grid, ni int) []pinGroup {
 	type key struct {
 		dev  int
 		term string
@@ -168,6 +133,42 @@ func (r *Router) routeNetHard(ni int, gd guidance.Set, netCells [][]geom.Point3)
 	return r.routeNetImpl(ni, gd, r.cfg.MaxIters, netCells, true)
 }
 
+// prepNetCosts fills the per-(direction, layer) step-cost tables for net ni,
+// hoisting the guidance multipliers, preferred-direction penalty and layer
+// ceiling out of the A* neighbor loop. Called once per routeNetImpl; the
+// products are formed in the same order as the old inline switch so the
+// floating-point results are bit-identical.
+func (r *Router) prepNetCosts(ni int, gv guidance.Vec) {
+	g := r.g
+	maxZ := g.NL - 1
+	if r.cfg.MaxLayerByType != nil {
+		if mz, ok := r.cfg.MaxLayerByType[g.Place.Circuit.Nets[ni].Type]; ok && mz < maxZ {
+			maxZ = mz
+		}
+	}
+	multX := r.stepMult(gv[0])
+	multY := r.stepMult(gv[1])
+	multZ := r.stepMult(gv[2])
+	for z := 0; z < g.NL; z++ {
+		sx, sy := multX, multY
+		if g.Tech.Layers[z].Dir == tech.Vertical {
+			sx *= r.cfg.WrongWayCost
+		}
+		if g.Tech.Layers[z].Dir == tech.Horizontal {
+			sy *= r.cfg.WrongWayCost
+		}
+		r.stepX[z], r.stepY[z] = sx, sy
+	}
+	r.stepZ = r.cfg.ViaCost * multZ
+	r.maxZ = maxZ
+	// Heuristic scale: the cheaper planar multiplier, capped at 1 so the
+	// bounding-box heuristic stays a lower bound on the real step costs.
+	r.hScale = minF(minF(multX, multY), 1)
+}
+
+// routeNetImpl routes one net. It requires the net to be ripped up first
+// (RunCtx guarantees this), which is what lets the search read r.usage
+// directly as the foreign-use count.
 func (r *Router) routeNetImpl(ni int, gd guidance.Set, iter int, netCells [][]geom.Point3, hard bool) ([]geom.Point3, [][]geom.Point3, error) {
 	g := r.g
 	groups := r.pinGroups(ni)
@@ -175,44 +176,65 @@ func (r *Router) routeNetImpl(ni int, gd guidance.Set, iter int, netCells [][]ge
 		return nil, nil, fmt.Errorf("route: net %s has no pins", g.Place.Circuit.Nets[ni].Name)
 	}
 
+	r.netEpoch++
+	ne := r.netEpoch
+	r.prepNetCosts(ni, gd.PerNet[ni])
+
 	// Mirror cells of the already-routed symmetric peer get a discount so the
 	// pair converges to (near-)mirrored topologies.
-	mirror := map[int]bool{}
 	if peer := r.symPeer(ni); peer >= 0 && len(netCells[peer]) > 0 {
 		for _, c := range netCells[peer] {
 			m := g.MirrorCell(c)
 			if g.InBounds(m) {
-				mirror[g.CellIndex(m)] = true
+				r.mirrorStamp[g.CellIndex(m)] = ne
 			}
 		}
 	}
 
-	// Tree starts as the first group's cells plus every AP cell of the net
-	// (pin pads are net metal regardless of the wires chosen).
-	cellSet := map[int]geom.Point3{}
+	// The net's cell set starts as every AP cell of the net (pin pads are net
+	// metal regardless of the wires chosen); the tree as the first group's
+	// cells. Both are epoch-stamped lattice arrays plus index lists, replacing
+	// the per-call cellSet/tree maps.
+	r.cellIdx = r.cellIdx[:0]
 	for _, pg := range groups {
 		for _, c := range pg.cells {
-			cellSet[g.CellIndex(c)] = c
+			idx := g.CellIndex(c)
+			if r.cellStamp[idx] != ne {
+				r.cellStamp[idx] = ne
+				r.cellIdx = append(r.cellIdx, int32(idx))
+			}
 		}
 	}
-	tree := map[int]geom.Point3{}
+	r.treeCells = r.treeCells[:0]
 	for _, c := range groups[0].cells {
-		tree[g.CellIndex(c)] = c
+		idx := g.CellIndex(c)
+		if r.treeStamp[idx] != ne {
+			r.treeStamp[idx] = ne
+			r.treeCells = append(r.treeCells, int32(idx))
+		}
 	}
 
-	remaining := make([]pinGroup, len(groups)-1)
-	copy(remaining, groups[1:])
-	// Connect nearest groups first.
-	sort.SliceStable(remaining, func(a, b int) bool {
-		return groupDist(groups[0].cells, remaining[a].cells) < groupDist(groups[0].cells, remaining[b].cells)
-	})
+	// Connect nearest groups first. Stable insertion sort on the precomputed
+	// group distances reproduces the previous sort.SliceStable order without
+	// its reflection allocations.
+	r.remaining = r.remaining[:0]
+	for _, pg := range groups[1:] {
+		r.remaining = append(r.remaining, remGroup{
+			cells: pg.cells, dist: groupDist(groups[0].cells, pg.cells),
+		})
+	}
+	for i := 1; i < len(r.remaining); i++ {
+		for j := i; j > 0 && r.remaining[j].dist < r.remaining[j-1].dist; j-- {
+			r.remaining[j], r.remaining[j-1] = r.remaining[j-1], r.remaining[j]
+		}
+	}
 
 	var paths [][]geom.Point3
-	for _, pg := range remaining {
+	for _, rg := range r.remaining {
 		// Skip if this group is already touching the tree.
 		touched := false
-		for _, c := range pg.cells {
-			if _, ok := tree[g.CellIndex(c)]; ok {
+		for _, c := range rg.cells {
+			if r.treeStamp[g.CellIndex(c)] == ne {
 				touched = true
 				break
 			}
@@ -220,25 +242,39 @@ func (r *Router) routeNetImpl(ni int, gd guidance.Set, iter int, netCells [][]ge
 		if touched {
 			continue
 		}
-		path, err := r.astar(ni, gd, iter, tree, pg.cells, mirror, hard)
+		path, err := r.astar(ni, iter, rg.cells, hard)
 		if err != nil {
 			return nil, nil, fmt.Errorf("route: net %s: %w", g.Place.Circuit.Nets[ni].Name, err)
 		}
 		paths = append(paths, path)
 		for _, c := range path {
-			tree[g.CellIndex(c)] = c
-			cellSet[g.CellIndex(c)] = c
+			idx := g.CellIndex(c)
+			if r.treeStamp[idx] != ne {
+				r.treeStamp[idx] = ne
+				r.treeCells = append(r.treeCells, int32(idx))
+			}
+			if r.cellStamp[idx] != ne {
+				r.cellStamp[idx] = ne
+				r.cellIdx = append(r.cellIdx, int32(idx))
+			}
 		}
 	}
 
-	cells := make([]geom.Point3, 0, len(cellSet))
-	for _, c := range cellSet {
-		cells = append(cells, c)
+	// Emit cells in ascending index order, matching the order the map-based
+	// implementation sorted into.
+	slices.Sort(r.cellIdx)
+	cells := make([]geom.Point3, len(r.cellIdx))
+	for i, idx := range r.cellIdx {
+		cells[i] = r.cellFromIndex(int(idx))
 	}
-	sort.Slice(cells, func(a, b int) bool {
-		return g.CellIndex(cells[a]) < g.CellIndex(cells[b])
-	})
 	return cells, paths, nil
+}
+
+// remGroup is a pin group queued for connection, with its distance to the
+// seed group.
+type remGroup struct {
+	cells []geom.Point3
+	dist  int
 }
 
 func groupDist(a, b []geom.Point3) int {
@@ -263,65 +299,52 @@ func (r *Router) stepMult(c float64) float64 {
 	return m
 }
 
-// astar searches from the tree (multi-source) to any target cell.
-func (r *Router) astar(ni int, gd guidance.Set, iter int, tree map[int]geom.Point3, targets []geom.Point3, mirror map[int]bool, hard bool) ([]geom.Point3, error) {
+// astar searches from the tree (multi-source) to any target cell. In the
+// steady state it performs no heap allocations: the open list, scratch
+// stamps and path buffer live on the Router and are reused across searches;
+// only the returned path is freshly allocated (it outlives the search).
+func (r *Router) astar(ni int, iter int, targets []geom.Point3, hard bool) ([]geom.Point3, error) {
 	g := r.g
 	r.epoch++
 	ep := r.epoch
-	n32 := int32(ni)
-	maxZ := g.NL - 1
-	if r.cfg.MaxLayerByType != nil {
-		if mz, ok := r.cfg.MaxLayerByType[g.Place.Circuit.Nets[ni].Type]; ok && mz < maxZ {
-			maxZ = mz
-		}
-	}
-	gv := gd.PerNet[ni]
-	multX := r.stepMult(gv[0])
-	multY := r.stepMult(gv[1])
-	multZ := r.stepMult(gv[2])
+	ne := r.netEpoch
+	maxZ := r.maxZ
 
-	targetSet := map[int]bool{}
 	// Heuristic: scaled distance to the targets' bounding box (a lower bound
 	// on the distance to any target), weighted greedily — the router trades a
 	// little path optimality for a large search-space reduction, as detailed
 	// routers commonly do.
-	var tbb struct{ loX, hiX, loY, hiY, loZ, hiZ int }
-	tbb.loX, tbb.loY, tbb.loZ = math.MaxInt32, math.MaxInt32, math.MaxInt32
-	tbb.hiX, tbb.hiY, tbb.hiZ = math.MinInt32, math.MinInt32, math.MinInt32
+	loX, loY, loZ := math.MaxInt32, math.MaxInt32, math.MaxInt32
+	hiX, hiY, hiZ := math.MinInt32, math.MinInt32, math.MinInt32
 	for _, t := range targets {
-		targetSet[g.CellIndex(t)] = true
-		tbb.loX, tbb.hiX = minI(tbb.loX, t.X), maxI(tbb.hiX, t.X)
-		tbb.loY, tbb.hiY = minI(tbb.loY, t.Y), maxI(tbb.hiY, t.Y)
-		tbb.loZ, tbb.hiZ = minI(tbb.loZ, t.Z), maxI(tbb.hiZ, t.Z)
+		r.targetStamp[g.CellIndex(t)] = ep
+		loX, hiX = minI(loX, t.X), maxI(hiX, t.X)
+		loY, hiY = minI(loY, t.Y), maxI(hiY, t.Y)
+		loZ, hiZ = minI(loZ, t.Z), maxI(hiZ, t.Z)
 	}
-	hScale := minF(multX, multY)
-	if hScale > 1 {
-		hScale = 1
-	}
+	hScale := r.hScale
 	h := func(p geom.Point3) float64 {
-		dx := maxI(0, maxI(tbb.loX-p.X, p.X-tbb.hiX))
-		dy := maxI(0, maxI(tbb.loY-p.Y, p.Y-tbb.hiY))
-		dz := maxI(0, maxI(tbb.loZ-p.Z, p.Z-tbb.hiZ))
+		dx := maxI(0, maxI(loX-p.X, p.X-hiX))
+		dy := maxI(0, maxI(loY-p.Y, p.Y-hiY))
+		dz := maxI(0, maxI(loZ-p.Z, p.Z-hiZ))
 		return hScale * float64(dx+dy+dz)
 	}
 
-	// Seed the open list in deterministic (index) order: map iteration order
-	// would otherwise break equal-cost tie-breaking reproducibility.
-	seedIdx := make([]int, 0, len(tree))
-	for idx := range tree {
-		seedIdx = append(seedIdx, idx)
-	}
-	sort.Ints(seedIdx)
-	open := make(pq, 0, 256)
-	for _, idx := range seedIdx {
+	// Seed the open list in deterministic ascending-index order (the same
+	// order the map-keyed implementation sorted its seeds into).
+	r.seedBuf = append(r.seedBuf[:0], r.treeCells...)
+	slices.Sort(r.seedBuf)
+	r.open.reset()
+	for _, idx32 := range r.seedBuf {
+		idx := int(idx32)
 		r.dist[idx] = 0
 		r.parent[idx] = -1
 		r.stamp[idx] = ep
-		heap.Push(&open, pqItem{cell: int32(idx), f: h(tree[idx])})
+		r.open.push(idx32, h(r.cellFromIndex(idx)))
 	}
 
 	var found int32 = -1
-	for open.Len() > 0 {
+	for r.open.len() > 0 {
 		// Poll the run context every 1024 expansions so a deadline interrupts
 		// even one pathological search, not just the gaps between nets.
 		if r.ctxPolls++; r.ctxPolls&1023 == 0 && r.ctx != nil {
@@ -329,18 +352,18 @@ func (r *Router) astar(ni int, gd guidance.Set, iter int, tree map[int]geom.Poin
 				return nil, fault.FromContext(fault.StageRouting, err).WithNet(ni)
 			}
 		}
-		it := heap.Pop(&open).(pqItem)
-		idx := int(it.cell)
-		if r.inOpen[idx] == ep {
+		cell32, _ := r.open.pop()
+		idx := int(cell32)
+		if r.closed[idx] == ep {
 			continue // already expanded this search
 		}
-		r.inOpen[idx] = ep
+		r.closed[idx] = ep
 		cur := r.cellFromIndex(idx)
-		if targetSet[idx] {
-			found = it.cell
+		if r.targetStamp[idx] == ep {
+			found = cell32
 			break
 		}
-		for _, d := range neighborDirs {
+		for di, d := range neighborDirs {
 			nxt := cur.Add(d)
 			if !g.InBounds(nxt) {
 				continue
@@ -348,34 +371,29 @@ func (r *Router) astar(ni int, gd guidance.Set, iter int, tree map[int]geom.Poin
 			if nxt.Z > maxZ {
 				continue
 			}
-			nIdx := g.CellIndex(nxt)
-			if g.Blocked(nxt) {
+			nIdx := idx + r.dirDelta[di]
+			if g.BlockedAt(nIdx) {
 				continue
 			}
-			if o := g.Owner(nxt); o >= 0 && o != ni {
+			if o := g.OwnerAt(nIdx); o >= 0 && o != ni {
 				continue // foreign pin pad: hard obstacle
 			}
-			// Step cost.
+			// Step cost from the per-net (direction, layer) tables.
 			var cost float64
 			switch {
-			case d.Z != 0:
-				cost = r.cfg.ViaCost * multZ
-			case d.X != 0:
-				cost = multX
-				if g.Tech.Layers[nxt.Z].Dir == tech.Vertical {
-					cost *= r.cfg.WrongWayCost
-				}
+			case di >= 4:
+				cost = r.stepZ
+			case di < 2:
+				cost = r.stepX[nxt.Z]
 			default:
-				cost = multY
-				if g.Tech.Layers[nxt.Z].Dir == tech.Horizontal {
-					cost *= r.cfg.WrongWayCost
-				}
+				cost = r.stepY[nxt.Z]
 			}
-			if mirror[nIdx] {
+			if r.mirrorStamp[nIdx] == ne {
 				cost *= r.cfg.SymDiscount
 			}
-			// Congestion.
-			if fu := r.foreignUsage(nIdx, n32); fu > 0 {
+			// Congestion: the net itself is ripped up during its own search,
+			// so usage is exactly the foreign-use count.
+			if fu := r.usage[nIdx]; fu > 0 {
 				if hard {
 					continue
 				}
@@ -388,25 +406,25 @@ func (r *Router) astar(ni int, gd guidance.Set, iter int, tree map[int]geom.Poin
 				continue
 			}
 			r.dist[nIdx] = nd
-			r.parent[nIdx] = it.cell
+			r.parent[nIdx] = cell32
 			r.stamp[nIdx] = ep
-			heap.Push(&open, pqItem{cell: int32(nIdx), f: nd + h(nxt)})
+			r.open.push(int32(nIdx), nd+h(nxt))
 		}
 	}
 	if found < 0 {
 		return nil, fmt.Errorf("no path to target (hard=%v)", hard)
 	}
-	// Reconstruct.
-	var rev []geom.Point3
+	// Reconstruct seed→target; only this result slice is allocated.
+	r.pathBuf = r.pathBuf[:0]
 	for at := found; at >= 0; at = r.parent[at] {
-		rev = append(rev, r.cellFromIndex(int(at)))
+		r.pathBuf = append(r.pathBuf, at)
 		if r.parent[at] < 0 {
 			break
 		}
 	}
-	path := make([]geom.Point3, len(rev))
-	for i := range rev {
-		path[i] = rev[len(rev)-1-i]
+	path := make([]geom.Point3, len(r.pathBuf))
+	for i := range path {
+		path[i] = r.cellFromIndex(int(r.pathBuf[len(r.pathBuf)-1-i]))
 	}
 	return path, nil
 }
@@ -420,13 +438,6 @@ func (r *Router) cellFromIndex(idx int) geom.Point3 {
 	z := idx / (nx * ny)
 	rem := idx % (nx * ny)
 	return geom.Point3{X: rem % nx, Y: rem / nx, Z: z}
-}
-
-func abs(x int) int {
-	if x < 0 {
-		return -x
-	}
-	return x
 }
 
 func minI(a, b int) int {

@@ -21,7 +21,8 @@ go test -race -count=1 \
     ./internal/relax/ \
     ./internal/circuit/ \
     ./internal/gnn3d/ \
-    ./internal/dataset/
+    ./internal/dataset/ \
+    ./internal/route/
 
 echo "== chaos: go test -race -tags faultinject (fault-injection suite) =="
 # The faultinject build tag compiles the deterministic fault scheduler into
@@ -34,6 +35,12 @@ go test -race -count=1 -tags faultinject \
     ./internal/relax/ \
     ./internal/route/ \
     ./internal/core/
+
+echo "== benchmark smoke (router hot path compiles and runs) =="
+# One iteration of the routing benchmark: catches benchmarks that rot
+# (compile errors, panics) without paying for a real measurement run.
+go test -run=NONE -bench=RouteOTA1 -benchtime=1x .
+go test -run=NONE -bench='BenchmarkAstarCore|BenchmarkRouteNegotiation$' -benchtime=1x ./internal/route/
 
 echo "== unchecked-error grep =="
 ./scripts/errcheck.sh
