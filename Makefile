@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet errcheck race chaos bench bench-parallel bench-route ci
+.PHONY: build test vet errcheck race chaos serve-chaos fuzz-smoke bench bench-parallel bench-route ci
 
 build:
 	$(GO) build ./...
@@ -21,13 +21,26 @@ errcheck:
 # race runs the packages that execute work concurrently under the race
 # detector with short settings; the full suite under -race is much slower.
 race:
-	$(GO) test -race ./internal/parallel/ ./internal/relax/ ./internal/circuit/ ./internal/gnn3d/ ./internal/dataset/ ./internal/route/
+	$(GO) test -race ./internal/parallel/ ./internal/relax/ ./internal/circuit/ ./internal/gnn3d/ ./internal/dataset/ ./internal/route/ ./internal/serve/
 
 # chaos compiles the deterministic fault scheduler into the injection points
 # (faultinject build tag) and runs the fault-injection suite under the race
 # detector: every injected fault must recover or surface a typed error.
 chaos:
 	$(GO) test -race -count=1 -tags faultinject ./internal/fault/... ./internal/parallel/ ./internal/relax/ ./internal/route/ ./internal/core/
+
+# serve-chaos runs the daemon's fault-injection suite under the race
+# detector: concurrent clients against a poisoned model must get typed errors
+# or well-formed degraded responses, the breaker must open, and SIGTERM must
+# drain without leaking goroutines.
+serve-chaos:
+	$(GO) test -race -count=1 -tags faultinject ./internal/serve/
+
+# fuzz-smoke gives each native fuzz target a short budget: enough to catch a
+# freshly introduced panic or untyped error, cheap enough for every CI run.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzNetlistBuild -fuzztime 10s ./internal/netlist/
+	$(GO) test -run '^$$' -fuzz FuzzTensorTryFromSlice -fuzztime 10s ./internal/tensor/
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -13,11 +13,11 @@ import (
 	"context"
 	"encoding/json"
 	"math"
-	"os"
 	"runtime"
 	"testing"
 	"time"
 
+	"analogfold/internal/atomicfile"
 	"analogfold/internal/circuit"
 	"analogfold/internal/core"
 	"analogfold/internal/dataset"
@@ -372,7 +372,7 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := os.WriteFile("BENCH_parallel.json", append(buf, '\n'), 0o644); err != nil {
+	if err := atomicfile.WriteFile("BENCH_parallel.json", append(buf, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
 	b.Log("wrote BENCH_parallel.json")
@@ -459,7 +459,7 @@ func BenchmarkRouteReport(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := os.WriteFile("BENCH_route.json", append(buf, '\n'), 0o644); err != nil {
+	if err := atomicfile.WriteFile("BENCH_route.json", append(buf, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
 	b.Log("wrote BENCH_route.json")

@@ -4,9 +4,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"os"
 	"path/filepath"
 
+	"analogfold/internal/atomicfile"
 	"analogfold/internal/circuit"
 	"analogfold/internal/extract"
 	"analogfold/internal/grid"
@@ -54,7 +54,7 @@ func cmdBode(ctx context.Context, args []string) error {
 			return err
 		}
 		path := filepath.Join(*outDir, fmt.Sprintf("bode_%s_%s.csv", c.Name, label))
-		if err := os.WriteFile(path, []byte(circuit.SweepCSV(sweep)), 0o644); err != nil {
+		if err := atomicfile.WriteFile(path, []byte(circuit.SweepCSV(sweep)), 0o644); err != nil {
 			return err
 		}
 		fmt.Printf("%-12s phase margin %.1f°  (%s)\n", label, circuit.PhaseMarginDeg(sweep), path)

@@ -1,12 +1,14 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
-	"os"
+	"io"
 	"path/filepath"
 
+	"analogfold/internal/atomicfile"
 	"analogfold/internal/circuit"
 	"analogfold/internal/core"
 	"analogfold/internal/export"
@@ -76,26 +78,27 @@ func cmdExport(ctx context.Context, args []string) error {
 	}
 	par := extract.Extract(g, res)
 
-	write := func(name string, fn func(f *os.File) error) error {
+	// Render each artifact in memory and publish it atomically, so an
+	// interrupted export never leaves a torn .sp/.spef/.def on disk.
+	write := func(name string, fn func(w io.Writer) error) error {
 		path := filepath.Join(*outDir, name)
-		f, err := os.Create(path)
-		if err != nil {
+		var buf bytes.Buffer
+		if err := fn(&buf); err != nil {
 			return err
 		}
-		defer f.Close()
-		if err := fn(f); err != nil {
+		if err := atomicfile.WriteFile(path, buf.Bytes(), 0o644); err != nil {
 			return err
 		}
 		fmt.Println("wrote", path)
 		return nil
 	}
-	if err := write(c.Name+".sp", func(f *os.File) error { return export.WriteSpice(f, c) }); err != nil {
+	if err := write(c.Name+".sp", func(w io.Writer) error { return export.WriteSpice(w, c) }); err != nil {
 		return err
 	}
-	if err := write(c.Name+".spef", func(f *os.File) error { return export.WriteSPEF(f, c, par) }); err != nil {
+	if err := write(c.Name+".spef", func(w io.Writer) error { return export.WriteSPEF(w, c, par) }); err != nil {
 		return err
 	}
-	return write(c.Name+".def", func(f *os.File) error { return export.WriteDEF(f, g, res) })
+	return write(c.Name+".def", func(w io.Writer) error { return export.WriteDEF(w, g, res) })
 }
 
 // cmdTransient prints the small-signal step response of a benchmark before

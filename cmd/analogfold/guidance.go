@@ -1,0 +1,93 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"analogfold/internal/atomicfile"
+	"analogfold/internal/core"
+	"analogfold/internal/gnn3d"
+	"analogfold/internal/serve"
+)
+
+// cmdTrain trains a 3DGNN on one benchmark and writes the checkpoint that
+// analogfoldd loads at startup. The save is crash-safe (temp + fsync +
+// rename), so a daemon restarting mid-train never sees a torn file.
+func cmdTrain(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	bench := fs.String("bench", "OTA1-A", "benchmark")
+	out := fs.String("out", "model.json", "checkpoint output path")
+	cache := fs.String("cache", "", "artifact cache directory (reuses dataset/model when present)")
+	opts := optionsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, p, err := parseBench(*bench)
+	if err != nil {
+		return err
+	}
+	f, err := core.NewFlow(c, p, opts())
+	if err != nil {
+		return err
+	}
+	m, _, err := f.LoadOrTrainModel(ctx, *cache)
+	if err != nil {
+		return err
+	}
+	if err := m.Save(*out); err != nil {
+		return err
+	}
+	fmt.Println("wrote", *out)
+	return nil
+}
+
+// cmdGuidance derives guidance sets from a saved checkpoint through the same
+// warm path and response builder the analogfoldd daemon serves, so the file
+// written here is byte-identical to the daemon's /v1/guidance body for the
+// same checkpoint and knobs.
+func cmdGuidance(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("guidance", flag.ExitOnError)
+	bench := fs.String("bench", "OTA1-A", "benchmark")
+	model := fs.String("model", "model.json", "checkpoint path (from `analogfold train`)")
+	out := fs.String("out", "guidance.json", "output path ('-' for stdout)")
+	nderive := fs.Int("nderive", 0, "guidance sets to derive (0 = flow default)")
+	opts := optionsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, p, err := parseBench(*bench)
+	if err != nil {
+		return err
+	}
+	f, err := core.NewFlow(c, p, opts())
+	if err != nil {
+		return err
+	}
+	m, err := gnn3d.Load(*model)
+	if err != nil {
+		return err
+	}
+	resp, err := serve.BuildGuidanceResponse(ctx, f, m, nil,
+		serve.GuidanceRequest{Bench: *bench, NDerive: *nderive}, true)
+	if resp == nil {
+		return err
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analogfold: degraded to uniform guidance:", err)
+	}
+	body, err := serve.MarshalBody(resp)
+	if err != nil {
+		return err
+	}
+	if *out == "-" {
+		_, err = os.Stdout.Write(body)
+		return err
+	}
+	if err := atomicfile.WriteFile(*out, body, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", *out)
+	return nil
+}

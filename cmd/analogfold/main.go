@@ -20,10 +20,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
+	"analogfold/internal/atomicfile"
+	"analogfold/internal/cliutil"
 	"analogfold/internal/core"
 	"analogfold/internal/dataset"
 	"analogfold/internal/drc"
@@ -75,6 +76,10 @@ func main() {
 		err = cmdBode(ctx, args)
 	case "mc":
 		err = cmdMC(ctx, args)
+	case "train":
+		err = cmdTrain(ctx, args)
+	case "guidance":
+		err = cmdGuidance(ctx, args)
 	default:
 		usage()
 		os.Exit(2)
@@ -86,61 +91,18 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: analogfold <table1|table2|fig5|fig6|fig1|route|dataset|ablate|export|transient|validate|bode|mc> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: analogfold <table1|table2|fig5|fig6|fig1|route|dataset|ablate|export|transient|validate|bode|mc|train|guidance> [flags]`)
 }
 
-// benchFlag parses "-bench OTA1-A" into a (circuit, profile) pair; empty
-// means all Table-2 benchmarks.
+// parseBench resolves "-bench OTA1-A" through the shared core parser, so the
+// CLI and the analogfoldd daemon accept exactly the same benchmark names.
 func parseBench(name string) (*netlist.Circuit, place.Profile, error) {
-	parts := strings.SplitN(name, "-", 2)
-	var c *netlist.Circuit
-	switch parts[0] {
-	case "OTA1":
-		c = netlist.OTA1()
-	case "OTA2":
-		c = netlist.OTA2()
-	case "OTA3":
-		c = netlist.OTA3()
-	case "OTA4":
-		c = netlist.OTA4()
-	case "OTA5":
-		c = netlist.OTA5()
-	default:
-		return nil, "", fmt.Errorf("unknown circuit %q", parts[0])
-	}
-	prof := place.ProfileA
-	if len(parts) == 2 {
-		prof = place.Profile(parts[1])
-	}
-	switch prof {
-	case place.ProfileA, place.ProfileB, place.ProfileC, place.ProfileD:
-	default:
-		return nil, "", fmt.Errorf("unknown profile %q", parts[1])
-	}
-	return c, prof, nil
+	return core.ParseBenchmark(name)
 }
 
+// optionsFlags registers the flow-option flags shared with analogfoldd.
 func optionsFlags(fs *flag.FlagSet) func() core.Options {
-	samples := fs.Int("samples", 48, "database size")
-	epochs := fs.Int("epochs", 30, "3DGNN training epochs")
-	restarts := fs.Int("restarts", 10, "relaxation restarts")
-	seed := fs.Int64("seed", 1, "experiment seed")
-	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS); results are identical for any value")
-	quick := fs.Bool("quick", false, "small fast settings for smoke runs")
-	stageTO := fs.Duration("stage-timeout", 0, "per-stage deadline (database, training, relaxation, routing); 0 disables")
-	totalTO := fs.Duration("total-timeout", 0, "whole-run deadline per benchmark; 0 disables")
-	return func() core.Options {
-		o := core.Options{
-			Samples: *samples, TrainEpochs: *epochs,
-			RelaxRestarts: *restarts, Seed: *seed, Workers: *workers,
-			StageTimeout: *stageTO, TotalTimeout: *totalTO,
-		}
-		if *quick {
-			o.Samples, o.TrainEpochs, o.RelaxRestarts = 12, 8, 4
-			o.PlaceIters, o.VAECorpus, o.VAEEpochs = 1500, 2, 10
-		}
-		return o
-	}
+	return cliutil.OptionsFlags(fs)
 }
 
 func cmdTable1() error {
@@ -271,7 +233,7 @@ func cmdFig6(ctx context.Context, args []string) error {
 		"fig6_analogfold.svg": {ours, *bench + " AnalogFold"},
 	} {
 		path := *outDir + "/" + name
-		if err := os.WriteFile(path, []byte(viz.RoutingSVG(f.Grid, pair.res, pair.title)), 0o644); err != nil {
+		if err := atomicfile.WriteFile(path, []byte(viz.RoutingSVG(f.Grid, pair.res, pair.title)), 0o644); err != nil {
 			return err
 		}
 		fmt.Println("wrote", path)
@@ -301,10 +263,10 @@ func cmdFig1(ctx context.Context, args []string) error {
 	}
 	svgPath := *outDir + "/fig1_guidance.svg"
 	csvPath := *outDir + "/fig1_guidance.csv"
-	if err := os.WriteFile(svgPath, []byte(viz.GuidanceSVG(f.Grid, gd, *bench+" non-uniform guidance")), 0o644); err != nil {
+	if err := atomicfile.WriteFile(svgPath, []byte(viz.GuidanceSVG(f.Grid, gd, *bench+" non-uniform guidance")), 0o644); err != nil {
 		return err
 	}
-	if err := os.WriteFile(csvPath, []byte(viz.GuidanceCSV(f.Grid, gd)), 0o644); err != nil {
+	if err := atomicfile.WriteFile(csvPath, []byte(viz.GuidanceCSV(f.Grid, gd)), 0o644); err != nil {
 		return err
 	}
 	fmt.Println("wrote", svgPath)

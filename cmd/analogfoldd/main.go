@@ -1,0 +1,87 @@
+// Command analogfoldd is the AnalogFold guidance-serving daemon: it loads a
+// trained 3DGNN checkpoint once, keeps per-benchmark placed flows warm, and
+// serves relaxation-derived guidance and full guided-routing runs over HTTP.
+//
+//	analogfoldd -model model.json -addr :8080 -warm OTA1-A
+//
+//	POST /v1/guidance  {"bench":"OTA1-A","seed":7}   → guidance sets
+//	POST /v1/route     {"bench":"OTA1-A"}            → routed result + metrics
+//	GET  /healthz /readyz /metrics
+//
+// Robustness: a bounded admission queue sheds overload with 503+Retry-After,
+// a circuit breaker around model evaluation degrades responses down the
+// elite→uniform→MagicalRoute ladder while open, handler panics become typed
+// 500s, and SIGTERM drains in-flight requests before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"analogfold/internal/cliutil"
+	"analogfold/internal/gnn3d"
+	"analogfold/internal/serve"
+)
+
+func main() {
+	fs := flag.NewFlagSet("analogfoldd", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	model := fs.String("model", "model.json", "3DGNN checkpoint (from `analogfold train`)")
+	warm := fs.String("warm", "", "comma-separated benchmarks to place before serving (e.g. OTA1-A,OTA2-B)")
+	queue := fs.Int("queue", 4, "admission queue capacity (concurrently executing requests)")
+	backlog := fs.Int("backlog", 0, "admission waiting-room bound (0 = 4x queue)")
+	admissionTO := fs.Duration("admission-timeout", time.Second, "max wait for a queue slot before shedding with 503")
+	requestTO := fs.Duration("request-timeout", 5*time.Minute, "per-request pipeline deadline")
+	drainTO := fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on SIGTERM")
+	brkThreshold := fs.Int("breaker-threshold", 3, "consecutive model faults that open the circuit breaker")
+	brkCooldown := fs.Duration("breaker-cooldown", 30*time.Second, "open interval before a half-open probe")
+	opts := cliutil.OptionsFlags(fs)
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if err := run(*addr, *model, *warm, serve.Config{
+		QueueCapacity:    *queue,
+		QueueBacklog:     *backlog,
+		AdmissionTimeout: *admissionTO,
+		RequestTimeout:   *requestTO,
+		DrainTimeout:     *drainTO,
+		BreakerThreshold: *brkThreshold,
+		BreakerCooldown:  *brkCooldown,
+		Opts:             opts(),
+		Logf:             log.Printf,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "analogfoldd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, modelPath, warm string, cfg serve.Config) error {
+	m, err := gnn3d.Load(modelPath)
+	if err != nil {
+		return fmt.Errorf("load checkpoint: %w", err)
+	}
+	s := serve.New(m, cfg)
+	if warm != "" {
+		for _, b := range strings.Split(warm, ",") {
+			b = strings.TrimSpace(b)
+			if b == "" {
+				continue
+			}
+			log.Printf("warming %s", b)
+			if err := s.Warm([]string{b}); err != nil {
+				return fmt.Errorf("warm %s: %w", b, err)
+			}
+		}
+	}
+	// SIGTERM/SIGINT cancel the context; Serve drains and returns.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return s.ListenAndServe(ctx, addr)
+}

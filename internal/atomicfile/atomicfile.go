@@ -1,0 +1,101 @@
+// Package atomicfile provides crash-safe file replacement for every artifact
+// the system persists: model checkpoints, datasets, benchmark reports, SVG and
+// CSV outputs. A plain os.WriteFile truncates the destination before writing,
+// so a crash (or SIGKILL) mid-write leaves a torn file at the final path — for
+// a serving daemon that reloads its checkpoint at startup, a torn checkpoint
+// is an outage. WriteFile instead stages the data in a temporary file in the
+// same directory, fsyncs it, and renames it over the destination; rename
+// within a directory is atomic on POSIX filesystems, so the final path always
+// holds either the complete old contents or the complete new contents.
+package atomicfile
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// failWriteAfter, when >= 0, makes the data-write step fail after that many
+// bytes — the crash-safety test seam (see SetTestWriteFault). It is -1 in
+// production; only tests change it.
+var failWriteAfter = -1
+
+// SetTestWriteFault arms a simulated torn write: the next WriteFile calls
+// write at most n bytes of their payload and then fail, as if the process had
+// been killed mid-write. The returned func restores the previous setting;
+// callers must defer it. Test-only.
+func SetTestWriteFault(n int) (restore func()) {
+	old := failWriteAfter
+	failWriteAfter = n
+	return func() { failWriteAfter = old }
+}
+
+// WriteFile atomically replaces path with data: write to a temp file in the
+// target directory, fsync, rename over path. On any error the destination is
+// untouched and the temp file is removed. The fsync-before-rename ordering
+// guarantees the rename never publishes a file whose blocks are still only in
+// the page cache.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	tmp := f.Name()
+	// Any failure below must not leave droppings next to the destination.
+	fail := func(err error) error {
+		f.Close()
+		_ = os.Remove(tmp)
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	if err := writeAll(f, data); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Chmod(perm); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	// Persist the rename itself. Failure here is not a torn file — the rename
+	// already happened atomically — so it is reported but the directory-sync
+	// error does not undo the write.
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	return nil
+}
+
+// writeAll writes data honoring the test fault seam.
+func writeAll(f *os.File, data []byte) error {
+	if failWriteAfter >= 0 {
+		n := failWriteAfter
+		if n > len(data) {
+			n = len(data)
+		}
+		if _, err := f.Write(data[:n]); err != nil {
+			return err
+		}
+		return fmt.Errorf("simulated crash after %d of %d bytes", n, len(data))
+	}
+	_, err := f.Write(data)
+	return err
+}
+
+// syncDir fsyncs a directory so the rename's metadata reaches stable storage.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

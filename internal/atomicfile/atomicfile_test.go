@@ -1,0 +1,85 @@
+package atomicfile
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.json")
+	if err := WriteFile(path, []byte("old-complete"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("new-complete"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "new-complete" {
+		t.Fatalf("content = %q, want %q", b, "new-complete")
+	}
+}
+
+func TestWriteFileCreatesMissingDestination(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh.csv")
+	if err := WriteFile(path, []byte("data"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := info.Mode().Perm(); perm != 0o600 {
+		t.Errorf("perm = %o, want 600", perm)
+	}
+}
+
+func TestPartialWriteLeavesOldContentIntact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "checkpoint.json")
+	const old = "{\"format\":\"good\",\"complete\":true}"
+	if err := WriteFile(path, []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash 7 bytes into the replacement write.
+	defer SetTestWriteFault(7)()
+	err := WriteFile(path, []byte("{\"format\":\"new\",\"complete\":true}"), 0o644)
+	if err == nil {
+		t.Fatal("torn write must surface an error")
+	}
+
+	b, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(b) != old {
+		t.Fatalf("destination corrupted by torn write: %q", b)
+	}
+}
+
+func TestPartialWriteLeavesNoTempDroppings(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.svg")
+	defer SetTestWriteFault(3)()
+	if err := WriteFile(path, []byte("<svg>...</svg>"), 0o644); err == nil {
+		t.Fatal("torn write must surface an error")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp dropping left behind: %s", e.Name())
+		}
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("destination must not exist after a failed first write, stat err = %v", err)
+	}
+}

@@ -1,0 +1,35 @@
+// Package cliutil holds the flag plumbing shared by the analogfold CLI and
+// the analogfoldd daemon, so the two binaries expose the same experiment
+// knobs with the same names and defaults.
+package cliutil
+
+import (
+	"flag"
+
+	"analogfold/internal/core"
+)
+
+// OptionsFlags registers the shared flow-option flags on fs and returns a
+// closure assembling core.Options after parsing.
+func OptionsFlags(fs *flag.FlagSet) func() core.Options {
+	samples := fs.Int("samples", 48, "database size")
+	epochs := fs.Int("epochs", 30, "3DGNN training epochs")
+	restarts := fs.Int("restarts", 10, "relaxation restarts")
+	seed := fs.Int64("seed", 1, "experiment seed")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS); results are identical for any value")
+	quick := fs.Bool("quick", false, "small fast settings for smoke runs")
+	stageTO := fs.Duration("stage-timeout", 0, "per-stage deadline (database, training, relaxation, routing); 0 disables")
+	totalTO := fs.Duration("total-timeout", 0, "whole-run deadline per benchmark; 0 disables")
+	return func() core.Options {
+		o := core.Options{
+			Samples: *samples, TrainEpochs: *epochs,
+			RelaxRestarts: *restarts, Seed: *seed, Workers: *workers,
+			StageTimeout: *stageTO, TotalTimeout: *totalTO,
+		}
+		if *quick {
+			o.Samples, o.TrainEpochs, o.RelaxRestarts = 12, 8, 4
+			o.PlaceIters, o.VAECorpus, o.VAEEpochs = 1500, 2, 10
+		}
+		return o
+	}
+}

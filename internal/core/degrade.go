@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -57,6 +58,27 @@ func (r *DegradationReport) record(stage fault.Stage, err error, format string, 
 	r.Events = append(r.Events, DegradationEvent{
 		Stage: stage, Err: err, Msg: fmt.Sprintf(format, args...),
 	})
+}
+
+// ModelFault returns the first recorded fault that indicts the learned model
+// itself — a failed or diverged model evaluation, or a relaxation that spent
+// its whole retry budget — as opposed to routing or infrastructure failures.
+// The serving daemon's circuit breaker keys on this: model faults accumulate
+// toward tripping it, routing hiccups do not.
+func (r *DegradationReport) ModelFault() error {
+	if r == nil {
+		return nil
+	}
+	for _, e := range r.Events {
+		if e.Err == nil {
+			continue
+		}
+		if errors.Is(e.Err, fault.ErrModelEval) || errors.Is(e.Err, fault.ErrDiverged) ||
+			errors.Is(e.Err, fault.ErrExhausted) {
+			return e.Err
+		}
+	}
+	return nil
 }
 
 // Degraded reports whether the run deviated from the fault-free path at all.

@@ -420,6 +420,32 @@ func (f *Flow) RunAnalogFold(ctx context.Context) (*Outcome, error) {
 	}
 	trainTime := time.Since(tTrain)
 
+	best, relaxTime, routeTime, err := f.relaxAndRoute(ctx, model, hg, report)
+	if err != nil {
+		return nil, err
+	}
+	best.Runtime = relaxTime + routeTime
+	best.Times = StageTimes{
+		Placement:         f.placeTime,
+		ConstructDatabase: dbTime,
+		ModelTraining:     trainTime,
+		GuideGeneration:   relaxTime,
+		GuidedRouting:     routeTime,
+	}
+	best.Degradation = report
+	return best, nil
+}
+
+// relaxAndRoute is the post-training half of the AnalogFold flow: potential
+// relaxation over model (when non-nil) followed by the guided-routing ladder.
+// It is shared by the cold path (RunAnalogFold, which just trained model) and
+// the warm serving path (RunAnalogFoldWarm, which reuses a loaded checkpoint
+// across requests). All routing and evaluation happens on per-call cloned
+// grids, so concurrent callers may share one Flow and one Model.
+func (f *Flow) relaxAndRoute(ctx context.Context, model *gnn3d.Model, hg *hetgraph.Graph, report *DegradationReport) (*Outcome, time.Duration, time.Duration, error) {
+	o := f.Opts
+	var err error
+
 	// Guidance generation: potential relaxation over the trained model.
 	tRelax := time.Now()
 	var rres *relax.Result
@@ -436,7 +462,7 @@ func (f *Flow) RunAnalogFold(ctx context.Context) (*Outcome, error) {
 		}()
 		if err != nil {
 			if terminalFault(err) {
-				return nil, fmt.Errorf("core: analogfold: %w", err)
+				return nil, 0, 0, fmt.Errorf("core: analogfold: %w", err)
 			}
 			report.record(fault.StageRelaxation, err, "relaxation failed; falling back to uniform guidance")
 			rres = nil
@@ -487,7 +513,7 @@ func (f *Flow) RunAnalogFold(ctx context.Context) (*Outcome, error) {
 			})
 		})
 		if err != nil {
-			return nil, fmt.Errorf("core: analogfold: %w", err)
+			return nil, 0, 0, fmt.Errorf("core: analogfold: %w", err)
 		}
 		report.CandidatesTried = len(cands)
 		var bestFoM float64
@@ -526,14 +552,14 @@ func (f *Flow) RunAnalogFold(ctx context.Context) (*Outcome, error) {
 			// The unguided baseline is the last rung; its failure is the
 			// flow's failure, typed and attributed.
 			if terminalFault(rerr) {
-				return nil, fmt.Errorf("core: analogfold: %w", rerr)
+				return nil, 0, 0, fmt.Errorf("core: analogfold: %w", rerr)
 			}
-			return nil, fault.Wrap(fault.StageRouting, fault.ErrRouteFailed, rerr,
+			return nil, 0, 0, fault.Wrap(fault.StageRouting, fault.ErrRouteFailed, rerr,
 				"core: analogfold: degradation ladder exhausted")
 		}
 		m, merr := f.evaluateRoutedOn(g, res)
 		if merr != nil {
-			return nil, fault.Wrap(fault.StageEvaluation, fault.ErrRouteFailed, merr,
+			return nil, 0, 0, fault.Wrap(fault.StageEvaluation, fault.ErrRouteFailed, merr,
 				"core: analogfold: fallback evaluation failed")
 		}
 		report.FinalRung = rung
@@ -543,16 +569,7 @@ func (f *Flow) RunAnalogFold(ctx context.Context) (*Outcome, error) {
 		}
 	}
 	routeTime := time.Since(tRoute)
-	best.Runtime = relaxTime + routeTime
-	best.Times = StageTimes{
-		Placement:         f.placeTime,
-		ConstructDatabase: dbTime,
-		ModelTraining:     trainTime,
-		GuideGeneration:   relaxTime,
-		GuidedRouting:     routeTime,
-	}
-	best.Degradation = report
-	return best, nil
+	return best, relaxTime, routeTime, nil
 }
 
 // scalarFoM folds the five metrics into one lower-is-better scalar using the

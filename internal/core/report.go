@@ -3,8 +3,9 @@ package core
 import (
 	"encoding/json"
 	"fmt"
-	"os"
 	"time"
+
+	"analogfold/internal/atomicfile"
 )
 
 // JSONReport is the machine-readable form of a Table-2 run.
@@ -88,11 +89,14 @@ func BuildJSONReport(rows []*Row, now time.Time) *JSONReport {
 	return rep
 }
 
-// WriteJSON stores the report at path.
+// WriteJSON stores the report at path atomically (temp + rename).
 func (r *JSONReport) WriteJSON(path string) error {
 	b, err := json.MarshalIndent(r, "", " ")
 	if err != nil {
 		return fmt.Errorf("core: report: %w", err)
 	}
-	return os.WriteFile(path, b, 0o644)
+	if err := atomicfile.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("core: report: %w", err)
+	}
+	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"os"
 
+	"analogfold/internal/atomicfile"
 	"analogfold/internal/circuit"
 	"analogfold/internal/extract"
 	"analogfold/internal/fault"
@@ -154,13 +155,17 @@ func (d *Dataset) Samples() []gnn3d.Sample {
 	return out
 }
 
-// Save writes the dataset as JSON.
+// Save writes the dataset as JSON, atomically (temp + rename), so a crash
+// mid-save never leaves a torn dataset for LoadOrGenerateDataset to reject.
 func (d *Dataset) Save(path string) error {
 	b, err := json.MarshalIndent(d, "", " ")
 	if err != nil {
 		return fmt.Errorf("dataset: %w", err)
 	}
-	return os.WriteFile(path, b, 0o644)
+	if err := atomicfile.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	return nil
 }
 
 // Load reads a dataset from JSON.

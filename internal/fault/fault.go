@@ -45,6 +45,18 @@ var (
 	ErrInvalidInput = errors.New("invalid input")
 	// ErrExhausted marks a retry budget spent without success.
 	ErrExhausted = errors.New("retry budget exhausted")
+	// ErrOverload marks a request shed by the serving daemon's admission
+	// queue: the queue was full past the admission deadline. The client
+	// should back off and retry (HTTP 503 + Retry-After).
+	ErrOverload = errors.New("overloaded")
+	// ErrBreakerOpen marks a request answered while the daemon's circuit
+	// breaker is open: the model path is disabled and the response was
+	// produced by the degradation ladder.
+	ErrBreakerOpen = errors.New("circuit breaker open")
+	// ErrPanic marks a panic recovered at a process boundary (an HTTP
+	// handler): the panic value is preserved in the message so a handler bug
+	// surfaces as a typed fault instead of killing the daemon.
+	ErrPanic = errors.New("panic")
 )
 
 // Stage names the pipeline stage a fault is attributed to. The constants
@@ -61,6 +73,7 @@ const (
 	StageEvaluation Stage = "evaluation"
 	StageNetlist    Stage = "netlist"
 	StageGuidance   Stage = "guide-generation"
+	StageServe      Stage = "serve"
 )
 
 // Error is a classified, attributed pipeline fault.

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+
+	"analogfold/internal/atomicfile"
 )
 
 // modelFile is the JSON serialization of a trained model: configuration,
@@ -23,7 +25,11 @@ type serializedTensor struct {
 
 const modelFormat = "analogfold-3dgnn-v1"
 
-// Save writes the trained model to path as JSON.
+// Save writes the trained model to path as JSON. The write is crash-safe:
+// the bytes are staged in a temp file and renamed over path (see atomicfile),
+// so a crash mid-save can never leave a torn checkpoint for analogfoldd to
+// choke on at startup — path holds either the previous complete model or the
+// new one.
 func (m *Model) Save(path string) error {
 	f := modelFile{Format: modelFormat, Cfg: m.Cfg, YMean: m.YMean, YStd: m.YStd}
 	for _, p := range m.Params() {
@@ -33,7 +39,10 @@ func (m *Model) Save(path string) error {
 	if err != nil {
 		return fmt.Errorf("gnn3d: save: %w", err)
 	}
-	return os.WriteFile(path, b, 0o644)
+	if err := atomicfile.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("gnn3d: save: %w", err)
+	}
+	return nil
 }
 
 // Load reads a model saved by Save. The architecture is rebuilt from the

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"analogfold/internal/atomicfile"
 	"analogfold/internal/netlist"
 )
 
@@ -38,6 +39,63 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	if y1 != y2 {
 		t.Errorf("loaded model predicts differently: %v vs %v", y1, y2)
+	}
+}
+
+func TestSaveCrashSafe(t *testing.T) {
+	// A simulated partial write (process killed mid-save) must never leave a
+	// corrupt checkpoint at the final path: the previous complete model stays
+	// loadable and no temp droppings accumulate.
+	g := buildGraph(t, netlist.OTA1(), 23)
+	m := New(Config{Seed: 23, Hidden: 16, Layers: 1, RBFBins: 8})
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	want, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutate the in-memory model, then crash 16 bytes into re-saving it.
+	m.YMean = [NumMetrics]float64{9, 9, 9, 9, 9}
+	restore := atomicfile.SetTestWriteFault(16)
+	err = m.Save(path)
+	restore()
+	if err == nil {
+		t.Fatal("torn save must surface an error")
+	}
+
+	back, err := Load(path)
+	if err != nil {
+		t.Fatalf("checkpoint corrupted by torn save: %v", err)
+	}
+	if back.YMean != want.YMean {
+		t.Errorf("checkpoint content changed despite failed save: %v", back.YMean)
+	}
+	cu := uniformC(len(netlist.OTA1().Nets))
+	y1, err := want.Predict(g, cu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2, err := back.Predict(g, cu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y1 != y2 {
+		t.Errorf("reloaded checkpoint predicts differently after torn save")
+	}
+
+	// And a subsequent healthy save replaces the checkpoint normally.
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back2.YMean != m.YMean {
+		t.Errorf("healthy re-save did not land: %v", back2.YMean)
 	}
 }
 

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"analogfold/internal/fault"
+)
+
+// admission is the daemon's bounded admission queue. Capacity slots bound how
+// many requests execute concurrently; a bounded waiting room (backlog) holds
+// the overflow for at most the admission timeout. Anything beyond that is
+// shed immediately with a typed fault.ErrOverload, which the HTTP layer turns
+// into 503 + Retry-After — the contract that keeps an overloaded daemon
+// answering in bounded time instead of collapsing under a convoy of slow
+// requests.
+type admission struct {
+	slots   chan struct{}
+	backlog int64
+	timeout time.Duration
+
+	waiting  atomic.Int64 // requests in the waiting room (exported queue depth)
+	inflight atomic.Int64 // requests holding a slot
+	accepted atomic.Int64 // total requests ever admitted
+	shed     atomic.Int64 // total requests refused (queue full or wait expired)
+}
+
+func newAdmission(capacity, backlog int, timeout time.Duration) *admission {
+	return &admission{
+		slots:   make(chan struct{}, capacity),
+		backlog: int64(backlog),
+		timeout: timeout,
+	}
+}
+
+// acquire admits the request or sheds it. On success the caller owns one slot
+// and must release() it; every error return is a typed fault.
+func (a *admission) acquire(ctx context.Context) error {
+	// Fast path: a free slot, no queueing.
+	select {
+	case a.slots <- struct{}{}:
+		a.accepted.Add(1)
+		a.inflight.Add(1)
+		return nil
+	default:
+	}
+	// Waiting room. Bounded: a full backlog sheds instantly, so queue depth
+	// (and therefore added latency) never grows past a known constant.
+	if a.waiting.Add(1) > a.backlog {
+		a.waiting.Add(-1)
+		a.shed.Add(1)
+		return fault.New(fault.StageServe, fault.ErrOverload,
+			"admission backlog full (%d waiting)", a.backlog)
+	}
+	defer a.waiting.Add(-1)
+	timer := time.NewTimer(a.timeout)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		a.accepted.Add(1)
+		a.inflight.Add(1)
+		return nil
+	case <-timer.C:
+		a.shed.Add(1)
+		return fault.New(fault.StageServe, fault.ErrOverload,
+			"no slot within admission deadline %s", a.timeout)
+	case <-ctx.Done():
+		// Client went away while queued; not a shed — nothing was refused.
+		return fault.FromContext(fault.StageServe, ctx.Err())
+	}
+}
+
+// release returns the caller's slot.
+func (a *admission) release() {
+	a.inflight.Add(-1)
+	<-a.slots
+}
+
+// retryAfterSeconds is the Retry-After hint attached to shed responses: the
+// admission timeout rounded up to a whole second (minimum 1), i.e. the
+// soonest a retry could plausibly find the queue drained.
+func (a *admission) retryAfterSeconds() int {
+	s := int((a.timeout + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

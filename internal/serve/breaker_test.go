@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives the breaker's time seam.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(threshold, cooldown)
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerTripsOnConsecutiveFaults(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Minute)
+	for i := 0; i < 2; i++ {
+		if !b.allow() {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.record(true)
+	}
+	if st, _, _ := b.snapshot(); st != "closed" {
+		t.Fatalf("state after 2 faults = %s, want closed", st)
+	}
+	b.allow()
+	b.record(true) // third consecutive fault
+	if st, _, trips := b.snapshot(); st != "open" || trips != 1 {
+		t.Fatalf("state after 3 faults = %s trips=%d, want open/1", st, trips)
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Minute)
+	b.allow()
+	b.record(true)
+	b.allow()
+	b.record(true)
+	b.allow()
+	b.record(false) // success clears the streak
+	b.allow()
+	b.record(true)
+	b.allow()
+	b.record(true)
+	if st, n, _ := b.snapshot(); st != "closed" || n != 2 {
+		t.Fatalf("state=%s consecutive=%d, want closed/2", st, n)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Minute)
+	b.allow()
+	b.record(true) // trip
+	if b.allow() {
+		t.Fatal("admitted during cooldown")
+	}
+	clk.advance(2 * time.Minute)
+	if !b.allow() {
+		t.Fatal("cooldown elapsed but probe refused")
+	}
+	// Exactly one probe at a time.
+	if b.allow() {
+		t.Fatal("second concurrent probe admitted in half-open")
+	}
+	b.record(false) // probe succeeds → closed
+	if st, _, _ := b.snapshot(); st != "closed" {
+		t.Fatalf("state after good probe = %s, want closed", st)
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker refused request after recovery")
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Minute)
+	b.allow()
+	b.record(true)
+	clk.advance(2 * time.Minute)
+	if !b.allow() {
+		t.Fatal("probe refused")
+	}
+	b.record(true) // probe fails → open again, fresh cooldown
+	if st, _, trips := b.snapshot(); st != "open" || trips != 2 {
+		t.Fatalf("state=%s trips=%d, want open/2", st, trips)
+	}
+	if b.allow() {
+		t.Fatal("admitted right after failed probe")
+	}
+	clk.advance(2 * time.Minute)
+	if !b.allow() {
+		t.Fatal("no new probe after second cooldown")
+	}
+}
+
+func TestBreakerAbortedProbeFreesSlot(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Minute)
+	b.allow()
+	b.record(true)
+	clk.advance(2 * time.Minute)
+	if !b.allow() {
+		t.Fatal("probe refused")
+	}
+	// Probe canceled before reaching the model: without abortProbe the
+	// half-open slot would leak and the breaker could never recover.
+	b.abortProbe()
+	if !b.allow() {
+		t.Fatal("aborted probe did not free the half-open slot")
+	}
+}

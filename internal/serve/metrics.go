@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two latency buckets: bucket k counts
+// observations below 2^k milliseconds, the last bucket is the overflow.
+const histBuckets = 21
+
+// latencyHist is a lock-free log-scale latency histogram.
+type latencyHist struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sumUS   atomic.Int64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	ms := d.Milliseconds()
+	k := 0
+	for k < histBuckets-1 && ms >= 1<<k {
+		k++
+	}
+	h.buckets[k].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(d.Microseconds())
+}
+
+// histView is the /metrics rendering of one histogram.
+type histView struct {
+	Count   int64            `json:"count"`
+	MeanMS  float64          `json:"mean_ms"`
+	Buckets map[string]int64 `json:"buckets,omitempty"` // "le_<2^k>ms" → count
+}
+
+func (h *latencyHist) view() histView {
+	v := histView{Count: h.count.Load()}
+	if v.Count > 0 {
+		v.MeanMS = float64(h.sumUS.Load()) / 1e3 / float64(v.Count)
+		v.Buckets = make(map[string]int64)
+		for k := 0; k < histBuckets; k++ {
+			if n := h.buckets[k].Load(); n > 0 {
+				if k == histBuckets-1 {
+					v.Buckets["inf"] = n
+				} else {
+					v.Buckets[bucketLabel(k)] = n
+				}
+			}
+		}
+	}
+	return v
+}
+
+func bucketLabel(k int) string {
+	// "le_1ms", "le_2ms", ... — small fixed set, build without fmt.
+	ms := int64(1) << k
+	return "le_" + itoa(ms) + "ms"
+}
+
+func itoa(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// metrics aggregates everything /metrics exports beyond the admission and
+// breaker counters, which live with their owners.
+type metrics struct {
+	panics    atomic.Int64
+	degraded  atomic.Int64 // responses produced below the elite rung
+	queueWait latencyHist  // admission wait of admitted requests
+	guidance  latencyHist  // /v1/guidance handler time after admission
+	route     latencyHist  // /v1/route handler time after admission
+	relax     latencyHist  // guide-generation stage time inside /v1/route
+}
+
+// MetricsSnapshot is the JSON body of GET /metrics. Field names are the wire
+// contract; tests and dashboards key on them.
+type MetricsSnapshot struct {
+	QueueDepth int64 `json:"queue_depth"`
+	InFlight   int64 `json:"in_flight"`
+	Accepted   int64 `json:"accepted"`
+	Shed       int64 `json:"shed"`
+	// Sent is the total admission verdicts handed out: Accepted + Shed.
+	// Client-side accounting checks balance against it.
+	Sent     int64 `json:"sent"`
+	Panics   int64 `json:"panics"`
+	Degraded int64 `json:"degraded"`
+
+	Breaker struct {
+		State             string `json:"state"`
+		ConsecutiveFaults int    `json:"consecutive_faults"`
+		Trips             int64  `json:"trips"`
+	} `json:"breaker"`
+
+	Latency map[string]histView `json:"latency"`
+}
+
+func (s *Server) metricsSnapshot() MetricsSnapshot {
+	var m MetricsSnapshot
+	m.QueueDepth = s.adm.waiting.Load()
+	m.InFlight = s.adm.inflight.Load()
+	m.Accepted = s.adm.accepted.Load()
+	m.Shed = s.adm.shed.Load()
+	m.Sent = m.Accepted + m.Shed
+	m.Panics = s.met.panics.Load()
+	m.Degraded = s.met.degraded.Load()
+	m.Breaker.State, m.Breaker.ConsecutiveFaults, m.Breaker.Trips = s.brk.snapshot()
+	m.Latency = map[string]histView{
+		"queue_wait": s.met.queueWait.view(),
+		"guidance":   s.met.guidance.view(),
+		"route":      s.met.route.view(),
+		"relax":      s.met.relax.view(),
+	}
+	return m
+}

@@ -1,0 +1,34 @@
+package serve
+
+import (
+	"net/http"
+
+	"analogfold/internal/fault"
+)
+
+// withRecovery converts a handler panic into a typed fault.ErrPanic response
+// instead of letting net/http kill the connection (or, for a panic outside a
+// request goroutine, the process). The daemon must survive any single bad
+// request; the panic value and request path are preserved in the fault
+// message for the operator.
+func (s *Server) withRecovery(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.met.panics.Add(1)
+				err := fault.New(fault.StageServe, fault.ErrPanic,
+					"%s %s: %v", r.Method, r.URL.Path, v)
+				s.logf("panic recovered: %v", err)
+				writeError(w, err, 0)
+			}
+		}()
+		h(w, r)
+	}
+}
+
+// logf writes to the server's logger when one is configured.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}

@@ -1,0 +1,363 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"analogfold/internal/core"
+	"analogfold/internal/fault"
+	"analogfold/internal/gnn3d"
+	"analogfold/internal/hetgraph"
+)
+
+// Config sizes the daemon's robustness machinery. Zero values inherit the
+// defaults noted on each field.
+type Config struct {
+	// QueueCapacity bounds concurrently executing requests (default 4).
+	QueueCapacity int
+	// QueueBacklog bounds the waiting room beyond the executing set (default
+	// 4×capacity). A request arriving with the backlog full is shed at once.
+	QueueBacklog int
+	// AdmissionTimeout bounds how long a request may wait for a slot before
+	// being shed with 503 + Retry-After (default 1s).
+	AdmissionTimeout time.Duration
+	// RequestTimeout is the per-request deadline threaded down the pipeline
+	// context chain once admitted (default 5m).
+	RequestTimeout time.Duration
+	// DrainTimeout bounds the graceful drain on shutdown (default 30s).
+	DrainTimeout time.Duration
+	// BreakerThreshold is the consecutive-model-fault count that trips the
+	// circuit breaker (default 3); BreakerCooldown the open interval before a
+	// half-open probe (default 30s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Opts are the base flow options (seed, restart budget, workers, stage
+	// timeouts…) that per-request knobs override.
+	Opts core.Options
+	// Logf, when set, receives operational log lines (panics, breaker trips,
+	// drain progress).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = 4
+	}
+	if c.QueueBacklog <= 0 {
+		c.QueueBacklog = 4 * c.QueueCapacity
+	}
+	if c.AdmissionTimeout <= 0 {
+		c.AdmissionTimeout = time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Minute
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 30 * time.Second
+	}
+	return c
+}
+
+// flowEntry caches one benchmark's placed flow and prebuilt heterogeneous
+// graph. Built once under the sync.Once, then shared read-only by every
+// request for that benchmark.
+type flowEntry struct {
+	once sync.Once
+	flow *core.Flow
+	hg   *hetgraph.Graph
+	err  error
+}
+
+// Server is the analogfoldd HTTP daemon: one warm model, per-benchmark cached
+// flows, and the admission/breaker/recovery stack in front of them.
+type Server struct {
+	cfg   Config
+	model *gnn3d.Model
+	adm   *admission
+	brk   *breaker
+	met   metrics
+
+	mu    sync.Mutex
+	flows map[string]*flowEntry
+
+	draining sync.Once
+	drained  chan struct{} // closed when drain starts; /readyz flips to 503
+
+	// doGuidance / doRoute perform the admitted work. They default to the
+	// real warm-path builders; tests substitute stubs to make load-shed and
+	// panic scenarios deterministic.
+	doGuidance func(ctx context.Context, f *core.Flow, hg *hetgraph.Graph, req GuidanceRequest, useModel bool) (*GuidanceResponse, error)
+	doRoute    func(ctx context.Context, f *core.Flow, hg *hetgraph.Graph, req RouteRequest, useModel bool) (*RouteResponse, *core.Outcome, error)
+}
+
+// New builds a server around an already-loaded checkpoint.
+func New(model *gnn3d.Model, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		model:   model,
+		adm:     newAdmission(cfg.QueueCapacity, cfg.QueueBacklog, cfg.AdmissionTimeout),
+		brk:     newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		flows:   make(map[string]*flowEntry),
+		drained: make(chan struct{}),
+	}
+	s.doGuidance = func(ctx context.Context, f *core.Flow, hg *hetgraph.Graph, req GuidanceRequest, useModel bool) (*GuidanceResponse, error) {
+		return BuildGuidanceResponse(ctx, f, s.model, hg, req, useModel)
+	}
+	s.doRoute = func(ctx context.Context, f *core.Flow, hg *hetgraph.Graph, req RouteRequest, useModel bool) (*RouteResponse, *core.Outcome, error) {
+		return BuildRouteResponse(ctx, f, s.model, hg, req, useModel)
+	}
+	return s
+}
+
+// flowFor returns the cached (or lazily built) flow for a benchmark id. The
+// expensive placement runs at most once per benchmark for the daemon's
+// lifetime; concurrent first requests block on the same sync.Once.
+func (s *Server) flowFor(bench string) (*core.Flow, *hetgraph.Graph, error) {
+	ckt, prof, err := core.ParseBenchmark(bench)
+	if err != nil {
+		return nil, nil, fault.Wrap(fault.StageServe, fault.ErrInvalidInput, err, "bench %q", bench)
+	}
+	key := ckt.Name + "-" + string(prof)
+	s.mu.Lock()
+	e, ok := s.flows[key]
+	if !ok {
+		e = &flowEntry{}
+		s.flows[key] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		f, err := core.NewFlow(ckt, prof, s.cfg.Opts)
+		if err != nil {
+			e.err = err
+			return
+		}
+		hg, err := f.BuildHetGraph()
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.flow, e.hg = f, hg
+	})
+	return e.flow, e.hg, e.err
+}
+
+// Warm pre-builds the flows for the given benchmarks so the first request
+// doesn't pay the placement. The daemon calls it before marking ready.
+func (s *Server) Warm(benches []string) error {
+	for _, b := range benches {
+		if _, _, err := s.flowFor(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler returns the daemon's routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/guidance", s.withRecovery(s.handleGuidance))
+	mux.HandleFunc("/v1/route", s.withRecovery(s.handleRoute))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// admit runs the shared front half of both work endpoints: method check, body
+// decode, admission, per-request deadline. It returns false after writing the
+// error response when the request doesn't proceed.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, into any) (release func(), ok bool) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorBody{Error: ErrorDetail{
+			Kind: "method not allowed", Msg: "use POST"}})
+		return nil, false
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err == nil {
+		err = json.Unmarshal(body, into)
+	}
+	if err != nil {
+		writeError(w, fault.Wrap(fault.StageServe, fault.ErrInvalidInput, err, "decode request"), 0)
+		return nil, false
+	}
+	waitStart := time.Now()
+	if err := s.adm.acquire(r.Context()); err != nil {
+		writeError(w, err, s.adm.retryAfterSeconds())
+		return nil, false
+	}
+	s.met.queueWait.observe(time.Since(waitStart))
+	return s.adm.release, true
+}
+
+func (s *Server) handleGuidance(w http.ResponseWriter, r *http.Request) {
+	var req GuidanceRequest
+	release, ok := s.admit(w, r, &req)
+	if !ok {
+		return
+	}
+	defer release()
+	start := time.Now()
+	defer func() { s.met.guidance.observe(time.Since(start)) }()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	f, hg, err := s.flowFor(req.Bench)
+	if err != nil {
+		writeError(w, err, 0)
+		return
+	}
+	useModel := s.brk.allow()
+	resp, err := s.doGuidance(ctx, f, hg, req, useModel)
+	if useModel {
+		s.recordModelOutcome(err)
+	}
+	if resp == nil {
+		writeError(w, err, 0)
+		return
+	}
+	if !useModel {
+		resp.Breaker = "open"
+	}
+	if resp.Degraded {
+		s.met.degraded.Add(1)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	var req RouteRequest
+	release, ok := s.admit(w, r, &req)
+	if !ok {
+		return
+	}
+	defer release()
+	start := time.Now()
+	defer func() { s.met.route.observe(time.Since(start)) }()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	f, hg, err := s.flowFor(req.Bench)
+	if err != nil {
+		writeError(w, err, 0)
+		return
+	}
+	useModel := s.brk.allow()
+	resp, out, err := s.doRoute(ctx, f, hg, req, useModel)
+	if err != nil {
+		if useModel {
+			s.recordModelOutcome(err)
+		}
+		writeError(w, err, 0)
+		return
+	}
+	if useModel {
+		s.recordModelOutcome(out.Degradation.ModelFault())
+	}
+	if out != nil {
+		s.met.relax.observe(out.Times.GuideGeneration)
+	}
+	if !useModel {
+		resp.Breaker = "open"
+	}
+	if resp.Degraded {
+		s.met.degraded.Add(1)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// recordModelOutcome feeds the breaker after a model-path attempt. Timeouts
+// and cancellations are the client's (or operator's) doing and say nothing
+// about the model, so they don't count either way.
+func (s *Server) recordModelOutcome(err error) {
+	if err != nil && fault.IsTimeout(err) {
+		s.brk.abortProbe()
+		return
+	}
+	isFault := err != nil &&
+		(errors.Is(err, fault.ErrModelEval) || errors.Is(err, fault.ErrDiverged) ||
+			errors.Is(err, fault.ErrExhausted))
+	if !isFault && err != nil {
+		// A non-model failure (e.g. routing infrastructure): neutral — don't
+		// reset the consecutive count a flaky model has been accumulating.
+		s.brk.abortProbe()
+		return
+	}
+	before, _, _ := s.brk.snapshot()
+	s.brk.record(isFault)
+	if after, _, _ := s.brk.snapshot(); after != before {
+		s.logf("breaker %s -> %s", before, after)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	select {
+	case <-s.drained:
+		writeJSON(w, http.StatusServiceUnavailable, ErrorBody{Error: ErrorDetail{
+			Kind: "draining", Msg: "server is shutting down"}})
+	default:
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ready\n")
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.metricsSnapshot())
+}
+
+// Serve runs the daemon on the listener until ctx is canceled (SIGTERM /
+// SIGINT in the binary), then drains: the listener closes, /readyz flips to
+// 503 so load balancers stop sending traffic, in-flight requests get up to
+// DrainTimeout to finish, and only then are stragglers cut off.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.draining.Do(func() { close(s.drained) })
+	s.logf("draining: waiting up to %s for %d in-flight requests",
+		s.cfg.DrainTimeout, s.adm.inflight.Load())
+	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	err := hs.Shutdown(dctx)
+	if err != nil {
+		// Drain deadline blown: hard-close the stragglers so the process can
+		// exit instead of hanging forever.
+		s.logf("drain timeout: force-closing remaining connections")
+		hs.Close()
+	}
+	<-errc // http.ErrServerClosed from the Serve goroutine
+	return err
+}
+
+// ListenAndServe binds addr and calls Serve.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.logf("analogfoldd listening on %s", ln.Addr())
+	return s.Serve(ctx, ln)
+}

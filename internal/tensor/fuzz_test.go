@@ -1,0 +1,67 @@
+package tensor
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"analogfold/internal/fault"
+)
+
+// FuzzTensorTryFromSlice drives the input-facing tensor constructors with
+// arbitrary shapes and data lengths. The contract under fuzz: never panic,
+// never crash make with a wrapped element count — reject with a typed
+// fault.ErrInvalidInput or return a tensor whose length checks out.
+func FuzzTensorTryFromSlice(f *testing.F) {
+	f.Add(8, 2, 4, 1, uint8(2))
+	f.Add(0, 0, 0, 0, uint8(0))
+	f.Add(6, -1, 3, 2, uint8(3))
+	f.Add(4, math.MaxInt, 2, 2, uint8(3))
+	f.Add(1, math.MaxInt/2+1, 2, 1, uint8(2))
+	f.Fuzz(func(t *testing.T, n, s0, s1, s2 int, nshape uint8) {
+		if n < 0 {
+			n = 0
+		}
+		if n > 1<<16 {
+			n %= 1 << 16
+		}
+		shape := []int{s0, s1, s2}[:nshape%4]
+		data := make([]float64, n)
+
+		tt, err := TryFromSlice(data, shape...)
+		if err != nil {
+			if !errors.Is(err, fault.ErrInvalidInput) {
+				t.Fatalf("TryFromSlice(%v) error is not typed ErrInvalidInput: %v", shape, err)
+			}
+		} else if tt.Len() != len(data) {
+			t.Fatalf("accepted shape %v: Len()=%d != len(data)=%d", shape, tt.Len(), len(data))
+		}
+
+		// TryNew must uphold the same contract for the same shapes, with the
+		// extra twist that it allocates: an unchecked overflow would crash
+		// make instead of erroring.
+		total := 1
+		overflow := false
+		for _, s := range shape {
+			if s < 0 {
+				overflow = true // rejected before allocation, any reason is fine
+				break
+			}
+			if s > 0 && total > (1<<20)/s {
+				overflow = true // too big to allocate in a fuzz iteration
+				break
+			}
+			total *= s
+		}
+		if overflow {
+			return
+		}
+		nt, err := TryNew(shape...)
+		if err != nil {
+			t.Fatalf("TryNew(%v) rejected a small valid shape: %v", shape, err)
+		}
+		if nt.Len() != total || len(nt.Data) != total {
+			t.Fatalf("TryNew(%v): Len()=%d len(Data)=%d want %d", shape, nt.Len(), len(nt.Data), total)
+		}
+	})
+}

@@ -34,15 +34,32 @@ func New(shape ...int) *Tensor {
 // TryNew is New for input-derived shapes: it returns a typed
 // fault.ErrInvalidInput error instead of panicking.
 func TryNew(shape ...int) (*Tensor, error) {
+	n, err := checkedLen(shape)
+	if err != nil {
+		return nil, err
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}, nil
+}
+
+// checkedLen validates a shape and returns its element count, rejecting
+// negative dimensions and products that overflow int — without the overflow
+// check a pair of huge dimensions can wrap the product into a small (or
+// negative) count and either crash make or smuggle an absurd shape past the
+// length check.
+func checkedLen(shape []int) (int, error) {
 	n := 1
 	for _, s := range shape {
 		if s < 0 {
-			return nil, fault.New(fault.StageEvaluation, fault.ErrInvalidInput,
+			return 0, fault.New(fault.StageEvaluation, fault.ErrInvalidInput,
 				"tensor: negative dimension %v", shape)
+		}
+		if s > 0 && n > math.MaxInt/s {
+			return 0, fault.New(fault.StageEvaluation, fault.ErrInvalidInput,
+				"tensor: shape %v element count overflows", shape)
 		}
 		n *= s
 	}
-	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}, nil
+	return n, nil
 }
 
 // FromSlice wraps data in a tensor of the given shape (no copy).
@@ -61,18 +78,15 @@ func FromSlice(data []float64, shape ...int) *Tensor {
 // artifacts): it returns a typed fault.ErrInvalidInput error instead of
 // panicking when the shape is negative or does not cover the data.
 func TryFromSlice(data []float64, shape ...int) (*Tensor, error) {
-	for _, s := range shape {
-		if s < 0 {
-			return nil, fault.New(fault.StageEvaluation, fault.ErrInvalidInput,
-				"tensor: negative dimension %v", shape)
-		}
+	n, err := checkedLen(shape)
+	if err != nil {
+		return nil, err
 	}
-	t := &Tensor{Shape: append([]int(nil), shape...), Data: data}
-	if t.Len() != len(data) {
+	if n != len(data) {
 		return nil, fault.New(fault.StageEvaluation, fault.ErrInvalidInput,
-			"tensor: %v needs %d elements, got %d", shape, t.Len(), len(data))
+			"tensor: %v needs %d elements, got %d", shape, n, len(data))
 	}
-	return t, nil
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}, nil
 }
 
 // Len returns the total element count.

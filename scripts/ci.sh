@@ -22,7 +22,8 @@ go test -race -count=1 \
     ./internal/circuit/ \
     ./internal/gnn3d/ \
     ./internal/dataset/ \
-    ./internal/route/
+    ./internal/route/ \
+    ./internal/serve/
 
 echo "== chaos: go test -race -tags faultinject (fault-injection suite) =="
 # The faultinject build tag compiles the deterministic fault scheduler into
@@ -34,7 +35,15 @@ go test -race -count=1 -tags faultinject \
     ./internal/parallel/ \
     ./internal/relax/ \
     ./internal/route/ \
-    ./internal/core/
+    ./internal/core/ \
+    ./internal/serve/
+
+echo "== fuzz smoke (10s per target) =="
+# Short native-fuzz budgets: enough to catch a freshly introduced panic or
+# untyped error on the input-facing surfaces (netlist builder, tensor
+# constructors), cheap enough to run every time.
+go test -run '^$' -fuzz FuzzNetlistBuild -fuzztime 10s ./internal/netlist/
+go test -run '^$' -fuzz FuzzTensorTryFromSlice -fuzztime 10s ./internal/tensor/
 
 echo "== benchmark smoke (router hot path compiles and runs) =="
 # One iteration of the routing benchmark: catches benchmarks that rot

@@ -10,7 +10,7 @@ cd "$(dirname "$0")/.."
 # Bare statement calls of error-returning APIs: no assignment, no `if`, no
 # `return`, not deferred cleanup. Extend the alternation as new
 # error-returning helpers appear.
-pattern='^[[:space:]]*(os\.(WriteFile|MkdirAll|Remove|RemoveAll|Rename)|[A-Za-z_][A-Za-z0-9_.]*\.(Save|WriteJSON|Validate|Fit|Build))\('
+pattern='^[[:space:]]*(os\.(WriteFile|MkdirAll|Remove|RemoveAll|Rename)|atomicfile\.WriteFile|[A-Za-z_][A-Za-z0-9_.]*\.(Save|WriteJSON|Validate|Fit|Build))\('
 
 if grep -rnE "$pattern" --include='*.go' cmd internal examples 2>/dev/null \
     | grep -v '_test\.go' \
