@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet errcheck race chaos serve-chaos fuzz-smoke bench bench-parallel bench-route ci
+.PHONY: build test vet errcheck race chaos serve-chaos fuzz-smoke bench bench-parallel bench-route obs-bench ci
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ errcheck:
 # race runs the packages that execute work concurrently under the race
 # detector with short settings; the full suite under -race is much slower.
 race:
-	$(GO) test -race ./internal/parallel/ ./internal/relax/ ./internal/circuit/ ./internal/gnn3d/ ./internal/dataset/ ./internal/route/ ./internal/serve/
+	$(GO) test -race ./internal/obs/ ./internal/parallel/ ./internal/relax/ ./internal/circuit/ ./internal/gnn3d/ ./internal/dataset/ ./internal/route/ ./internal/serve/
 
 # chaos compiles the deterministic fault scheduler into the injection points
 # (faultinject build tag) and runs the fault-injection suite under the race
@@ -56,6 +56,12 @@ bench-parallel:
 bench-route:
 	$(GO) test -run NONE -bench BenchmarkRouteReport -benchtime 1x .
 	$(GO) test -run NONE -bench 'BenchmarkAstarCore|BenchmarkRouteNegotiation' -benchmem -benchtime 100x ./internal/route/
+
+# obs-bench measures the telemetry layer's enabled-path overhead on each
+# instrumented hot path (routing, relaxation) and writes BENCH_obs.json;
+# the budget is <5%, enforced cheaply in CI by TestObsOverheadSmoke.
+obs-bench:
+	$(GO) test -run NONE -bench BenchmarkObsOverhead -benchtime 1x .
 
 ci:
 	./scripts/ci.sh

@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"analogfold/internal/atomicfile"
+	"analogfold/internal/cliutil"
 	"analogfold/internal/core"
 	"analogfold/internal/gnn3d"
 	"analogfold/internal/serve"
@@ -15,20 +16,27 @@ import (
 // cmdTrain trains a 3DGNN on one benchmark and writes the checkpoint that
 // analogfoldd loads at startup. The save is crash-safe (temp + fsync +
 // rename), so a daemon restarting mid-train never sees a torn file.
-func cmdTrain(ctx context.Context, args []string) error {
+func cmdTrain(ctx context.Context, args []string) (err error) {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	bench := fs.String("bench", "OTA1-A", "benchmark")
 	out := fs.String("out", "model.json", "checkpoint output path")
 	cache := fs.String("cache", "", "artifact cache directory (reuses dataset/model when present)")
 	opts := optionsFlags(fs)
+	obsFlags := cliutil.ObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ob, err := obsFlags(opts().Seed)
+	if err != nil {
+		return err
+	}
+	defer ob.CloseInto(&err)
+	ctx = ob.WithContext(ctx)
 	c, p, err := parseBench(*bench)
 	if err != nil {
 		return err
 	}
-	f, err := core.NewFlow(c, p, opts())
+	f, err := core.NewFlowCtx(ctx, c, p, opts())
 	if err != nil {
 		return err
 	}
@@ -47,21 +55,28 @@ func cmdTrain(ctx context.Context, args []string) error {
 // warm path and response builder the analogfoldd daemon serves, so the file
 // written here is byte-identical to the daemon's /v1/guidance body for the
 // same checkpoint and knobs.
-func cmdGuidance(ctx context.Context, args []string) error {
+func cmdGuidance(ctx context.Context, args []string) (err error) {
 	fs := flag.NewFlagSet("guidance", flag.ExitOnError)
 	bench := fs.String("bench", "OTA1-A", "benchmark")
 	model := fs.String("model", "model.json", "checkpoint path (from `analogfold train`)")
 	out := fs.String("out", "guidance.json", "output path ('-' for stdout)")
 	nderive := fs.Int("nderive", 0, "guidance sets to derive (0 = flow default)")
 	opts := optionsFlags(fs)
+	obsFlags := cliutil.ObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ob, err := obsFlags(opts().Seed)
+	if err != nil {
+		return err
+	}
+	defer ob.CloseInto(&err)
+	ctx = ob.WithContext(ctx)
 	c, p, err := parseBench(*bench)
 	if err != nil {
 		return err
 	}
-	f, err := core.NewFlow(c, p, opts())
+	f, err := core.NewFlowCtx(ctx, c, p, opts())
 	if err != nil {
 		return err
 	}
@@ -75,7 +90,8 @@ func cmdGuidance(ctx context.Context, args []string) error {
 		return err
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "analogfold: degraded to uniform guidance:", err)
+		ob.Logger.Warn("degraded to uniform guidance", "err", err)
+		err = nil
 	}
 	body, err := serve.MarshalBody(resp)
 	if err != nil {

@@ -117,15 +117,22 @@ func cmdTable1() error {
 	return nil
 }
 
-func cmdTable2(ctx context.Context, args []string) error {
+func cmdTable2(ctx context.Context, args []string) (err error) {
 	fs := flag.NewFlagSet("table2", flag.ExitOnError)
 	bench := fs.String("bench", "", "single benchmark (e.g. OTA1-A); empty = all ten")
 	jsonOut := fs.String("json", "", "also write a machine-readable report to this path")
 	opts := optionsFlags(fs)
+	obsFlags := cliutil.ObsFlags(fs)
 	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ob, err := obsFlags(opts().Seed)
+	if err != nil {
+		return err
+	}
+	defer ob.CloseInto(&err)
+	ctx = ob.WithContext(ctx)
 	if err := prof.start(); err != nil {
 		return err
 	}
@@ -133,7 +140,7 @@ func cmdTable2(ctx context.Context, args []string) error {
 
 	var rows []*core.Row
 	run := func(c *netlist.Circuit, p place.Profile) error {
-		fmt.Fprintf(os.Stderr, "running %s-%s ...\n", c.Name, p)
+		ob.Logger.Info("running benchmark", "bench", fmt.Sprintf("%s-%s", c.Name, p))
 		row, err := core.RunBenchmark(ctx, c, p, opts())
 		if err != nil {
 			return fmt.Errorf("%s-%s: %w", c.Name, p, err)
@@ -166,19 +173,26 @@ func cmdTable2(ctx context.Context, args []string) error {
 		if err := rep.WriteJSON(*jsonOut); err != nil {
 			return err
 		}
-		fmt.Fprintln(os.Stderr, "wrote", *jsonOut)
+		ob.Logger.Info("wrote report", "path", *jsonOut)
 	}
 	return nil
 }
 
-func cmdFig5(ctx context.Context, args []string) error {
+func cmdFig5(ctx context.Context, args []string) (err error) {
 	fs := flag.NewFlagSet("fig5", flag.ExitOnError)
 	bench := fs.String("bench", "OTA1-A", "benchmark")
 	opts := optionsFlags(fs)
+	obsFlags := cliutil.ObsFlags(fs)
 	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ob, err := obsFlags(opts().Seed)
+	if err != nil {
+		return err
+	}
+	defer ob.CloseInto(&err)
+	ctx = ob.WithContext(ctx)
 	if err := prof.start(); err != nil {
 		return err
 	}
@@ -187,7 +201,7 @@ func cmdFig5(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	f, err := core.NewFlow(c, p, opts())
+	f, err := core.NewFlowCtx(ctx, c, p, opts())
 	if err != nil {
 		return err
 	}
@@ -307,17 +321,24 @@ func cmdRoute(ctx context.Context, args []string) error {
 	return nil
 }
 
-func cmdDataset(ctx context.Context, args []string) error {
+func cmdDataset(ctx context.Context, args []string) (err error) {
 	fs := flag.NewFlagSet("dataset", flag.ExitOnError)
 	bench := fs.String("bench", "OTA1-A", "benchmark")
 	n := fs.Int("n", 48, "number of samples")
 	out := fs.String("out", "dataset.json", "output file")
 	seed := fs.Int64("seed", 1, "seed")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	obsFlags := cliutil.ObsFlags(fs)
 	pr := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ob, err := obsFlags(*seed)
+	if err != nil {
+		return err
+	}
+	defer ob.CloseInto(&err)
+	ctx = ob.WithContext(ctx)
 	if err := pr.start(); err != nil {
 		return err
 	}

@@ -3,6 +3,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -59,25 +60,25 @@ func (p *profiler) stop() {
 	if p.cpuFile != nil {
 		pprof.StopCPUProfile()
 		p.cpuFile.Close()
-		fmt.Fprintln(os.Stderr, "wrote CPU profile to", *p.cpu)
+		slog.Info("wrote CPU profile", "path", *p.cpu)
 	}
 	if p.trcFile != nil {
 		trace.Stop()
 		p.trcFile.Close()
-		fmt.Fprintln(os.Stderr, "wrote execution trace to", *p.trc)
+		slog.Info("wrote execution trace", "path", *p.trc)
 	}
 	if *p.mem != "" {
 		f, err := os.Create(*p.mem)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			slog.Error("memprofile", "err", err)
 			return
 		}
 		defer f.Close()
 		runtime.GC() // settle the heap so the profile shows live objects
 		if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
-			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			slog.Error("memprofile", "err", err)
 			return
 		}
-		fmt.Fprintln(os.Stderr, "wrote heap profile to", *p.mem)
+		slog.Info("wrote heap profile", "path", *p.mem)
 	}
 }

@@ -6,7 +6,11 @@
 //
 //	POST /v1/guidance  {"bench":"OTA1-A","seed":7}   → guidance sets
 //	POST /v1/route     {"bench":"OTA1-A"}            → routed result + metrics
-//	GET  /healthz /readyz /metrics
+//	GET  /healthz /readyz /metrics /debug/flight
+//
+// With -debug-addr a second listener serves net/http/pprof, /debug/vars and
+// the flight recorder, kept off the service port so profiling endpoints are
+// never exposed to clients by accident.
 //
 // Robustness: a bounded admission queue sheds overload with 503+Retry-After,
 // a circuit breaker around model evaluation degrades responses down the
@@ -18,7 +22,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -27,12 +31,14 @@ import (
 
 	"analogfold/internal/cliutil"
 	"analogfold/internal/gnn3d"
+	"analogfold/internal/obs"
 	"analogfold/internal/serve"
 )
 
 func main() {
 	fs := flag.NewFlagSet("analogfoldd", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
+	debugAddr := fs.String("debug-addr", "", "separate diagnostics listener (pprof, /debug/vars, /debug/flight); empty disables")
 	model := fs.String("model", "model.json", "3DGNN checkpoint (from `analogfold train`)")
 	warm := fs.String("warm", "", "comma-separated benchmarks to place before serving (e.g. OTA1-A,OTA2-B)")
 	queue := fs.Int("queue", 4, "admission queue capacity (concurrently executing requests)")
@@ -43,10 +49,20 @@ func main() {
 	brkThreshold := fs.Int("breaker-threshold", 3, "consecutive model faults that open the circuit breaker")
 	brkCooldown := fs.Duration("breaker-cooldown", 30*time.Second, "open interval before a half-open probe")
 	opts := cliutil.OptionsFlags(fs)
+	logf := cliutil.LogFlags(fs)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
-	if err := run(*addr, *model, *warm, serve.Config{
+	lg, err := logf()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analogfoldd:", err)
+		os.Exit(2)
+	}
+	o := opts()
+	// The daemon's telemetry is always on: the flight recorder backs the
+	// /debug/flight endpoint, so there is no trace file to opt into.
+	tel := obs.New(obs.Options{Seed: o.Seed, Logger: lg})
+	if err := run(*addr, *debugAddr, *model, *warm, serve.Config{
 		QueueCapacity:    *queue,
 		QueueBacklog:     *backlog,
 		AdmissionTimeout: *admissionTO,
@@ -54,15 +70,16 @@ func main() {
 		DrainTimeout:     *drainTO,
 		BreakerThreshold: *brkThreshold,
 		BreakerCooldown:  *brkCooldown,
-		Opts:             opts(),
-		Logf:             log.Printf,
+		Opts:             o,
+		Logger:           lg,
+		Telemetry:        tel,
 	}); err != nil {
-		fmt.Fprintln(os.Stderr, "analogfoldd:", err)
+		lg.Error("analogfoldd exiting", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, modelPath, warm string, cfg serve.Config) error {
+func run(addr, debugAddr, modelPath, warm string, cfg serve.Config) error {
 	m, err := gnn3d.Load(modelPath)
 	if err != nil {
 		return fmt.Errorf("load checkpoint: %w", err)
@@ -74,7 +91,7 @@ func run(addr, modelPath, warm string, cfg serve.Config) error {
 			if b == "" {
 				continue
 			}
-			log.Printf("warming %s", b)
+			cfg.Logger.Info("warming benchmark", "bench", b)
 			if err := s.Warm([]string{b}); err != nil {
 				return fmt.Errorf("warm %s: %w", b, err)
 			}
@@ -83,5 +100,19 @@ func run(addr, modelPath, warm string, cfg serve.Config) error {
 	// SIGTERM/SIGINT cancel the context; Serve drains and returns.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if debugAddr != "" {
+		dbg := &http.Server{Addr: debugAddr, Handler: s.DebugHandler()}
+		go func() {
+			cfg.Logger.Info("debug listener starting", "addr", debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				cfg.Logger.Error("debug listener failed", "err", err)
+			}
+		}()
+		defer func() {
+			shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = dbg.Shutdown(shCtx)
+		}()
+	}
 	return s.ListenAndServe(ctx, addr)
 }

@@ -1,0 +1,99 @@
+package cliutil
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"log/slog"
+	"os"
+
+	"analogfold/internal/atomicfile"
+	"analogfold/internal/obs"
+)
+
+// LogFlags registers the shared -log-level / -log-format flags on fs and
+// returns a closure building the structured logger after parsing. The logger
+// is also installed as the slog default, so package-level slog calls in
+// subcommands agree with it.
+func LogFlags(fs *flag.FlagSet) func() (*slog.Logger, error) {
+	level := fs.String("log-level", "info", "log verbosity: debug|info|warn|error")
+	format := fs.String("log-format", "text", "log output format: text|json")
+	return func() (*slog.Logger, error) {
+		lvl, err := obs.ParseLevel(*level)
+		if err != nil {
+			return nil, err
+		}
+		lg, err := obs.NewLogger(os.Stderr, lvl, *format)
+		if err != nil {
+			return nil, err
+		}
+		slog.SetDefault(lg)
+		return lg, nil
+	}
+}
+
+// Obs bundles a subcommand's observability state: the structured logger and,
+// when -trace-out is set, a telemetry sink whose flight recording is written
+// as Chrome trace_event JSON on Close.
+type Obs struct {
+	Logger    *slog.Logger
+	Telemetry *obs.Telemetry
+	traceOut  string
+}
+
+// ObsFlags registers -log-level/-log-format plus -trace-out on fs and
+// returns a closure building the per-run Obs after parsing. The seed feeds
+// the telemetry span-ID stream, so two runs with the same seed produce
+// identical trace IDs.
+func ObsFlags(fs *flag.FlagSet) func(seed int64) (*Obs, error) {
+	logf := LogFlags(fs)
+	traceOut := fs.String("trace-out", "",
+		"write a Chrome trace_event JSON of the run to this path (open in chrome://tracing or Perfetto)")
+	return func(seed int64) (*Obs, error) {
+		lg, err := logf()
+		if err != nil {
+			return nil, err
+		}
+		o := &Obs{Logger: lg, traceOut: *traceOut}
+		if *traceOut != "" {
+			// Telemetry only pays for itself when a trace was requested;
+			// otherwise the pipeline sees the nil (free) sink.
+			o.Telemetry = obs.New(obs.Options{Seed: seed, Logger: lg})
+		}
+		return o, nil
+	}
+}
+
+// WithContext attaches the telemetry sink (when enabled) to ctx so the
+// pipeline under it records spans and events.
+func (o *Obs) WithContext(ctx context.Context) context.Context {
+	if o == nil {
+		return ctx
+	}
+	return obs.WithTelemetry(ctx, o.Telemetry)
+}
+
+// Close writes the -trace-out artifact (atomic temp+rename, like every other
+// CLI artifact). Call it once the run finished; a no-op without -trace-out.
+func (o *Obs) Close() error {
+	if o == nil || o.Telemetry == nil || o.traceOut == "" {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := o.Telemetry.WriteTrace(&buf); err != nil {
+		return err
+	}
+	if err := atomicfile.WriteFile(o.traceOut, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	o.Logger.Info("wrote trace", "path", o.traceOut)
+	return nil
+}
+
+// CloseInto folds Close's error into err when the run itself succeeded —
+// the defer-friendly shape for subcommands with early returns.
+func (o *Obs) CloseInto(err *error) {
+	if cerr := o.Close(); cerr != nil && *err == nil {
+		*err = cerr
+	}
+}

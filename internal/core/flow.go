@@ -24,6 +24,7 @@ import (
 	"analogfold/internal/guidance"
 	"analogfold/internal/hetgraph"
 	"analogfold/internal/netlist"
+	"analogfold/internal/obs"
 	"analogfold/internal/parallel"
 	"analogfold/internal/place"
 	"analogfold/internal/relax"
@@ -105,10 +106,14 @@ func (o Options) withDefaults() Options {
 
 // withPhase tags everything fn runs (including goroutines it spawns) with a
 // pprof "phase" label, so -cpuprofile output attributes samples to the
-// Figure-5 stages instead of one undifferentiated flow. The caller's context
-// flows through unchanged, so cancellation crosses the label boundary.
+// Figure-5 stages instead of one undifferentiated flow, and opens a telemetry
+// span of the same name so -trace-out renders the stage timeline. The
+// caller's context flows through unchanged, so cancellation crosses the label
+// boundary; with no telemetry attached the span is a nil no-op.
 func withPhase(ctx context.Context, phase string, fn func(context.Context)) {
-	pprof.Do(ctx, pprof.Labels("phase", phase), fn)
+	sctx, span := obs.StartSpan(ctx, phase)
+	defer span.End()
+	pprof.Do(sctx, pprof.Labels("phase", phase), fn)
 }
 
 // stageCtx derives the per-stage context: Opts.StageTimeout bounds each stage
@@ -177,15 +182,29 @@ type Flow struct {
 // NewFlow places the circuit under the given net-weight profile and builds
 // the routing grid.
 func NewFlow(c *netlist.Circuit, profile place.Profile, opts Options) (*Flow, error) {
+	return NewFlowCtx(context.Background(), c, profile, opts)
+}
+
+// NewFlowCtx is NewFlow with a context, so the placement stage joins any
+// telemetry span tree carried by ctx (the remaining stages are spanned inside
+// the Run* methods). Placement itself does not observe cancellation.
+func NewFlowCtx(ctx context.Context, c *netlist.Circuit, profile place.Profile, opts Options) (*Flow, error) {
 	opts = opts.withDefaults()
 	t0 := time.Now()
-	p, err := place.Place(c, place.Config{
-		Profile: profile, Seed: opts.Seed, Iterations: opts.PlaceIters,
+	var (
+		p   *place.Placement
+		g   *grid.Grid
+		err error
+	)
+	withPhase(ctx, "placement", func(context.Context) {
+		p, err = place.Place(c, place.Config{
+			Profile: profile, Seed: opts.Seed, Iterations: opts.PlaceIters,
+		})
+		if err != nil {
+			return
+		}
+		g, err = grid.Build(p, tech.Sim40())
 	})
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	g, err := grid.Build(p, tech.Sim40())
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}

@@ -36,7 +36,7 @@ func RunBenchmark(ctx context.Context, c *netlist.Circuit, profile place.Profile
 		ctx, cancel = context.WithTimeout(ctx, opts.TotalTimeout)
 		defer cancel()
 	}
-	f, err := NewFlow(c, profile, opts)
+	f, err := NewFlowCtx(ctx, c, profile, opts)
 	if err != nil {
 		return nil, err
 	}

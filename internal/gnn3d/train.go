@@ -8,6 +8,7 @@ import (
 	"analogfold/internal/ad"
 	"analogfold/internal/fault"
 	"analogfold/internal/hetgraph"
+	"analogfold/internal/obs"
 	"analogfold/internal/optim"
 	"analogfold/internal/parallel"
 	"analogfold/internal/tensor"
@@ -197,6 +198,9 @@ func (m *Model) Fit(ctx context.Context, g *hetgraph.Graph, samples []Sample, cf
 	bestVal := math.Inf(1)
 	sinceBest := 0
 	var bestSnap []*tensor.Tensor
+	// Per-epoch loss telemetry: the epoch loop is serial, so recording here
+	// adds nothing to the batch fan-out and is a no-op without a sink.
+	tel := obs.FromContext(ctx)
 	for ep := 0; ep < cfg.Epochs; ep++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fault.FromContext(fault.StageTraining, err)
@@ -294,6 +298,12 @@ func (m *Model) Fit(ctx context.Context, g *hetgraph.Graph, samples []Sample, cf
 				"gnn3d: validation loss %g at epoch %d", vAvg, ep)
 		}
 		rep.ValLoss = append(rep.ValLoss, vAvg)
+		if tel.Enabled() {
+			obs.Event(ctx, "gnn3d.epoch", map[string]any{
+				"epoch": ep, "train_loss": avg, "val_loss": vAvg,
+			})
+			tel.Registry().Counter("analogfold_gnn3d_epochs_total").Inc()
+		}
 
 		// Early stopping with best-weights restore.
 		if vAvg < bestVal {

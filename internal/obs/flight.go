@@ -1,0 +1,97 @@
+package obs
+
+import "sync"
+
+// Event phases, mirroring the Chrome trace_event vocabulary: a completed
+// span ("X") or an instant event ("i").
+const (
+	PhaseSpan    = "X"
+	PhaseInstant = "i"
+)
+
+// FlightEvent is one flight-recorder entry. The JSON field names are the
+// /debug/flight wire contract.
+type FlightEvent struct {
+	ID     uint64         `json:"id,omitempty"`
+	Parent uint64         `json:"parent,omitempty"`
+	Track  uint64         `json:"track,omitempty"`
+	Name   string         `json:"name"`
+	Phase  string         `json:"ph"`
+	TSUS   int64          `json:"ts_us"`
+	DurUS  int64          `json:"dur_us,omitempty"`
+	Args   map[string]any `json:"args,omitempty"`
+}
+
+// FlightRecorder is a bounded in-memory ring of the most recent telemetry
+// events — the always-on "what just happened" buffer served at /debug/flight
+// and dumped by -trace-out. When full, the oldest events are overwritten;
+// Dropped counts how many have been lost to wraparound.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	buf   []FlightEvent
+	total uint64 // events ever recorded
+}
+
+// NewFlightRecorder builds a recorder holding at most capacity events
+// (minimum 1).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &FlightRecorder{buf: make([]FlightEvent, 0, capacity)}
+}
+
+// Record appends an event, overwriting the oldest once the ring is full.
+// Safe on a nil recorder (the disabled sink).
+func (r *FlightRecorder) Record(e FlightEvent) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.total%uint64(cap(r.buf))] = e
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained events oldest-first.
+func (r *FlightRecorder) Snapshot() []FlightEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]FlightEvent, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		return append(out, r.buf...)
+	}
+	// Full ring: the oldest entry sits at the next write position.
+	start := int(r.total % uint64(cap(r.buf)))
+	out = append(out, r.buf[start:]...)
+	out = append(out, r.buf[:start]...)
+	return out
+}
+
+// Total is the number of events ever recorded; Dropped how many of those the
+// ring has already overwritten.
+func (r *FlightRecorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Dropped returns the count of events lost to wraparound.
+func (r *FlightRecorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total - uint64(len(r.buf))
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestFlightRecorderWraparound pins the ring-buffer semantics: a full ring
+// overwrites oldest-first, Snapshot returns retained events in record order,
+// and the drop accounting balances against the total.
+func TestFlightRecorderWraparound(t *testing.T) {
+	r := NewFlightRecorder(4)
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Fatalf("fresh recorder holds %d events", len(got))
+	}
+	for i := 0; i < 10; i++ {
+		r.Record(FlightEvent{Name: "e", Phase: PhaseInstant, TSUS: int64(i)})
+	}
+	got := r.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("snapshot holds %d events, want capacity 4", len(got))
+	}
+	for i, e := range got {
+		if want := int64(6 + i); e.TSUS != want {
+			t.Errorf("event %d ts %d, want %d (oldest-first after wraparound)", i, e.TSUS, want)
+		}
+	}
+	if r.Total() != 10 {
+		t.Errorf("total %d, want 10", r.Total())
+	}
+	if r.Dropped() != 6 {
+		t.Errorf("dropped %d, want 6", r.Dropped())
+	}
+
+	// Below-capacity recorder: everything retained, nothing dropped.
+	small := NewFlightRecorder(8)
+	for i := 0; i < 3; i++ {
+		small.Record(FlightEvent{TSUS: int64(i)})
+	}
+	if got := small.Snapshot(); len(got) != 3 || got[0].TSUS != 0 || got[2].TSUS != 2 {
+		t.Errorf("partial ring snapshot = %v", got)
+	}
+	if small.Dropped() != 0 {
+		t.Errorf("partial ring dropped %d, want 0", small.Dropped())
+	}
+}
+
+// TestFlightRecorderConcurrent exercises the ring under concurrent writers —
+// run with -race in CI; the assertion is only that accounting stays sane.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	r := NewFlightRecorder(64)
+	var wg sync.WaitGroup
+	const writers, per = 8, 200
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Record(FlightEvent{Name: "c", TSUS: int64(w*per + i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Total() != writers*per {
+		t.Errorf("total %d, want %d", r.Total(), writers*per)
+	}
+	if got := len(r.Snapshot()); got != 64 {
+		t.Errorf("snapshot %d, want full capacity 64", got)
+	}
+	if r.Dropped() != writers*per-64 {
+		t.Errorf("dropped %d, want %d", r.Dropped(), writers*per-64)
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *FlightRecorder
+	r.Record(FlightEvent{})
+	if r.Snapshot() != nil || r.Total() != 0 || r.Dropped() != 0 {
+		t.Error("nil recorder must be inert")
+	}
+}

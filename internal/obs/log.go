@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLevel maps the -log-level flag vocabulary onto slog levels.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (debug|info|warn|error)", s)
+}
+
+// NewLogger builds the shared structured logger: format is "text" (default,
+// human-oriented) or "json" (machine-scraped). Both binaries route their
+// operational logging through this one handler so fields and levels agree.
+func NewLogger(w io.Writer, level slog.Level, format string) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (text|json)", format)
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// emptyTrace is what a disabled sink exports: a valid, empty Chrome trace.
+const emptyTrace = `{"displayTimeUnit":"ms","traceEvents":[]}` + "\n"
+
+// chromeEvent is one trace_event entry in the JSON Object Format that
+// chrome://tracing and Perfetto load. Spans are "complete" events (ph "X",
+// microsecond ts/dur); instants are ph "i" with thread scope.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   *int64         `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   uint64         `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level object; metadata names the tracks.
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// WriteTraceEvents renders flight-recorder events as Chrome trace_event
+// JSON. Every event lands on pid 1; each root span (and its subtree) gets
+// its own tid so concurrent method runs display as separate rows.
+func WriteTraceEvents(w io.Writer, events []FlightEvent) error {
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(events))}
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: e.Name, Phase: e.Phase, TS: e.TSUS, PID: 1, TID: e.Track, Args: e.Args,
+		}
+		if e.Phase == PhaseSpan {
+			dur := e.DurUS
+			ce.Dur = &dur
+		}
+		if e.Phase == PhaseInstant {
+			ce.Scope = "t"
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

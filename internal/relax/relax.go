@@ -24,6 +24,7 @@ import (
 	"analogfold/internal/gnn3d"
 	"analogfold/internal/guidance"
 	"analogfold/internal/hetgraph"
+	"analogfold/internal/obs"
 	"analogfold/internal/optim"
 	"analogfold/internal/parallel"
 	"analogfold/internal/tensor"
@@ -190,7 +191,11 @@ type restartOut struct {
 	x       []float64
 	evals   int
 	retries int
-	err     error // terminal fault after the retry budget; nil on success
+	// traj is the sampled potential trajectory (every SampleEvery-th finite
+	// objective value, across all attempts). Collected thread-locally and only
+	// when telemetry is attached; published at the round barrier.
+	traj []float64
+	err  error // terminal fault after the retry budget; nil on success
 }
 
 // Optimize runs the full pool-assisted relaxation. Rounds of RoundSize
@@ -213,6 +218,12 @@ func Optimize(ctx context.Context, m *gnn3d.Model, g *hetgraph.Graph, cfg Config
 	cfg = cfg.withDefaults()
 	numNets := len(g.Circuit.Nets)
 	dim := numNets * 3
+
+	// Telemetry is observation-only: trajectories are sampled thread-locally
+	// inside each restart and recorded at the round barriers, so enabling it
+	// changes neither the optimization nor the merge order.
+	tel := obs.FromContext(ctx)
+	sampleEvery := tel.SampleEvery()
 
 	// Each concurrent restart differentiates through its own model clone:
 	// ad.Backward accumulates into the parameters' Grad tensors, so sharing
@@ -237,7 +248,7 @@ func Optimize(ctx context.Context, m *gnn3d.Model, g *hetgraph.Graph, cfg Config
 	// reproduces the pre-recovery behavior exactly (same RNG stream, same
 	// pool seeding); retries draw a fresh random initialization from a
 	// decorrelated (Seed, restart, attempt) stream.
-	runAttempt := func(r, attempt int, poolSnap []poolEntry) (optim.LBFGSResult, int, error) {
+	runAttempt := func(r, attempt int, poolSnap []poolEntry, traj *[]float64) (optim.LBFGSResult, int, error) {
 		var rng *rand.Rand
 		if attempt == 0 {
 			rng = rand.New(rand.NewSource(cfg.Seed + int64(r)))
@@ -294,6 +305,9 @@ func Optimize(ctx context.Context, m *gnn3d.Model, g *hetgraph.Graph, cfg Config
 				}
 				return math.Inf(1), make([]float64, dim)
 			}
+			if tel.Enabled() && isFinite(f) && evals%sampleEvery == 0 {
+				*traj = append(*traj, f)
+			}
 			return f, append([]float64(nil), grad.Data...)
 		}
 		var out optim.LBFGSResult
@@ -308,7 +322,7 @@ func Optimize(ctx context.Context, m *gnn3d.Model, g *hetgraph.Graph, cfg Config
 	runRestart := func(r int, poolSnap []poolEntry) restartOut {
 		ro := restartOut{pot: math.Inf(1)}
 		for attempt := 0; ; attempt++ {
-			out, evals, evalErr := runAttempt(r, attempt, poolSnap)
+			out, evals, evalErr := runAttempt(r, attempt, poolSnap, &ro.traj)
 			ro.evals += evals
 			switch {
 			case evalErr != nil && fault.IsTimeout(evalErr):
@@ -354,10 +368,23 @@ func Optimize(ctx context.Context, m *gnn3d.Model, g *hetgraph.Graph, cfg Config
 			return nil, fault.FromContext(fault.StageRelaxation, err)
 		}
 		// Barrier: merge in restart-index order so the elite pool — and with
-		// it every later round — is reproducible for any worker count.
+		// it every later round — is reproducible for any worker count. The
+		// per-restart telemetry events ride the same ordered walk, so the
+		// flight record is worker-count-invariant too.
 		for k, o := range outs {
 			res.Evals += o.evals
 			res.Retried += o.retries
+			if tel.Enabled() {
+				args := map[string]any{
+					"restart": base + k, "evals": o.evals,
+					"retries": o.retries, "dropped": o.err != nil,
+				}
+				if o.err == nil {
+					args["potential"] = o.pot
+					args["trajectory"] = o.traj
+				}
+				obs.Event(ctx, "relax.restart", args)
+			}
 			if o.err != nil {
 				if fault.IsTimeout(o.err) {
 					return nil, o.err
@@ -370,7 +397,19 @@ func Optimize(ctx context.Context, m *gnn3d.Model, g *hetgraph.Graph, cfg Config
 			}
 			insert(o.pot, o.x)
 		}
+		if tel.Enabled() {
+			args := map[string]any{"round": base / cfg.RoundSize, "pool_size": len(pool)}
+			if len(pool) > 0 {
+				args["best_potential"] = pool[0].pot
+			}
+			obs.Event(ctx, "relax.round", args)
+		}
 	}
+
+	reg := tel.Registry()
+	reg.Counter("analogfold_relax_evals_total").Add(int64(res.Evals))
+	reg.Counter("analogfold_relax_retried_total").Add(int64(res.Retried))
+	reg.Counter("analogfold_relax_dropped_total").Add(int64(res.Dropped))
 
 	if res.Dropped == cfg.Restarts {
 		return nil, fault.Wrap(fault.StageRelaxation, fault.ErrExhausted, res.Failures[0].Err,

@@ -1,0 +1,113 @@
+package route_test
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"analogfold/internal/grid"
+	"analogfold/internal/guidance"
+	"analogfold/internal/netlist"
+	"analogfold/internal/obs"
+	"analogfold/internal/place"
+	"analogfold/internal/route"
+	"analogfold/internal/tech"
+)
+
+// cellsDigest hashes the routed cell set the same way the golden suite does,
+// so "telemetry changed the route" shows up as a digest mismatch.
+func cellsDigest(t *testing.T, g *grid.Grid, res *route.Result) string {
+	t.Helper()
+	h := fnv.New64a()
+	var buf [8]byte
+	for ni, cells := range res.NetCells {
+		buf[0], buf[1], buf[2], buf[3] = byte(ni), byte(ni>>8), 0xfe, 0xca
+		h.Write(buf[:4])
+		for _, cell := range cells {
+			idx := uint64(g.CellIndex(cell))
+			for b := 0; b < 8; b++ {
+				buf[b] = byte(idx >> (8 * b))
+			}
+			h.Write(buf[:])
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func obsTestGrid(t *testing.T) *grid.Grid {
+	t.Helper()
+	p, err := place.Place(netlist.OTA1(), place.Config{Profile: place.ProfileA, Seed: 1, Iterations: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := grid.Build(p, tech.Sim40())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestRouteTelemetryDeterminism pins the core acceptance property of the
+// telemetry layer: attaching a sink observes the router without perturbing
+// it. The routed cell digest and Result totals must be bit-identical with
+// telemetry on and off.
+func TestRouteTelemetryDeterminism(t *testing.T) {
+	g := obsTestGrid(t)
+	gd := guidance.Uniform(len(g.Place.Circuit.Nets))
+
+	off, err := route.RouteCtx(context.Background(), g, gd, route.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tel := obs.New(obs.Options{Seed: 1})
+	ctx := obs.WithTelemetry(context.Background(), tel)
+	on, err := route.RouteCtx(ctx, g, gd, route.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if d1, d2 := cellsDigest(t, g, off), cellsDigest(t, g, on); d1 != d2 {
+		t.Errorf("telemetry perturbed routing: digest %s (off) vs %s (on)", d1, d2)
+	}
+	if off.WirelengthNm != on.WirelengthNm || off.Vias != on.Vias || off.Iterations != on.Iterations {
+		t.Errorf("telemetry perturbed totals: off wl=%d vias=%d iters=%d, on wl=%d vias=%d iters=%d",
+			off.WirelengthNm, off.Vias, off.Iterations, on.WirelengthNm, on.Vias, on.Iterations)
+	}
+}
+
+// TestRouteTelemetryEvents asserts the router actually reports its iteration
+// loop to an attached sink: one route.iteration event per negotiation
+// iteration plus a final route.done, and the matching registry counters.
+func TestRouteTelemetryEvents(t *testing.T) {
+	g := obsTestGrid(t)
+	gd := guidance.Uniform(len(g.Place.Circuit.Nets))
+
+	tel := obs.New(obs.Options{Seed: 1})
+	ctx := obs.WithTelemetry(context.Background(), tel)
+	res, err := route.RouteCtx(ctx, g, gd, route.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	iters, done := 0, 0
+	for _, e := range tel.Recorder().Snapshot() {
+		switch e.Name {
+		case "route.iteration":
+			iters++
+		case "route.done":
+			done++
+		}
+	}
+	if iters != res.Iterations {
+		t.Errorf("recorded %d route.iteration events, want %d", iters, res.Iterations)
+	}
+	if done != 1 {
+		t.Errorf("recorded %d route.done events, want 1", done)
+	}
+	reg := tel.Registry()
+	if got := reg.Counter("analogfold_route_negotiation_iters_total").Value(); got != int64(res.Iterations) {
+		t.Errorf("negotiation iters counter = %d, want %d", got, res.Iterations)
+	}
+}

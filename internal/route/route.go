@@ -26,6 +26,7 @@ import (
 	"analogfold/internal/grid"
 	"analogfold/internal/guidance"
 	"analogfold/internal/netlist"
+	"analogfold/internal/obs"
 )
 
 // Config tunes the router.
@@ -248,15 +249,23 @@ func (r *Router) RunCtx(ctx context.Context, gd guidance.Set) (*Result, error) {
 	netCells := make([][]geom.Point3, len(c.Nets))
 	netPaths := make([][][]geom.Point3, len(c.Nets)) // raw A* paths per net
 
+	// Telemetry observes only at iteration boundaries — never inside A* or
+	// the per-net loop body — so the zero-allocation search loop and the
+	// golden route digests are untouched whether or not a sink is attached.
+	tel := obs.FromContext(ctx)
+	var totalRipups, totalSkips int
+
 	iter := 0
 	for ; iter < r.cfg.MaxIters; iter++ {
 		conflicts := 0
+		ripups, skips := 0, 0
 		for _, ni := range order {
 			// With SelectiveReroute, later iterations only revisit nets on
 			// the conflict worklist: nets sharing a cell with another net
 			// (which is also exactly the set whose cells gained history at
 			// the last sweep). Everything else keeps its committed path.
 			if r.cfg.SelectiveReroute && iter > 0 && !r.netConflicted(ni, netCells[ni]) {
+				skips++
 				continue
 			}
 			if err := ctx.Err(); err != nil {
@@ -267,6 +276,7 @@ func (r *Router) RunCtx(ctx context.Context, gd guidance.Set) (*Result, error) {
 					"route: injected step failure at net %s", c.Nets[ni].Name).WithNet(ni)
 			}
 			r.ripUp(ni, netCells[ni])
+			ripups++
 			cells, paths, err := r.routeNet(ni, gd, iter, netCells)
 			if err != nil {
 				return nil, wrapNetErr(err, ni)
@@ -276,6 +286,14 @@ func (r *Router) RunCtx(ctx context.Context, gd guidance.Set) (*Result, error) {
 			r.commit(ni, cells)
 		}
 		conflicts = r.countConflictsAndRaiseHistory()
+		totalRipups += ripups
+		totalSkips += skips
+		if tel.Enabled() {
+			obs.Event(ctx, "route.iteration", map[string]any{
+				"iteration": iter, "conflicts": conflicts,
+				"ripups": ripups, "selective_skips": skips,
+			})
+		}
 		if conflicts == 0 {
 			iter++
 			break
@@ -285,6 +303,7 @@ func (r *Router) RunCtx(ctx context.Context, gd guidance.Set) (*Result, error) {
 	// Post-processing: if conflicts remain, reroute every conflicted net with
 	// foreign cells as hard obstacles.
 	if r.totalConflicts() > 0 {
+		postRerouted := 0
 		for _, ni := range order {
 			if !r.netConflicted(ni, netCells[ni]) {
 				continue
@@ -293,6 +312,7 @@ func (r *Router) RunCtx(ctx context.Context, gd guidance.Set) (*Result, error) {
 				return nil, fault.FromContext(fault.StageRouting, err).WithNet(ni)
 			}
 			r.ripUp(ni, netCells[ni])
+			postRerouted++
 			cells, paths, err := r.routeNetHard(ni, gd, netCells)
 			if err != nil {
 				return nil, wrapNetErr(fmt.Errorf("route: post-processing failed for net %s: %w", c.Nets[ni].Name, err), ni)
@@ -300,6 +320,9 @@ func (r *Router) RunCtx(ctx context.Context, gd guidance.Set) (*Result, error) {
 			netCells[ni] = cells
 			netPaths[ni] = paths
 			r.commit(ni, cells)
+		}
+		if tel.Enabled() {
+			obs.Event(ctx, "route.post", map[string]any{"rerouted": postRerouted})
 		}
 		if n := r.totalConflicts(); n > 0 {
 			return nil, fault.New(fault.StageRouting, fault.ErrRouteFailed,
@@ -321,6 +344,15 @@ func (r *Router) RunCtx(ctx context.Context, gd guidance.Set) (*Result, error) {
 				}
 			}
 		}
+	}
+	reg := tel.Registry()
+	reg.Counter("analogfold_route_negotiation_iters_total").Add(int64(iter))
+	reg.Counter("analogfold_route_ripups_total").Add(int64(totalRipups))
+	reg.Counter("analogfold_route_selective_skips_total").Add(int64(totalSkips))
+	if tel.Enabled() {
+		obs.Event(ctx, "route.done", map[string]any{
+			"iterations": iter, "wirelength_nm": res.WirelengthNm, "vias": res.Vias,
+		})
 	}
 	return res, nil
 }

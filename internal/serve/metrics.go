@@ -1,89 +1,104 @@
 package serve
 
 import (
-	"sync/atomic"
-	"time"
+	"runtime"
+	"runtime/debug"
+
+	"analogfold/internal/obs"
 )
 
-// histBuckets is the number of power-of-two latency buckets: bucket k counts
-// observations below 2^k milliseconds, the last bucket is the overflow.
-const histBuckets = 21
+// itoa formats a non-negative int64 without fmt (Retry-After headers and
+// error paths stay allocation-light). It delegates to the shared obs helper.
+func itoa(n int64) string { return obs.Itoa(n) }
 
-// latencyHist is a lock-free log-scale latency histogram.
-type latencyHist struct {
-	buckets [histBuckets]atomic.Int64
-	count   atomic.Int64
-	sumUS   atomic.Int64
+// metrics holds the daemon's registry-backed instruments. The handles are
+// resolved once at construction — hot handlers touch only atomics — and the
+// same registry is rendered both as the legacy /metrics JSON snapshot and as
+// Prometheus text exposition.
+type metrics struct {
+	panics    *obs.Counter
+	degraded  *obs.Counter // responses produced below the elite rung
+	queueWait *obs.Histogram
+	guidance  *obs.Histogram
+	route     *obs.Histogram
+	relax     *obs.Histogram
 }
 
-func (h *latencyHist) observe(d time.Duration) {
-	if d < 0 {
-		d = 0
+func newMetrics(reg *obs.Registry) metrics {
+	reg.SetHelp("analogfold_serve_panics_total", "handler panics recovered by the containment middleware")
+	reg.SetHelp("analogfold_serve_degraded_total", "responses served below the elite guidance rung")
+	reg.SetHelp("analogfold_serve_queue_wait_seconds", "admission wait of admitted requests")
+	reg.SetHelp("analogfold_serve_guidance_seconds", "/v1/guidance handler time after admission")
+	reg.SetHelp("analogfold_serve_route_seconds", "/v1/route handler time after admission")
+	reg.SetHelp("analogfold_serve_relax_seconds", "guide-generation stage time inside /v1/route")
+	return metrics{
+		panics:    reg.Counter("analogfold_serve_panics_total"),
+		degraded:  reg.Counter("analogfold_serve_degraded_total"),
+		queueWait: reg.Histogram("analogfold_serve_queue_wait_seconds"),
+		guidance:  reg.Histogram("analogfold_serve_guidance_seconds"),
+		route:     reg.Histogram("analogfold_serve_route_seconds"),
+		relax:     reg.Histogram("analogfold_serve_relax_seconds"),
 	}
-	ms := d.Milliseconds()
-	k := 0
-	for k < histBuckets-1 && ms >= 1<<k {
-		k++
-	}
-	h.buckets[k].Add(1)
-	h.count.Add(1)
-	h.sumUS.Add(d.Microseconds())
 }
 
-// histView is the /metrics rendering of one histogram.
-type histView struct {
-	Count   int64            `json:"count"`
-	MeanMS  float64          `json:"mean_ms"`
-	Buckets map[string]int64 `json:"buckets,omitempty"` // "le_<2^k>ms" → count
+// registerOwnerMetrics exports the admission and breaker state — which lives
+// with its owners — as scrape-time registry callbacks, plus the build-info
+// gauge, so the Prometheus exposition covers everything the JSON snapshot
+// does without duplicating any state.
+func (s *Server) registerOwnerMetrics(reg *obs.Registry) {
+	reg.RegisterGaugeFunc("analogfold_serve_queue_depth", func() float64 { return float64(s.adm.waiting.Load()) })
+	reg.RegisterGaugeFunc("analogfold_serve_in_flight", func() float64 { return float64(s.adm.inflight.Load()) })
+	reg.RegisterCounterFunc("analogfold_serve_accepted_total", func() float64 { return float64(s.adm.accepted.Load()) })
+	reg.RegisterCounterFunc("analogfold_serve_shed_total", func() float64 { return float64(s.adm.shed.Load()) })
+	reg.RegisterGaugeFunc("analogfold_serve_breaker_state", func() float64 {
+		state, _, _ := s.brk.snapshot()
+		switch state {
+		case "open":
+			return 2
+		case "half-open":
+			return 1
+		default:
+			return 0
+		}
+	})
+	reg.SetHelp("analogfold_serve_breaker_state", "circuit breaker state: 0 closed, 1 half-open, 2 open")
+	reg.RegisterGaugeFunc("analogfold_serve_breaker_consecutive_faults", func() float64 {
+		_, consecutive, _ := s.brk.snapshot()
+		return float64(consecutive)
+	})
+	reg.RegisterCounterFunc("analogfold_serve_breaker_trips_total", func() float64 {
+		_, _, trips := s.brk.snapshot()
+		return float64(trips)
+	})
+	b := s.build
+	reg.RegisterInfo("analogfold_build_info", map[string]string{
+		"goversion": b.GoVersion, "path": b.Path,
+		"version": b.Version, "revision": b.Revision,
+	})
 }
 
-func (h *latencyHist) view() histView {
-	v := histView{Count: h.count.Load()}
-	if v.Count > 0 {
-		v.MeanMS = float64(h.sumUS.Load()) / 1e3 / float64(v.Count)
-		v.Buckets = make(map[string]int64)
-		for k := 0; k < histBuckets; k++ {
-			if n := h.buckets[k].Load(); n > 0 {
-				if k == histBuckets-1 {
-					v.Buckets["inf"] = n
-				} else {
-					v.Buckets[bucketLabel(k)] = n
-				}
+// BuildInfo is the binary's identity, read once from the embedded build
+// metadata and exported both in the /metrics JSON body and as the
+// analogfold_build_info gauge.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Path      string `json:"path,omitempty"`
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"revision,omitempty"`
+}
+
+func readBuildInfo() BuildInfo {
+	b := BuildInfo{GoVersion: runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		b.Path = bi.Main.Path
+		b.Version = bi.Main.Version
+		for _, st := range bi.Settings {
+			if st.Key == "vcs.revision" {
+				b.Revision = st.Value
 			}
 		}
 	}
-	return v
-}
-
-func bucketLabel(k int) string {
-	// "le_1ms", "le_2ms", ... — small fixed set, build without fmt.
-	ms := int64(1) << k
-	return "le_" + itoa(ms) + "ms"
-}
-
-func itoa(n int64) string {
-	if n == 0 {
-		return "0"
-	}
-	var buf [20]byte
-	i := len(buf)
-	for n > 0 {
-		i--
-		buf[i] = byte('0' + n%10)
-		n /= 10
-	}
-	return string(buf[i:])
-}
-
-// metrics aggregates everything /metrics exports beyond the admission and
-// breaker counters, which live with their owners.
-type metrics struct {
-	panics    atomic.Int64
-	degraded  atomic.Int64 // responses produced below the elite rung
-	queueWait latencyHist  // admission wait of admitted requests
-	guidance  latencyHist  // /v1/guidance handler time after admission
-	route     latencyHist  // /v1/route handler time after admission
-	relax     latencyHist  // guide-generation stage time inside /v1/route
+	return b
 }
 
 // MetricsSnapshot is the JSON body of GET /metrics. Field names are the wire
@@ -105,7 +120,9 @@ type MetricsSnapshot struct {
 		Trips             int64  `json:"trips"`
 	} `json:"breaker"`
 
-	Latency map[string]histView `json:"latency"`
+	Latency map[string]obs.HistView `json:"latency"`
+
+	Build BuildInfo `json:"build"`
 }
 
 func (s *Server) metricsSnapshot() MetricsSnapshot {
@@ -115,14 +132,15 @@ func (s *Server) metricsSnapshot() MetricsSnapshot {
 	m.Accepted = s.adm.accepted.Load()
 	m.Shed = s.adm.shed.Load()
 	m.Sent = m.Accepted + m.Shed
-	m.Panics = s.met.panics.Load()
-	m.Degraded = s.met.degraded.Load()
+	m.Panics = s.met.panics.Value()
+	m.Degraded = s.met.degraded.Value()
 	m.Breaker.State, m.Breaker.ConsecutiveFaults, m.Breaker.Trips = s.brk.snapshot()
-	m.Latency = map[string]histView{
-		"queue_wait": s.met.queueWait.view(),
-		"guidance":   s.met.guidance.view(),
-		"route":      s.met.route.view(),
-		"relax":      s.met.relax.view(),
+	m.Latency = map[string]obs.HistView{
+		"queue_wait": s.met.queueWait.View(),
+		"guidance":   s.met.guidance.View(),
+		"route":      s.met.route.View(),
+		"relax":      s.met.relax.View(),
 	}
+	m.Build = s.build
 	return m
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"net/http"
 
 	"analogfold/internal/fault"
@@ -15,7 +16,7 @@ func (s *Server) withRecovery(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if v := recover(); v != nil {
-				s.met.panics.Add(1)
+				s.met.panics.Inc()
 				err := fault.New(fault.StageServe, fault.ErrPanic,
 					"%s %s: %v", r.Method, r.URL.Path, v)
 				s.logf("panic recovered: %v", err)
@@ -26,8 +27,13 @@ func (s *Server) withRecovery(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// logf writes to the server's logger when one is configured.
+// logf writes to the server's logger when one is configured. A structured
+// Logger takes precedence over the legacy printf hook.
 func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Info(fmt.Sprintf(format, args...))
+		return
+	}
 	if s.cfg.Logf != nil {
 		s.cfg.Logf(format, args...)
 	}

@@ -4,9 +4,12 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
@@ -14,6 +17,7 @@ import (
 	"analogfold/internal/fault"
 	"analogfold/internal/gnn3d"
 	"analogfold/internal/hetgraph"
+	"analogfold/internal/obs"
 )
 
 // Config sizes the daemon's robustness machinery. Zero values inherit the
@@ -41,8 +45,15 @@ type Config struct {
 	// timeouts…) that per-request knobs override.
 	Opts core.Options
 	// Logf, when set, receives operational log lines (panics, breaker trips,
-	// drain progress).
-	Logf func(format string, args ...any)
+	// drain progress). Logger, when set, takes precedence and receives the
+	// same lines as structured records.
+	Logf   func(format string, args ...any)
+	Logger *slog.Logger
+	// Telemetry, when set, is injected into every admitted request's context:
+	// the pipeline's spans and events land in its flight recorder (served at
+	// /debug/flight) and its registry backs /metrics. When nil the daemon
+	// still keeps a private registry so /metrics works, but records no spans.
+	Telemetry *obs.Telemetry
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +99,8 @@ type Server struct {
 	adm   *admission
 	brk   *breaker
 	met   metrics
+	reg   *obs.Registry
+	build BuildInfo
 
 	mu    sync.Mutex
 	flows map[string]*flowEntry
@@ -105,14 +118,22 @@ type Server struct {
 // New builds a server around an already-loaded checkpoint.
 func New(model *gnn3d.Model, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	reg := cfg.Telemetry.Registry()
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &Server{
 		cfg:     cfg,
 		model:   model,
 		adm:     newAdmission(cfg.QueueCapacity, cfg.QueueBacklog, cfg.AdmissionTimeout),
 		brk:     newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		reg:     reg,
+		build:   readBuildInfo(),
 		flows:   make(map[string]*flowEntry),
 		drained: make(chan struct{}),
 	}
+	s.met = newMetrics(reg)
+	s.registerOwnerMetrics(reg)
 	s.doGuidance = func(ctx context.Context, f *core.Flow, hg *hetgraph.Graph, req GuidanceRequest, useModel bool) (*GuidanceResponse, error) {
 		return BuildGuidanceResponse(ctx, f, s.model, hg, req, useModel)
 	}
@@ -173,6 +194,24 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/flight", s.handleFlight)
+	return mux
+}
+
+// DebugHandler returns the diagnostics surface the daemon serves on its
+// separate -debug-addr listener: net/http/pprof, /debug/vars (expvar), the
+// flight recorder and the metrics endpoint. It is kept off the main listener
+// so profiling endpoints are never exposed on the service port by accident.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/flight", s.handleFlight)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
 
@@ -199,7 +238,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, into any) (releas
 		writeError(w, err, s.adm.retryAfterSeconds())
 		return nil, false
 	}
-	s.met.queueWait.observe(time.Since(waitStart))
+	s.met.queueWait.Observe(time.Since(waitStart))
 	return s.adm.release, true
 }
 
@@ -211,10 +250,12 @@ func (s *Server) handleGuidance(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	start := time.Now()
-	defer func() { s.met.guidance.observe(time.Since(start)) }()
+	defer func() { s.met.guidance.Observe(time.Since(start)) }()
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
+	ctx, span := obs.StartSpan(obs.WithTelemetry(ctx, s.cfg.Telemetry), "serve.guidance")
+	defer span.Arg("bench", req.Bench).End()
 	f, hg, err := s.flowFor(req.Bench)
 	if err != nil {
 		writeError(w, err, 0)
@@ -246,10 +287,12 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	start := time.Now()
-	defer func() { s.met.route.observe(time.Since(start)) }()
+	defer func() { s.met.route.Observe(time.Since(start)) }()
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
+	ctx, span := obs.StartSpan(obs.WithTelemetry(ctx, s.cfg.Telemetry), "serve.route")
+	defer span.Arg("bench", req.Bench).End()
 	f, hg, err := s.flowFor(req.Bench)
 	if err != nil {
 		writeError(w, err, 0)
@@ -268,7 +311,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		s.recordModelOutcome(out.Degradation.ModelFault())
 	}
 	if out != nil {
-		s.met.relax.observe(out.Times.GuideGeneration)
+		s.met.relax.Observe(out.Times.GuideGeneration)
 	}
 	if !useModel {
 		resp.Breaker = "open"
@@ -319,8 +362,45 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		if err := s.reg.WritePrometheus(w); err != nil {
+			s.logf("metrics: prometheus write: %v", err)
+		}
+		return
+	}
 	writeJSON(w, http.StatusOK, s.metricsSnapshot())
+}
+
+// FlightSnapshot is the JSON body of GET /debug/flight: the bounded ring's
+// retained events oldest-first plus the drop accounting.
+type FlightSnapshot struct {
+	Total   uint64            `json:"total"`
+	Dropped uint64            `json:"dropped"`
+	Events  []obs.FlightEvent `json:"events"`
+}
+
+// handleFlight serves the flight recorder: the recent-event ring as JSON by
+// default, or as Chrome trace_event JSON (loadable in chrome://tracing and
+// Perfetto) with ?format=trace. Without telemetry configured it reports an
+// empty recording rather than an error, so dashboards can always scrape it.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	rec := s.cfg.Telemetry.Recorder()
+	if r.URL.Query().Get("format") == "trace" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		if err := s.cfg.Telemetry.WriteTrace(w); err != nil {
+			s.logf("flight: trace write: %v", err)
+		}
+		return
+	}
+	snap := FlightSnapshot{Total: rec.Total(), Dropped: rec.Dropped(), Events: rec.Snapshot()}
+	if snap.Events == nil {
+		snap.Events = []obs.FlightEvent{}
+	}
+	writeJSON(w, http.StatusOK, snap)
 }
 
 // Serve runs the daemon on the listener until ctx is canceled (SIGTERM /

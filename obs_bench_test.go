@@ -1,0 +1,179 @@
+package analogfold_bench
+
+import (
+	"context"
+	"encoding/json"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"analogfold/internal/atomicfile"
+	"analogfold/internal/gnn3d"
+	"analogfold/internal/grid"
+	"analogfold/internal/guidance"
+	"analogfold/internal/hetgraph"
+	"analogfold/internal/netlist"
+	"analogfold/internal/obs"
+	"analogfold/internal/place"
+	"analogfold/internal/relax"
+	"analogfold/internal/route"
+	"analogfold/internal/tech"
+)
+
+// obsBenchRow is one workload's row in the BENCH_obs.json report.
+type obsBenchRow struct {
+	Workload    string  `json:"workload"`
+	OffMs       float64 `json:"off_ms"`
+	OnMs        float64 `json:"on_ms"`
+	OverheadPct float64 `json:"overhead_pct"`
+	Events      uint64  `json:"events_recorded"`
+}
+
+// obsReport is the machine-readable output of BenchmarkObsOverhead, with the
+// same host-shape preamble as BENCH_route.json / BENCH_parallel.json.
+type obsReport struct {
+	GoMaxProcs     int           `json:"gomaxprocs"`
+	NumCPU         int           `json:"numcpu"`
+	DegenerateHost bool          `json:"degenerate_host"`
+	Rows           []obsBenchRow `json:"workloads"`
+}
+
+// obsGrid is builtGrid for either test or benchmark callers.
+func obsGrid(tb testing.TB) *grid.Grid {
+	tb.Helper()
+	p, err := place.Place(netlist.OTA1(), place.Config{Profile: place.ProfileA, Seed: 1, Iterations: 1500})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	g, err := grid.Build(p, tech.Sim40())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
+// medianWall runs fn reps times and returns the median wall time — the
+// noise-resistant center for an overhead comparison.
+func medianWall(tb testing.TB, reps int, fn func() error) time.Duration {
+	tb.Helper()
+	times := make([]time.Duration, 0, reps)
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			tb.Fatal(err)
+		}
+		times = append(times, time.Since(t0))
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[len(times)/2]
+}
+
+// BenchmarkObsOverhead measures each instrumented hot path — negotiated
+// routing and potential relaxation — with the telemetry sink detached (the
+// production default for library callers) and attached, and writes
+// BENCH_obs.json. The design budget is <5% overhead when enabled and zero
+// when disabled; TestObsOverheadSmoke enforces the enabled budget with
+// scheduling slack, and TestDisabledPathAllocationFree (internal/obs) pins
+// the disabled one.
+func BenchmarkObsOverhead(b *testing.B) {
+	g := obsGrid(b)
+	gd := guidance.Uniform(len(g.Place.Circuit.Nets))
+	hg, err := hetgraph.Build(g, hetgraph.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := gnn3d.New(gnn3d.Config{Seed: 1, Hidden: 16, Layers: 2, RBFBins: 8})
+	workloads := []struct {
+		name string
+		run  func(ctx context.Context) error
+	}{
+		{"route", func(ctx context.Context) error {
+			_, err := route.RouteCtx(ctx, g, gd, route.Config{})
+			return err
+		}},
+		{"relax", func(ctx context.Context) error {
+			_, err := relax.Optimize(ctx, m, hg, relax.Config{Restarts: 4, MaxIter: 10, Seed: 1})
+			return err
+		}},
+	}
+
+	rep := obsReport{
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		NumCPU:         runtime.NumCPU(),
+		DegenerateHost: runtime.NumCPU() < 2,
+	}
+	const reps = 5
+	for _, w := range workloads {
+		if err := w.run(context.Background()); err != nil { // warm-up
+			b.Fatal(err)
+		}
+		off := medianWall(b, reps, func() error { return w.run(context.Background()) })
+		tel := obs.New(obs.Options{Seed: 1})
+		ctx := obs.WithTelemetry(context.Background(), tel)
+		on := medianWall(b, reps, func() error { return w.run(ctx) })
+		row := obsBenchRow{
+			Workload:    w.name,
+			OffMs:       float64(off.Microseconds()) / 1e3,
+			OnMs:        float64(on.Microseconds()) / 1e3,
+			OverheadPct: (on.Seconds()/off.Seconds() - 1) * 100,
+			Events:      tel.Recorder().Total(),
+		}
+		rep.Rows = append(rep.Rows, row)
+		b.Logf("%-6s off %8.2fms  on %8.2fms  overhead %+6.2f%%  events=%d",
+			w.name, row.OffMs, row.OnMs, row.OverheadPct, row.Events)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := atomicfile.WriteFile("BENCH_obs.json", append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Log("wrote BENCH_obs.json")
+
+	tel := obs.New(obs.Options{Seed: 1})
+	ctx := obs.WithTelemetry(context.Background(), tel)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := route.RouteCtx(ctx, g, gd, route.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestObsOverheadSmoke is the cheap CI guard behind BenchmarkObsOverhead: the
+// telemetry-on median of one routing pass must stay within the 5% budget plus
+// a fixed scheduling-noise allowance. The absolute slack keeps a loaded CI
+// host from flaking the suite while still catching a real regression (an
+// accidental allocation or lock inside the A* loop shows up as tens of
+// percent, not five).
+func TestObsOverheadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overhead timing in -short mode")
+	}
+	g := obsGrid(t)
+	gd := guidance.Uniform(len(g.Place.Circuit.Nets))
+	run := func(ctx context.Context) error {
+		_, err := route.RouteCtx(ctx, g, gd, route.Config{})
+		return err
+	}
+	if err := run(context.Background()); err != nil { // warm-up
+		t.Fatal(err)
+	}
+	const reps = 5
+	off := medianWall(t, reps, func() error { return run(context.Background()) })
+	tel := obs.New(obs.Options{Seed: 1})
+	ctx := obs.WithTelemetry(context.Background(), tel)
+	on := medianWall(t, reps, func() error { return run(ctx) })
+
+	slack := 10 * time.Millisecond
+	budget := time.Duration(float64(off)*1.05) + slack
+	t.Logf("route median: off=%v on=%v budget=%v events=%d", off, on, budget, tel.Recorder().Total())
+	if on > budget {
+		t.Errorf("telemetry overhead too high: on=%v > 1.05*off+%v (off=%v)", on, slack, off)
+	}
+	if tel.Recorder().Total() == 0 {
+		t.Error("telemetry-on run recorded no events — instrumentation is disconnected")
+	}
+}

@@ -17,6 +17,7 @@ go test ./...
 
 echo "== go test -race (parallel-touching packages) =="
 go test -race -count=1 \
+    ./internal/obs/ \
     ./internal/parallel/ \
     ./internal/relax/ \
     ./internal/circuit/ \
@@ -53,5 +54,16 @@ go test -run=NONE -bench='BenchmarkAstarCore|BenchmarkRouteNegotiation$' -bencht
 
 echo "== unchecked-error grep =="
 ./scripts/errcheck.sh
+
+echo "== stray-print grep (instrumented packages log via internal/obs) =="
+# The pipeline's hot packages must report through the telemetry layer
+# (spans/events/slog), not ad-hoc stdout/stderr prints that bypass both the
+# flight recorder and -log-format. Test files are exempt.
+if grep -rn 'fmt\.Print' \
+    --include='*.go' --exclude='*_test.go' \
+    internal/route/ internal/relax/ internal/gnn3d/ internal/serve/; then
+  echo "FAIL: fmt.Print* in instrumented packages — use obs spans/events or slog" >&2
+  exit 1
+fi
 
 echo "CI OK"
