@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet errcheck race chaos serve-chaos fuzz-smoke bench bench-parallel bench-route obs-bench ci
+.PHONY: build test vet errcheck race chaos serve-chaos fuzz-smoke bench bench-parallel bench-route bench-model obs-bench ci
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ errcheck:
 # race runs the packages that execute work concurrently under the race
 # detector with short settings; the full suite under -race is much slower.
 race:
-	$(GO) test -race ./internal/obs/ ./internal/parallel/ ./internal/relax/ ./internal/circuit/ ./internal/gnn3d/ ./internal/dataset/ ./internal/route/ ./internal/serve/
+	$(GO) test -race ./internal/obs/ ./internal/parallel/ ./internal/relax/ ./internal/circuit/ ./internal/gnn3d/ ./internal/ad/ ./internal/tensor/ ./internal/dataset/ ./internal/route/ ./internal/serve/
 
 # chaos compiles the deterministic fault scheduler into the injection points
 # (faultinject build tag) and runs the fault-injection suite under the race
@@ -56,6 +56,14 @@ bench-parallel:
 bench-route:
 	$(GO) test -run NONE -bench BenchmarkRouteReport -benchtime 1x .
 	$(GO) test -run NONE -bench 'BenchmarkAstarCore|BenchmarkRouteNegotiation' -benchmem -benchtime 100x ./internal/route/
+
+# bench-model measures the 3DGNN inference core (tape-backed session vs the
+# transient path, batched vs sequential candidate scoring) and writes
+# BENCH_model.json; the in-package micro-benchmarks cover the same arms with
+# go-bench statistics.
+bench-model:
+	$(GO) test -run NONE -bench BenchmarkModelReport -benchtime 1x .
+	$(GO) test -run NONE -bench 'BenchmarkModelCore|BenchmarkCandidateScoring|BenchmarkRelaxStep' -benchmem -benchtime 100x ./internal/gnn3d/ ./internal/relax/
 
 # obs-bench measures the telemetry layer's enabled-path overhead on each
 # instrumented hot path (routing, relaxation) and writes BENCH_obs.json;

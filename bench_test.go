@@ -13,10 +13,12 @@ import (
 	"context"
 	"encoding/json"
 	"math"
+	"math/rand"
 	"runtime"
 	"testing"
 	"time"
 
+	"analogfold/internal/ad"
 	"analogfold/internal/atomicfile"
 	"analogfold/internal/circuit"
 	"analogfold/internal/core"
@@ -471,6 +473,178 @@ func BenchmarkRouteReport(b *testing.B) {
 		if _, err := route.Route(g, gd, route.Config{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// modelBenchArm is one measured arm of the BENCH_model.json report.
+type modelBenchArm struct {
+	MsPerOp     float64 `json:"ms_per_op"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+	BytesPerOp  uint64  `json:"bytes_per_op"`
+}
+
+// modelReport is the machine-readable output of BenchmarkModelReport — the
+// perf-regression record for the zero-allocation model inference core,
+// following the BENCH_route.json shape (host fields up front so numbers
+// recorded on a degenerate machine are recognizable as such).
+type modelReport struct {
+	GoMaxProcs     int  `json:"gomaxprocs"`
+	NumCPU         int  `json:"numcpu"`
+	DegenerateHost bool `json:"degenerate_host"`
+
+	// SessionAllocsPerRun is the steady-state allocation count of one full
+	// guidance-gradient cycle (SetC → Forward → Backward) on a warm session
+	// tape, measured with testing.AllocsPerRun. This is the CI-gated pin:
+	// the tape arena makes it independent of model size.
+	SessionAllocsPerRun float64 `json:"session_allocs_per_run"`
+
+	Session   modelBenchArm `json:"session_core"`
+	Transient modelBenchArm `json:"transient_core"`
+	// AllocReduction = transient allocs/op ÷ session allocs/op (CI-gated ≥5×).
+	AllocReduction float64 `json:"alloc_reduction"`
+	CoreSpeedup    float64 `json:"core_speedup"`
+
+	// Candidate scoring: NDerive guidance sets through one stacked
+	// ForwardBatch versus sequential Predicts.
+	Candidates        int     `json:"candidates"`
+	BatchedScoreMs    float64 `json:"batched_score_ms"`
+	SequentialScoreMs float64 `json:"sequential_score_ms"`
+	ScoreSpeedup      float64 `json:"score_speedup"`
+}
+
+// BenchmarkModelReport measures the 3DGNN inference core — one Forward+
+// Backward guidance-gradient cycle, tape-backed session versus the transient
+// per-op-allocating path, plus batched-versus-sequential candidate scoring —
+// and writes BENCH_model.json next to BENCH_route.json. Rerun with
+// `make bench-model` and diff the file to see whether a change moved the
+// relaxation's hot path. Allocation gates (host-independent) fail the
+// benchmark on regression; wall-time gates apply only off degenerate hosts.
+func BenchmarkModelReport(b *testing.B) {
+	g := builtGrid(b, netlist.OTA1())
+	hg, err := hetgraph.Build(g, hetgraph.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The relaxation-scale model (the same configuration BenchmarkRelaxation
+	// and the golden suite pin): this report measures relax's inner loop.
+	m := gnn3d.New(gnn3d.Config{Seed: 1, Hidden: 16, Layers: 2, RBFBins: 8})
+	nets := len(g.Place.Circuit.Nets)
+	rng := rand.New(rand.NewSource(7))
+	const nDerive = 4
+	cs := make([]*tensor.Tensor, nDerive)
+	for i := range cs {
+		gd := guidance.Sample(nets, rng, 2)
+		cs[i] = tensor.FromSlice(gd.Flat(), nets, 3)
+	}
+
+	rep := modelReport{
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		NumCPU:         runtime.NumCPU(),
+		DegenerateHost: runtime.NumCPU() < 2,
+		Candidates:     nDerive,
+	}
+
+	// measure times reps calls of fn and reports wall/allocs/bytes per op.
+	measure := func(reps int, fn func(int)) modelBenchArm {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		t0 := time.Now()
+		for i := 0; i < reps; i++ {
+			fn(i)
+		}
+		wall := time.Since(t0)
+		runtime.ReadMemStats(&after)
+		return modelBenchArm{
+			MsPerOp:     wall.Seconds() * 1e3 / float64(reps),
+			AllocsPerOp: (after.Mallocs - before.Mallocs) / uint64(reps),
+			BytesPerOp:  (after.TotalAlloc - before.TotalAlloc) / uint64(reps),
+		}
+	}
+
+	sess := gnn3d.NewInferSession(m, hg)
+	cycle := func(i int) {
+		if err := sess.SetC(cs[i%nDerive].Data); err != nil {
+			b.Fatal(err)
+		}
+		if err := ad.Backward(ad.Sum(sess.Forward())); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cycle(0) // record the tape
+	cycle(1) // stabilize the scratch pool
+	j := 0
+	rep.SessionAllocsPerRun = testing.AllocsPerRun(50, func() {
+		cycle(j)
+		j++
+	})
+	rep.Session = measure(30, cycle)
+	rep.Transient = measure(30, func(i int) {
+		cv := ad.Leaf(cs[i%nDerive].Clone(), true)
+		pred, err := m.Forward(hg, cv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ad.Backward(ad.Sum(pred)); err != nil {
+			b.Fatal(err)
+		}
+	})
+	rep.AllocReduction = float64(rep.Transient.AllocsPerOp) / math.Max(1, float64(rep.Session.AllocsPerOp))
+	rep.CoreSpeedup = rep.Transient.MsPerOp / rep.Session.MsPerOp
+
+	if _, err := m.PredictBatch(hg, cs); err != nil { // warm both arms
+		b.Fatal(err)
+	}
+	rep.BatchedScoreMs = measure(30, func(int) {
+		if _, err := m.PredictBatch(hg, cs); err != nil {
+			b.Fatal(err)
+		}
+	}).MsPerOp
+	rep.SequentialScoreMs = measure(30, func(int) {
+		for _, c := range cs {
+			if _, err := m.Predict(hg, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}).MsPerOp
+	rep.ScoreSpeedup = rep.SequentialScoreMs / rep.BatchedScoreMs
+
+	b.Logf("session   %8.2fms  %7d allocs/op  %9d B/op  (steady-state %.1f allocs/cycle)",
+		rep.Session.MsPerOp, rep.Session.AllocsPerOp, rep.Session.BytesPerOp, rep.SessionAllocsPerRun)
+	b.Logf("transient %8.2fms  %7d allocs/op  %9d B/op  (reduction %.1fx, speedup %.2fx)",
+		rep.Transient.MsPerOp, rep.Transient.AllocsPerOp, rep.Transient.BytesPerOp,
+		rep.AllocReduction, rep.CoreSpeedup)
+	b.Logf("scoring %d candidates: batched %8.2fms  sequential %8.2fms  (%.2fx)",
+		nDerive, rep.BatchedScoreMs, rep.SequentialScoreMs, rep.ScoreSpeedup)
+	b.ReportMetric(rep.SessionAllocsPerRun, "allocs/cycle")
+	b.ReportMetric(rep.AllocReduction, "alloc-reduction")
+
+	// Allocation behavior is host-independent: gate it everywhere.
+	if rep.SessionAllocsPerRun > 8 {
+		b.Errorf("steady-state session cycle allocates %.1f/run, pin is <= 8 — the tape arena regressed",
+			rep.SessionAllocsPerRun)
+	}
+	if rep.AllocReduction < 5 {
+		b.Errorf("session path allocates only %.1fx less than transient, want >= 5x", rep.AllocReduction)
+	}
+	// Wall time is noisy on starved hosts; gate only the core win, which has
+	// a wide margin, and only on real machines.
+	if !rep.DegenerateHost && rep.CoreSpeedup < 1.0 {
+		b.Errorf("tape-backed session slower than transient path: %.2fx", rep.CoreSpeedup)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := atomicfile.WriteFile("BENCH_model.json", append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Log("wrote BENCH_model.json")
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle(i)
 	}
 }
 

@@ -64,15 +64,20 @@ func cmdValidate(ctx context.Context, args []string) error {
 	fmt.Printf("%s: trained on %d samples (%d epochs run), val loss %.4f\n",
 		*bench, len(trainDS.Entries), len(rep.TrainLoss), rep.FinalVal())
 
+	// One stacked forward labels the whole held-out corpus; each row is
+	// bit-identical to a sequential Predict on that sample.
+	cts := make([]*tensor.Tensor, len(testDS.Entries))
+	for i, e := range testDS.Entries {
+		cts[i] = tensor.FromSlice(append([]float64(nil), e.C...), testDS.NumNets, 3)
+	}
+	ys, err := model.PredictBatch(hg, cts)
+	if err != nil {
+		return err
+	}
 	var pred, meas [gnn3d.NumMetrics][]float64
-	for _, e := range testDS.Entries {
-		ct := tensor.FromSlice(append([]float64(nil), e.C...), testDS.NumNets, 3)
-		y, err := model.Predict(hg, ct)
-		if err != nil {
-			return err
-		}
+	for i, e := range testDS.Entries {
 		for k := 0; k < gnn3d.NumMetrics; k++ {
-			pred[k] = append(pred[k], y[k])
+			pred[k] = append(pred[k], ys[i][k])
 			meas[k] = append(meas[k], e.Y[k])
 		}
 	}

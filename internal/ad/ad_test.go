@@ -220,9 +220,30 @@ func TestZeroGrad(t *testing.T) {
 	if err := Backward(out); err != nil {
 		t.Fatal(err)
 	}
+	if !x.GradLive() {
+		t.Fatalf("backward must mark the gradient live")
+	}
+	buf := x.Grad
 	ZeroGrad(x)
-	if x.Grad != nil {
-		t.Errorf("ZeroGrad must clear gradients")
+	if x.GradLive() {
+		t.Errorf("ZeroGrad must drop gradient liveness")
+	}
+	if x.Grad != buf {
+		t.Errorf("ZeroGrad must keep the gradient buffer for reuse")
+	}
+	for _, v := range x.Grad.Data {
+		if v != 0 {
+			t.Errorf("ZeroGrad must zero the buffer in place, got %v", x.Grad.Data)
+			break
+		}
+	}
+	// A fresh backward reuses the very same buffer: the steady-state
+	// training loop must stop reallocating parameter gradients.
+	if err := Backward(Sum(x)); err != nil {
+		t.Fatal(err)
+	}
+	if x.Grad != buf || !x.GradLive() {
+		t.Errorf("repeated backward must accumulate into the kept buffer")
 	}
 }
 

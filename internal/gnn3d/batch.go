@@ -1,0 +1,54 @@
+package gnn3d
+
+import (
+	"fmt"
+
+	"analogfold/internal/ad"
+	"analogfold/internal/hetgraph"
+	"analogfold/internal/tensor"
+)
+
+// ForwardBatch evaluates B guidance assignments through one stacked forward
+// pass and returns the [B × NumMetrics] normalized predictions. The B node
+// sets are stacked along rows, so each MLP application becomes a single
+// [B·n × d] matmul instead of B sequential small ones; every kernel is
+// row-independent (and the readout sums each instance's rows in the same
+// ascending order the single forward does), so row i is bit-identical to
+// Forward on cs[i] alone.
+//
+// The batched path never fires the chaos-injection hook: it is a scoring
+// surface, and consuming fault-schedule slots here would shift injection
+// points for the single-evaluation paths.
+func (m *Model) ForwardBatch(g *hetgraph.Graph, cs []*tensor.Tensor) (*ad.Var, error) {
+	nets := len(g.Circuit.Nets)
+	if len(cs) == 0 {
+		return nil, fmt.Errorf("gnn3d: empty guidance batch")
+	}
+	for i, c := range cs {
+		if c.Dims() != 2 || c.Shape[0] != nets || c.Shape[1] != 3 {
+			return nil, fmt.Errorf("gnn3d: batch guidance %d shape %v, want [%d 3]", i, c.Shape, nets)
+		}
+	}
+	b := len(cs)
+	stack := tensor.New(b*nets, 3)
+	for i, c := range cs {
+		copy(stack.Data[i*nets*3:(i+1)*nets*3], c.Data)
+	}
+	return forwardCore(m.buildEnv(g, b, ad.Const), ad.Const(stack)), nil
+}
+
+// PredictBatch runs ForwardBatch and denormalizes each row — the batched
+// equivalent of calling Predict per guidance set.
+func (m *Model) PredictBatch(g *hetgraph.Graph, cs []*tensor.Tensor) ([][NumMetrics]float64, error) {
+	pred, err := m.ForwardBatch(g, cs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][NumMetrics]float64, len(cs))
+	for i := range cs {
+		var y [NumMetrics]float64
+		copy(y[:], pred.Value.Data[i*NumMetrics:(i+1)*NumMetrics])
+		out[i] = m.Denormalize(y)
+	}
+	return out, nil
+}

@@ -107,9 +107,22 @@ func (r *relation) params() []*ad.Var {
 }
 
 // messages computes per-edge messages from gathered source embeddings and the
-// RBF-expanded cost distance.
-func (r *relation) messages(vSrc, psi *ad.Var) *ad.Var {
-	return r.mix.Forward(ad.Mul(r.src.Forward(vSrc), r.rbf.Forward(psi)))
+// RBF-expanded cost distance. A non-nil tile means psi covers only the base
+// (single-instance) edge set of a stacked batch: the rbf MLP runs once on
+// those rows and the result is row-tiled to the full edge set — the expansion
+// is guidance-independent there, so every instance's rows are the same bits.
+func (r *relation) messages(vSrc, psi *ad.Var, tile []int) *ad.Var {
+	s := r.src.Forward(vSrc)
+	rb := r.rbf.Forward(psi)
+	if tile != nil {
+		rb = ad.Gather(rb, tile)
+	}
+	return r.mix.Forward(ad.Mul(s, rb))
+}
+
+// frozen returns a non-differentiable view sharing r's weights.
+func (r *relation) frozen() *relation {
+	return &relation{src: r.src.Frozen(), rbf: r.rbf.Frozen(), mix: r.mix.Frozen()}
 }
 
 // layer holds the relations of one message-passing round.
@@ -183,6 +196,26 @@ func (m *Model) Clone() *Model {
 	return c
 }
 
+// Frozen returns an inference view of the model: identical architecture and
+// normalization, with every MLP sharing this model's weight tensors through
+// non-differentiable constants. Backward passes through a frozen view skip
+// the weights entirely, so concurrent inference sessions (relax workers, the
+// serving daemon) share one trained model without per-worker clones.
+func (m *Model) Frozen() *Model {
+	f := &Model{
+		Cfg:   m.Cfg,
+		apEnc: m.apEnc.Frozen(), mEnc: m.mEnc.Frozen(),
+		out: m.out.Frozen(), head: m.head.Frozen(),
+		mus: m.mus, YMean: m.YMean, YStd: m.YStd,
+	}
+	for _, l := range m.lays {
+		f.lays = append(f.lays, &layer{
+			pp: l.pp.frozen(), mp: l.mp.frozen(), pm: l.pm.frozen(), mm: l.mm.frozen(),
+		})
+	}
+	return f
+}
+
 // CopyWeightsFrom copies every parameter value of src (same Cfg) into m,
 // leaving gradients untouched. Minibatch workers use it to refresh their
 // clones after each optimizer step without reallocating the architecture.
@@ -209,93 +242,15 @@ func (m *Model) Params() []*ad.Var {
 	return ps
 }
 
-// edgeDistance builds the differentiable d_cost column for an edge set whose
-// sources are AP nodes: guidance rows are gathered per source AP's net.
-// When cVar is nil the plain Euclidean distance is used (C ≡ 1), which is
-// also what the MM relation uses since modules carry no guidance.
-func (m *Model) edgeDistance(g *hetgraph.Graph, es *hetgraph.EdgeSet, cVar *ad.Var, srcIsAP bool) *ad.Var {
-	n := es.Len()
-	h := ad.Const(tensor.FromSlice(append([]float64(nil), es.H...), n, 1))
-	w := ad.Const(tensor.FromSlice(append([]float64(nil), es.W...), n, 1))
-	zData := append([]float64(nil), es.Z...)
-	if m.Cfg.No3D {
-		for i := range zData {
-			zData[i] = 0
-		}
-	}
-	z := ad.Const(tensor.FromSlice(zData, n, 1))
-	if m.Cfg.NoCostAware {
-		cVar = nil
-	}
-	if cVar == nil || !srcIsAP {
-		sum := ad.Add(ad.Add(ad.Square(h), ad.Square(w)), ad.Square(z))
-		return ad.Sqrt(sum)
-	}
-	idx := make([]int, n)
-	for i, s := range es.Src {
-		idx[i] = g.APNet[s]
-	}
-	ce := ad.Gather(cVar, idx) // [n × 3]
-	c0 := ad.Cols(ce, 0, 1)
-	c1 := ad.Cols(ce, 1, 2)
-	c2 := ad.Cols(ce, 2, 3)
-	sum := ad.Add(
-		ad.Add(ad.Square(ad.Mul(c0, h)), ad.Square(ad.Mul(c1, w))),
-		ad.Square(ad.Mul(c2, z)),
-	)
-	return ad.Sqrt(sum)
-}
-
 // Forward predicts the five normalized metrics for a graph under guidance C
-// (an ad.Var of shape [numNets × 3], which may require gradients).
+// (an ad.Var of shape [numNets × 3], which may require gradients). The guided
+// edge distances run through the fused ad.RBFDist op; the ablation configs
+// keep the explicit Eq. (1)–(3) chain (see relEnv.psi in forward.go).
 func (m *Model) Forward(g *hetgraph.Graph, cVar *ad.Var) (*ad.Var, error) {
 	if cVar.Value.Dims() != 2 || cVar.Value.Shape[0] != len(g.Circuit.Nets) || cVar.Value.Shape[1] != 3 {
 		return nil, fmt.Errorf("gnn3d: guidance shape %v, want [%d 3]", cVar.Value.Shape, len(g.Circuit.Nets))
 	}
-	// AP embeddings see their own net's guidance directly (concatenated to
-	// the static features) in addition to the cost-aware distances below;
-	// both paths are differentiable w.r.t. C for the relaxation.
-	cAP := ad.Gather(cVar, g.APNet)
-	vAP := m.apEnc.Forward(ad.ConcatCols(ad.Const(g.APFeat), cAP))
-	vM := m.mEnc.Forward(ad.Const(g.MFeat))
-
-	// Precompute per-relation distances and their expansions (they do not
-	// change across rounds; messages do). Ψ is the RBF expansion of Eq. 3,
-	// or the raw distance column under the NoRBF ablation.
-	expand := func(d *ad.Var) *ad.Var {
-		if m.Cfg.NoRBF {
-			return ad.Scale(d, 1/m.Cfg.DMax) // normalized raw distance
-		}
-		return ad.RBF(d, m.mus, m.Cfg.RBFGamma)
-	}
-	psiPP := expand(m.edgeDistance(g, &g.PP, cVar, true))
-	psiMP := expand(m.edgeDistance(g, &g.MP, nil, false))
-	// AP→M uses the AP side's guidance (the source of the message).
-	pmSet := hetgraph.EdgeSet{Src: g.MP.Dst, Dst: g.MP.Src, H: g.MP.H, W: g.MP.W, Z: g.MP.Z}
-	psiPM := expand(m.edgeDistance(g, &pmSet, cVar, true))
-	psiMM := expand(m.edgeDistance(g, &g.MM, nil, false))
-
-	numAP, numM := g.NumAP(), g.NumM()
-	for _, l := range m.lays {
-		// Update + aggregate (Algorithm 1): each relation computes messages
-		// from gathered source embeddings, scatter-summed at receivers.
-		aggAP := ad.ScatterAdd(l.pp.messages(ad.Gather(vAP, g.PP.Src), psiPP), g.PP.Dst, numAP)
-		aggAP = ad.Add(aggAP, ad.ScatterAdd(l.mp.messages(ad.Gather(vM, g.MP.Src), psiMP), g.MP.Dst, numAP))
-		aggM := ad.ScatterAdd(l.pm.messages(ad.Gather(vAP, pmSet.Src), psiPM), pmSet.Dst, numM)
-		aggM = ad.Add(aggM, ad.ScatterAdd(l.mm.messages(ad.Gather(vM, g.MM.Src), psiMM), g.MM.Dst, numM))
-
-		// Combine φv: v ← v + Σ messages.
-		vAP = ad.Add(vAP, aggAP)
-		vM = ad.Add(vM, aggM)
-	}
-
-	// Global readout φu = Σ MLP(v_i) over both node sets, then the FC head.
-	ones1AP := ad.Const(onesRow(numAP))
-	ones1M := ad.Const(onesRow(numM))
-	uAP := ad.MatMul(ones1AP, m.out.Forward(vAP)) // [1 × H]
-	uM := ad.MatMul(ones1M, m.out.Forward(vM))
-	u := ad.Scale(ad.Add(uAP, uM), 1.0/float64(numAP+numM))
-	pred := m.head.Forward(u) // [1 × NumMetrics]
+	pred := forwardCore(m.buildEnv(g, 1, ad.Const), cVar)
 	if inject.Fire(inject.ModelNaN) {
 		// Chaos harness: poison the prediction the way a diverged network
 		// would, so downstream divergence detection is exercised end to end.

@@ -1,0 +1,212 @@
+package gnn3d_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"analogfold/internal/ad"
+	"analogfold/internal/gnn3d"
+	"analogfold/internal/guidance"
+	"analogfold/internal/hetgraph"
+	"analogfold/internal/netlist"
+	"analogfold/internal/tensor"
+)
+
+// perfFixture is the shared graph + trained model of the perf suite — the
+// same OTA1 fixture the golden tests pin, so the benchmarks measure the
+// configuration whose numerics are already locked down.
+func perfFixture(tb testing.TB) (*hetgraph.Graph, *gnn3d.Model) {
+	tb.Helper()
+	hg, _ := goldenGraph(tb, netlist.OTA1(), 11)
+	return hg, goldenModel(tb, hg, 11)
+}
+
+// perfGuidances draws n fixed non-uniform guidance tensors.
+func perfGuidances(nets, n int, seed int64) []*tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*tensor.Tensor, n)
+	for i := range out {
+		gd := guidance.Sample(nets, rng, 2)
+		out[i] = tensor.FromSlice(gd.Flat(), nets, 3)
+	}
+	return out
+}
+
+// TestModelSteadyStateAllocs pins the tentpole claim: once the session tape
+// is warm, a full guidance-gradient cycle (SetC → Forward → Backward) runs in
+// a handful of allocations, independent of model size. The transient path
+// allocates per op — thousands per evaluation on this fixture.
+func TestModelSteadyStateAllocs(t *testing.T) {
+	hg, m := perfFixture(t)
+	nets := len(hg.Circuit.Nets)
+	cs := perfGuidances(nets, 4, 7)
+
+	sess := gnn3d.NewInferSession(m, hg)
+	cycle := func(c *tensor.Tensor) {
+		if err := sess.SetC(c.Data); err != nil {
+			t.Fatal(err)
+		}
+		pred := sess.Forward()
+		if err := ad.Backward(ad.Sum(pred)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm: first pass records the tape, second stabilizes the scratch pool.
+	cycle(cs[0])
+	cycle(cs[1])
+
+	i := 0
+	allocs := testing.AllocsPerRun(50, func() {
+		cycle(cs[i%len(cs)])
+		i++
+	})
+	if allocs > 8 {
+		t.Errorf("steady-state session cycle: %.1f allocs/run, want <= 8", allocs)
+	}
+
+	hits, misses := sess.Tape().Stats()
+	if hits == 0 {
+		t.Fatalf("tape never replayed (hits=0, misses=%d)", misses)
+	}
+}
+
+// TestPredictBatchMatchesSequential asserts the stacked batch forward is
+// bit-identical, row for row, to sequential Predict calls.
+func TestPredictBatchMatchesSequential(t *testing.T) {
+	hg, m := perfFixture(t)
+	nets := len(hg.Circuit.Nets)
+	cs := perfGuidances(nets, 5, 17)
+
+	batch, err := m.PredictBatch(hg, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(cs) {
+		t.Fatalf("batch returned %d rows, want %d", len(batch), len(cs))
+	}
+	for i, c := range cs {
+		seq, err := m.Predict(hg, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < gnn3d.NumMetrics; k++ {
+			if batch[i][k] != seq[k] {
+				t.Errorf("guidance %d metric %d: batch %.17g != sequential %.17g",
+					i, k, batch[i][k], seq[k])
+			}
+		}
+	}
+}
+
+// TestSessionForwardMatchesModelForward asserts the tape-backed session
+// reproduces the transient forward and its guidance gradient bit-for-bit,
+// including after many interleaved re-evaluations.
+func TestSessionForwardMatchesModelForward(t *testing.T) {
+	hg, m := perfFixture(t)
+	nets := len(hg.Circuit.Nets)
+	cs := perfGuidances(nets, 6, 23)
+
+	sess := gnn3d.NewInferSession(m, hg)
+	for round := 0; round < 2; round++ { // second round replays a warm tape
+		for i, c := range cs {
+			if err := sess.SetC(c.Data); err != nil {
+				t.Fatal(err)
+			}
+			sp := sess.Forward()
+			if err := ad.Backward(ad.Sum(sp)); err != nil {
+				t.Fatal(err)
+			}
+
+			cv := ad.Leaf(c.Clone(), true)
+			mp, err := m.Forward(hg, cv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ad.Backward(ad.Sum(mp)); err != nil {
+				t.Fatal(err)
+			}
+
+			for k := range mp.Value.Data {
+				if sp.Value.Data[k] != mp.Value.Data[k] {
+					t.Fatalf("round %d guidance %d: session value[%d] %.17g != transient %.17g",
+						round, i, k, sp.Value.Data[k], mp.Value.Data[k])
+				}
+			}
+			sg, mg := sess.C().Grad, cv.Grad
+			for k := range mg.Data {
+				if sg.Data[k] != mg.Data[k] {
+					t.Fatalf("round %d guidance %d: session grad[%d] %.17g != transient %.17g",
+						round, i, k, sg.Data[k], mg.Data[k])
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkModelCore measures one Forward+Backward guidance-gradient cycle —
+// the inner loop of the potential relaxation — on the tape-backed session
+// versus the transient per-op-allocating path. The session arm is the
+// ≥5×-fewer-allocations claim of the perf PR; run with -benchmem.
+func BenchmarkModelCore(b *testing.B) {
+	hg, m := perfFixture(b)
+	nets := len(hg.Circuit.Nets)
+	cs := perfGuidances(nets, 4, 7)
+
+	b.Run("session", func(b *testing.B) {
+		sess := gnn3d.NewInferSession(m, hg)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sess.SetC(cs[i%len(cs)].Data); err != nil {
+				b.Fatal(err)
+			}
+			if err := ad.Backward(ad.Sum(sess.Forward())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("transient", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cv := ad.Leaf(cs[i%len(cs)].Clone(), true)
+			pred, err := m.Forward(hg, cv)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := ad.Backward(ad.Sum(pred)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCandidateScoring measures scoring NDerive=4 guidance candidates as
+// one stacked ForwardBatch versus four sequential Predicts — the relax final
+// scoring step this PR batched.
+func BenchmarkCandidateScoring(b *testing.B) {
+	hg, m := perfFixture(b)
+	nets := len(hg.Circuit.Nets)
+	cs := perfGuidances(nets, 4, 7)
+
+	b.Run("batched", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.PredictBatch(hg, cs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, c := range cs {
+				if _, err := m.Predict(hg, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

@@ -185,7 +185,7 @@ func (m *Model) Fit(ctx context.Context, g *hetgraph.Graph, samples []Sample, cf
 		}
 		gv := make([]float64, 0, totalP)
 		for _, p := range cloneParams[ci] {
-			if p.Grad == nil {
+			if !p.GradLive() {
 				gv = append(gv, make([]float64, p.Value.Len())...)
 			} else {
 				gv = append(gv, p.Grad.Data...)
@@ -254,14 +254,18 @@ func (m *Model) Fit(ctx context.Context, g *hetgraph.Graph, samples []Sample, cf
 			scale := 1 / float64(len(batch))
 			pos := 0
 			for _, p := range params {
-				p.Grad = tensor.New(p.Value.Shape...)
-				for j := range p.Grad.Data {
+				buf := p.Grad
+				if buf == nil {
+					buf = tensor.New(p.Value.Shape...)
+				}
+				for j := range buf.Data {
 					s := 0.0
 					for k := range grads {
 						s += grads[k][pos+j]
 					}
-					p.Grad.Data[j] = s * scale
+					buf.Data[j] = s * scale
 				}
+				p.SetGrad(buf)
 				pos += p.Value.Len()
 			}
 			opt.Step()

@@ -60,6 +60,15 @@ func (l *Linear) Forward(x *ad.Var) *ad.Var {
 // Params returns the trainable parameters.
 func (l *Linear) Params() []*ad.Var { return []*ad.Var{l.W, l.B} }
 
+// Frozen returns an inference view of the layer: the same weight tensors
+// wrapped as non-differentiable constants. Backward passes through a frozen
+// view skip the parameters entirely, so any number of concurrent inference
+// sessions can share one set of trained weights without racing on gradient
+// accumulators — the reason relax no longer clones whole models per worker.
+func (l *Linear) Frozen() *Linear {
+	return &Linear{W: ad.Const(l.W.Value), B: ad.Const(l.B.Value)}
+}
+
 // MLP is a stack of Linear layers with a shared hidden activation; the final
 // layer is linear (no activation) unless OutAct is set.
 type MLP struct {
@@ -91,6 +100,16 @@ func (m *MLP) Forward(x *ad.Var) *ad.Var {
 		}
 	}
 	return x
+}
+
+// Frozen returns an inference view of the MLP sharing the trained weight
+// tensors through non-differentiable constants (see Linear.Frozen).
+func (m *MLP) Frozen() *MLP {
+	f := &MLP{Act: m.Act, OutAct: m.OutAct}
+	for _, l := range m.Layers {
+		f.Layers = append(f.Layers, l.Frozen())
+	}
+	return f
 }
 
 // Params returns all trainable parameters.

@@ -36,7 +36,7 @@ func NewSGD(params []*ad.Var, lr, momentum float64) *SGD {
 // Step applies one update.
 func (s *SGD) Step() {
 	for i, p := range s.Params {
-		if p.Grad == nil {
+		if !p.GradLive() {
 			continue
 		}
 		v := s.vel[i]
@@ -83,7 +83,7 @@ func (a *Adam) Step() {
 	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
 	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
 	for i, p := range a.Params {
-		if p.Grad == nil {
+		if !p.GradLive() {
 			continue
 		}
 		m, v := a.m[i], a.v[i]

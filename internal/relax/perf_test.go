@@ -1,0 +1,91 @@
+package relax
+
+import (
+	"math/rand"
+	"testing"
+
+	"analogfold/internal/guidance"
+	"analogfold/internal/netlist"
+	"analogfold/internal/tensor"
+)
+
+// TestEvaluatorMatchesPotential asserts the tape-backed evaluator reproduces
+// the clone-path Potential bit-for-bit — value and full guidance gradient —
+// across repeated evaluations of distinct points (so a warm, replaying tape
+// is what is being compared, not just the recording pass).
+func TestEvaluatorMatchesPotential(t *testing.T) {
+	c := netlist.OTA1()
+	g := buildGraph(t, c, 5)
+	m := trainedModel(t, g, 5)
+	cfg := Config{}.withDefaults()
+	n := len(c.Nets)
+
+	ev := newEvaluator(m, g, cfg)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 6; trial++ {
+		gd := guidance.Sample(n, rng, 2)
+		x := gd.Flat()
+
+		ef, eg, err := ev.potential(x, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The session owns eg; copy before the reference evaluation runs.
+		egCopy := append([]float64(nil), eg.Data...)
+
+		pf, pg, err := Potential(m, g, tensor.FromSlice(append([]float64(nil), x...), n, 3), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ef != pf {
+			t.Errorf("trial %d: evaluator V=%.17g != Potential V=%.17g", trial, ef, pf)
+		}
+		for i := range pg.Data {
+			if egCopy[i] != pg.Data[i] {
+				t.Fatalf("trial %d: grad[%d] evaluator %.17g != Potential %.17g",
+					trial, i, egCopy[i], pg.Data[i])
+			}
+		}
+	}
+}
+
+// BenchmarkRelaxStep measures one objective evaluation V(C) + ∂V/∂C — the
+// unit the L-BFGS inner loop pays per iteration — on the tape-backed
+// evaluator versus the legacy clone path. Run with -benchmem; the session arm
+// should be near allocation-free.
+func BenchmarkRelaxStep(b *testing.B) {
+	c := netlist.OTA1()
+	g := buildGraph(b, c, 5)
+	m := trainedModel(b, g, 5)
+	cfg := Config{}.withDefaults()
+	n := len(c.Nets)
+
+	rng := rand.New(rand.NewSource(9))
+	xs := make([][]float64, 4)
+	for i := range xs {
+		xs[i] = guidance.Sample(n, rng, 2).Flat()
+	}
+
+	b.Run("session", func(b *testing.B) {
+		ev := newEvaluator(m, g, cfg)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := ev.potential(xs[i%len(xs)], cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("clone", func(b *testing.B) {
+		mm := m.Clone()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			x := xs[i%len(xs)]
+			cT := tensor.FromSlice(append([]float64(nil), x...), n, 3)
+			if _, _, err := Potential(mm, g, cT, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -72,6 +72,16 @@ type Config struct {
 	// Retry seeds are a pure function of (Seed, restart, attempt), so
 	// recovery preserves worker-count invariance.
 	MaxRetries int
+
+	// NoTape disables the tape-backed inference sessions and evaluates every
+	// objective on a per-worker model clone through Potential — the original
+	// evaluation path, kept as the bit-identity reference (the golden tests
+	// compare the two) and as an escape hatch.
+	NoTape bool
+	// SequentialCandidates scores the derived guidance sets one Predict at a
+	// time instead of a single stacked ForwardBatch — the ablation arm of the
+	// batched-candidate benchmark.
+	SequentialCandidates bool
 }
 
 func (c Config) withDefaults() Config {
@@ -130,6 +140,10 @@ type Result struct {
 	Guides []guidance.Set
 	// Potentials are the corresponding V(C) values.
 	Potentials []float64
+	// Predictions are the model's denormalized metric predictions for each
+	// returned guidance set (same order as Guides), scored after the final
+	// clamp in one batched forward pass.
+	Predictions [][gnn3d.NumMetrics]float64
 	// Evals counts objective evaluations (forward+backward passes).
 	Evals int
 
@@ -170,6 +184,51 @@ func Potential(m *gnn3d.Model, g *hetgraph.Graph, cT *tensor.Tensor, cfg Config)
 	cmax.Fill(cfg.CMax)
 	barrier := ad.Scale(
 		ad.Add(ad.Sum(ad.Log(cv)), ad.Sum(ad.Log(ad.Sub(ad.Const(cmax), cv)))),
+		-cfg.BarrierR,
+	)
+	v := ad.Add(fom, barrier)
+	if err := ad.Backward(v); err != nil {
+		return 0, nil, err
+	}
+	return v.Value.Data[0], cv.Grad, nil
+}
+
+// evaluator is one worker's tape-backed objective evaluator: an inference
+// session (frozen weight view, persistent guidance leaf) plus the FoM weight
+// and barrier-bound constants, all bound to one tape. After the first
+// evaluation warms the tape, each V(C) + ∂V/∂C costs a graph replay instead
+// of a graph rebuild. It constructs exactly the expression Potential builds —
+// same ops in the same order — so every value and gradient is bit-identical
+// to the clone path (Config.NoTape), which the golden tests pin.
+type evaluator struct {
+	sess    *gnn3d.InferSession
+	w, cmax *ad.Var
+}
+
+func newEvaluator(m *gnn3d.Model, g *hetgraph.Graph, cfg Config) *evaluator {
+	sess := gnn3d.NewInferSession(m, g)
+	tp := sess.Tape()
+	w := tensor.New(gnn3d.NumMetrics, 1)
+	for i := 0; i < gnn3d.NumMetrics; i++ {
+		w.Data[i] = MetricSigns[i] * cfg.WFoM[i]
+	}
+	cmax := tensor.New(len(g.Circuit.Nets), 3)
+	cmax.Fill(cfg.CMax)
+	return &evaluator{sess: sess, w: tp.Const(w), cmax: tp.Const(cmax)}
+}
+
+// potential evaluates V(C) and ∂V/∂C on the session tape. The returned
+// gradient tensor is owned by the session and only valid until the next
+// evaluation; callers copy what they keep.
+func (e *evaluator) potential(x []float64, cfg Config) (float64, *tensor.Tensor, error) {
+	if err := e.sess.SetC(x); err != nil {
+		return 0, nil, err
+	}
+	pred := e.sess.Forward()
+	cv := e.sess.C()
+	fom := ad.MatMul(pred, e.w) // [1 × 1]
+	barrier := ad.Scale(
+		ad.Add(ad.Sum(ad.Log(cv)), ad.Sum(ad.Log(ad.Sub(e.cmax, cv)))),
 		-cfg.BarrierR,
 	)
 	v := ad.Add(fom, barrier)
@@ -225,11 +284,18 @@ func Optimize(ctx context.Context, m *gnn3d.Model, g *hetgraph.Graph, cfg Config
 	tel := obs.FromContext(ctx)
 	sampleEvery := tel.SampleEvery()
 
-	// Each concurrent restart differentiates through its own model clone:
-	// ad.Backward accumulates into the parameters' Grad tensors, so sharing
-	// the caller's model across goroutines would race (and pollute the
-	// trained weights' gradients even serially).
-	clones := sync.Pool{New: func() any { return m.Clone() }}
+	// Each concurrent restart draws a tape-backed evaluator from a pool: a
+	// frozen weight view shares the caller's trained tensors read-only (the
+	// backward pass never touches non-differentiable weights), so workers need
+	// no model clones and steady-state evaluations replay a recorded graph.
+	// NoTape restores the original clone-per-worker path, where each restart
+	// differentiates through a private deep copy of the model.
+	var clones, sessions *sync.Pool
+	if cfg.NoTape {
+		clones = &sync.Pool{New: func() any { return m.Clone() }}
+	} else {
+		sessions = &sync.Pool{New: func() any { return newEvaluator(m, g, cfg) }}
+	}
 
 	res := &Result{}
 	var pool []poolEntry
@@ -268,8 +334,15 @@ func Optimize(ctx context.Context, m *gnn3d.Model, g *hetgraph.Graph, cfg Config
 			x0 = gd.Flat()
 		}
 
-		mdl := clones.Get().(*gnn3d.Model)
-		defer clones.Put(mdl)
+		var mdl *gnn3d.Model
+		var ev *evaluator
+		if cfg.NoTape {
+			mdl = clones.Get().(*gnn3d.Model)
+			defer clones.Put(mdl)
+		} else {
+			ev = sessions.Get().(*evaluator)
+			defer sessions.Put(ev)
+		}
 		evals := 0
 		var evalErr error // first model/divergence fault inside the line search
 		obj := func(x []float64) (float64, []float64) {
@@ -287,8 +360,15 @@ func Optimize(ctx context.Context, m *gnn3d.Model, g *hetgraph.Graph, cfg Config
 					return math.Inf(1), make([]float64, dim)
 				}
 			}
-			cT := tensor.FromSlice(append([]float64(nil), x...), numNets, 3)
-			f, grad, err := Potential(mdl, g, cT, cfg)
+			var f float64
+			var grad *tensor.Tensor
+			var err error
+			if ev != nil {
+				f, grad, err = ev.potential(x, cfg)
+			} else {
+				cT := tensor.FromSlice(append([]float64(nil), x...), numNets, 3)
+				f, grad, err = Potential(mdl, g, cT, cfg)
+			}
 			if err != nil {
 				// Propagate a typed model fault into the retry path instead
 				// of masking it as +Inf with a fake zero gradient.
@@ -431,6 +511,37 @@ func Optimize(ctx context.Context, m *gnn3d.Model, g *hetgraph.Graph, cfg Config
 		res.Guides = append(res.Guides, gd.Clamp(0.02))
 		res.Potentials = append(res.Potentials, pool[i].pot)
 	}
+
+	// Score the derived (clamped) guidance sets with the model: by default
+	// all N_derive candidates ride one stacked ForwardBatch; the ablation
+	// scores them with sequential Predicts. Span and counters record which
+	// path ran and how many candidates it carried — instrumentation sits
+	// outside the restart loop, so the hot path stays untouched and nothing
+	// allocates when telemetry is disabled.
+	_, span := obs.StartSpan(ctx, "relax.candidates")
+	if cfg.SequentialCandidates {
+		for _, gd := range res.Guides {
+			y, err := m.Predict(g, tensor.FromSlice(gd.Flat(), numNets, 3))
+			if err != nil {
+				return nil, fault.Wrap(fault.StageRelaxation, fault.ErrModelEval, err, "candidate scoring")
+			}
+			res.Predictions = append(res.Predictions, y)
+		}
+		reg.Counter("analogfold_relax_candidates_sequential_total").Add(int64(len(res.Guides)))
+	} else {
+		cs := make([]*tensor.Tensor, len(res.Guides))
+		for i, gd := range res.Guides {
+			cs[i] = tensor.FromSlice(gd.Flat(), numNets, 3)
+		}
+		preds, err := m.PredictBatch(g, cs)
+		if err != nil {
+			return nil, fault.Wrap(fault.StageRelaxation, fault.ErrModelEval, err, "candidate scoring")
+		}
+		res.Predictions = preds
+		reg.Counter("analogfold_relax_candidates_batched_total").Add(int64(len(res.Guides)))
+	}
+	span.Arg("candidates", len(res.Guides)).Arg("batched", !cfg.SequentialCandidates)
+	span.End()
 	return res, nil
 }
 

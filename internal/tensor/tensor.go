@@ -163,8 +163,23 @@ func MatMul(a, b *Tensor) *Tensor {
 	if a.Dims() != 2 || b.Dims() != 2 || a.Shape[1] != b.Shape[0] {
 		panic(fmt.Sprintf("tensor: matmul shape mismatch %v x %v", a.Shape, b.Shape))
 	}
+	out := New(a.Shape[0], b.Shape[1])
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes out = a @ b into a caller-owned tensor, zeroing out
+// first. The kernel (accumulation order, the zero-row skip) is byte-for-byte
+// the one MatMul always used, so Into reuse is bit-identical to allocation.
+func MatMulInto(out, a, b *Tensor) {
+	if a.Dims() != 2 || b.Dims() != 2 || a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %v x %v", a.Shape, b.Shape))
+	}
 	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
-	out := New(m, n)
+	if out.Dims() != 2 || out.Shape[0] != m || out.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: matmul out shape %v, want [%d %d]", out.Shape, m, n))
+	}
+	out.Zero()
 	for i := 0; i < m; i++ {
 		arow := a.Data[i*k : (i+1)*k]
 		orow := out.Data[i*n : (i+1)*n]
@@ -179,7 +194,6 @@ func MatMul(a, b *Tensor) *Tensor {
 			}
 		}
 	}
-	return out
 }
 
 // MatMulATB computes aᵀ @ b (used by backprop).
@@ -187,8 +201,22 @@ func MatMulATB(a, b *Tensor) *Tensor {
 	if a.Dims() != 2 || b.Dims() != 2 || a.Shape[0] != b.Shape[0] {
 		panic(fmt.Sprintf("tensor: matmulATB shape mismatch %v x %v", a.Shape, b.Shape))
 	}
+	out := New(a.Shape[1], b.Shape[1])
+	MatMulATBInto(out, a, b)
+	return out
+}
+
+// MatMulATBInto computes out = aᵀ @ b into a caller-owned tensor, zeroing
+// out first (same kernel as MatMulATB).
+func MatMulATBInto(out, a, b *Tensor) {
+	if a.Dims() != 2 || b.Dims() != 2 || a.Shape[0] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: matmulATB shape mismatch %v x %v", a.Shape, b.Shape))
+	}
 	m, k, n := a.Shape[1], a.Shape[0], b.Shape[1]
-	out := New(m, n)
+	if out.Dims() != 2 || out.Shape[0] != m || out.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: matmulATB out shape %v, want [%d %d]", out.Shape, m, n))
+	}
+	out.Zero()
 	for p := 0; p < k; p++ {
 		arow := a.Data[p*m : (p+1)*m]
 		brow := b.Data[p*n : (p+1)*n]
@@ -203,7 +231,6 @@ func MatMulATB(a, b *Tensor) *Tensor {
 			}
 		}
 	}
-	return out
 }
 
 // MatMulABT computes a @ bᵀ (used by backprop).
@@ -211,8 +238,21 @@ func MatMulABT(a, b *Tensor) *Tensor {
 	if a.Dims() != 2 || b.Dims() != 2 || a.Shape[1] != b.Shape[1] {
 		panic(fmt.Sprintf("tensor: matmulABT shape mismatch %v x %v", a.Shape, b.Shape))
 	}
+	out := New(a.Shape[0], b.Shape[0])
+	MatMulABTInto(out, a, b)
+	return out
+}
+
+// MatMulABTInto computes out = a @ bᵀ into a caller-owned tensor (same
+// kernel as MatMulABT; every element is assigned, so no zeroing is needed).
+func MatMulABTInto(out, a, b *Tensor) {
+	if a.Dims() != 2 || b.Dims() != 2 || a.Shape[1] != b.Shape[1] {
+		panic(fmt.Sprintf("tensor: matmulABT shape mismatch %v x %v", a.Shape, b.Shape))
+	}
 	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
-	out := New(m, n)
+	if out.Dims() != 2 || out.Shape[0] != m || out.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: matmulABT out shape %v, want [%d %d]", out.Shape, m, n))
+	}
 	for i := 0; i < m; i++ {
 		arow := a.Data[i*k : (i+1)*k]
 		orow := out.Data[i*n : (i+1)*n]
@@ -225,7 +265,6 @@ func MatMulABT(a, b *Tensor) *Tensor {
 			orow[j] = s
 		}
 	}
-	return out
 }
 
 // Apply returns a new tensor with f applied elementwise.
@@ -235,6 +274,17 @@ func (t *Tensor) Apply(f func(float64) float64) *Tensor {
 		out.Data[i] = f(v)
 	}
 	return out
+}
+
+// ApplyInto writes f applied elementwise over src into a caller-owned dst of
+// the same element count.
+func ApplyInto(dst, src *Tensor, f func(float64) float64) {
+	if len(dst.Data) != len(src.Data) {
+		panic(fmt.Sprintf("tensor: applyInto length mismatch %v vs %v", dst.Shape, src.Shape))
+	}
+	for i, v := range src.Data {
+		dst.Data[i] = f(v)
+	}
 }
 
 // Norm returns the L2 norm of all elements.

@@ -16,12 +16,17 @@ echo "== go test =="
 go test ./...
 
 echo "== go test -race (parallel-touching packages) =="
+# ad and tensor are in the list because relax workers share a frozen model's
+# weight tensors across concurrent tape sessions — the race detector proves
+# the read-only sharing contract.
 go test -race -count=1 \
     ./internal/obs/ \
     ./internal/parallel/ \
     ./internal/relax/ \
     ./internal/circuit/ \
     ./internal/gnn3d/ \
+    ./internal/ad/ \
+    ./internal/tensor/ \
     ./internal/dataset/ \
     ./internal/route/ \
     ./internal/serve/
@@ -45,12 +50,20 @@ echo "== fuzz smoke (10s per target) =="
 # constructors), cheap enough to run every time.
 go test -run '^$' -fuzz FuzzNetlistBuild -fuzztime 10s ./internal/netlist/
 go test -run '^$' -fuzz FuzzTensorTryFromSlice -fuzztime 10s ./internal/tensor/
+go test -run '^$' -fuzz FuzzTapeReset -fuzztime 10s ./internal/ad/
 
 echo "== benchmark smoke (router hot path compiles and runs) =="
 # One iteration of the routing benchmark: catches benchmarks that rot
 # (compile errors, panics) without paying for a real measurement run.
 go test -run=NONE -bench=RouteOTA1 -benchtime=1x .
 go test -run=NONE -bench='BenchmarkAstarCore|BenchmarkRouteNegotiation$' -benchtime=1x ./internal/route/
+
+echo "== model inference perf gate (writes BENCH_model.json) =="
+# BenchmarkModelReport gates the tape arena internally: the steady-state
+# session Forward+Backward cycle must stay within its allocs-per-run pin and
+# at >= 5x fewer allocations than the transient path (wall-time assertions
+# are skipped on degenerate hosts).
+go test -run=NONE -bench=BenchmarkModelReport -benchtime=1x .
 
 echo "== unchecked-error grep =="
 ./scripts/errcheck.sh
