@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet errcheck race chaos serve-chaos fuzz-smoke bench bench-parallel bench-route bench-model obs-bench ci
+.PHONY: build test vet errcheck race chaos serve-chaos cluster-chaos fuzz-smoke bench bench-parallel bench-route bench-model obs-bench ci
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ errcheck:
 # race runs the packages that execute work concurrently under the race
 # detector with short settings; the full suite under -race is much slower.
 race:
-	$(GO) test -race ./internal/obs/ ./internal/parallel/ ./internal/relax/ ./internal/circuit/ ./internal/gnn3d/ ./internal/ad/ ./internal/tensor/ ./internal/dataset/ ./internal/route/ ./internal/serve/
+	$(GO) test -race ./internal/obs/ ./internal/parallel/ ./internal/relax/ ./internal/circuit/ ./internal/gnn3d/ ./internal/ad/ ./internal/tensor/ ./internal/dataset/ ./internal/route/ ./internal/serve/ ./internal/cluster/
 
 # chaos compiles the deterministic fault scheduler into the injection points
 # (faultinject build tag) and runs the fault-injection suite under the race
@@ -35,6 +35,15 @@ chaos:
 # drain without leaking goroutines.
 serve-chaos:
 	$(GO) test -race -count=1 -tags faultinject ./internal/serve/
+
+# cluster-chaos runs the coordinator's replica-kill suite under the race
+# detector: replicas are killed mid-drain, mid-request and mid-hedge while
+# concurrent clients hammer the coordinator — no request may be lost or
+# double-answered, answers must be bit-identical to a single-daemon run while
+# any healthy replica exists, accounting must reconcile (accepted ==
+# answered + shed), and the coordinator's drain must leak no goroutines.
+cluster-chaos:
+	$(GO) test -race -count=1 -tags faultinject ./internal/cluster/
 
 # fuzz-smoke gives each native fuzz target a short budget: enough to catch a
 # freshly introduced panic or untyped error, cheap enough for every CI run.

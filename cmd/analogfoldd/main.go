@@ -16,6 +16,14 @@
 // a circuit breaker around model evaluation degrades responses down the
 // elite→uniform→MagicalRoute ladder while open, handler panics become typed
 // 500s, and SIGTERM drains in-flight requests before exit.
+//
+// With -coordinator, the same binary runs as the cluster front door instead
+// of a worker: it shards requests across the -replicas set by netlist-digest
+// rendezvous hashing, fails over with jittered backoff, hedges slow requests
+// after a latency-percentile budget, and — when every replica is down —
+// answers from an embedded nil-model degradation ladder:
+//
+//	analogfoldd -coordinator -replicas http://r1:8080,http://r2:8080 -addr :8000
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"time"
 
 	"analogfold/internal/cliutil"
+	"analogfold/internal/cluster"
 	"analogfold/internal/gnn3d"
 	"analogfold/internal/obs"
 	"analogfold/internal/serve"
@@ -48,6 +57,15 @@ func main() {
 	drainTO := fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on SIGTERM")
 	brkThreshold := fs.Int("breaker-threshold", 3, "consecutive model faults that open the circuit breaker")
 	brkCooldown := fs.Duration("breaker-cooldown", 30*time.Second, "open interval before a half-open probe")
+	coordinator := fs.Bool("coordinator", false, "run as the cluster coordinator instead of a worker daemon")
+	replicas := fs.String("replicas", "", "comma-separated replica base URLs (coordinator mode)")
+	probeInterval := fs.Duration("probe-interval", 2*time.Second, "replica health probe period (coordinator mode)")
+	attemptTO := fs.Duration("attempt-timeout", 2*time.Minute, "per-replica attempt deadline (coordinator mode)")
+	hedgeAfter := fs.Duration("hedge-after", 250*time.Millisecond, "static hedge budget before latency samples accumulate (coordinator mode)")
+	hedgePct := fs.Float64("hedge-percentile", 0.95, "latency percentile driving the adaptive hedge budget; <0 pins the static -hedge-after (coordinator mode)")
+	maxHedges := fs.Int("max-hedges", 1, "max hedged attempts per request (coordinator mode)")
+	retryBackoff := fs.Duration("retry-backoff", 5*time.Millisecond, "base failover backoff, doubled per attempt with hash-deterministic jitter (coordinator mode)")
+	busyDepth := fs.Int64("busy-queue-depth", 16, "scraped replica queue depth that grades it degraded (coordinator mode)")
 	opts := cliutil.OptionsFlags(fs)
 	logf := cliutil.LogFlags(fs)
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -62,6 +80,25 @@ func main() {
 	// The daemon's telemetry is always on: the flight recorder backs the
 	// /debug/flight endpoint, so there is no trace file to opt into.
 	tel := obs.New(obs.Options{Seed: o.Seed, Logger: lg})
+	if *coordinator {
+		if err := runCoordinator(*addr, *warm, cluster.Config{
+			Replicas:        splitList(*replicas),
+			ProbeInterval:   *probeInterval,
+			AttemptTimeout:  *attemptTO,
+			HedgeAfter:      *hedgeAfter,
+			HedgePercentile: *hedgePct,
+			MaxHedges:       *maxHedges,
+			RetryBackoff:    *retryBackoff,
+			BusyQueueDepth:  *busyDepth,
+			DrainTimeout:    *drainTO,
+			Logger:          lg,
+			Telemetry:       tel,
+		}, serve.Config{Opts: o, Logger: lg}); err != nil {
+			lg.Error("analogfoldd coordinator exiting", "err", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*addr, *debugAddr, *model, *warm, serve.Config{
 		QueueCapacity:    *queue,
 		QueueBacklog:     *backlog,
@@ -77,6 +114,38 @@ func main() {
 		lg.Error("analogfoldd exiting", "err", err)
 		os.Exit(1)
 	}
+}
+
+// splitList parses a comma-separated flag value, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// runCoordinator is the -coordinator entrypoint: no checkpoint is loaded —
+// replicas own the model — but a nil-model local server (warmed from -warm)
+// is embedded as the last-ditch degradation rung for a full replica outage.
+func runCoordinator(addr, warm string, cfg cluster.Config, localCfg serve.Config) error {
+	if len(cfg.Replicas) == 0 {
+		return fmt.Errorf("coordinator mode needs at least one -replicas URL")
+	}
+	local := serve.New(nil, localCfg)
+	for _, b := range splitList(warm) {
+		localCfg.Logger.Info("warming local fallback benchmark", "bench", b)
+		if err := local.Warm([]string{b}); err != nil {
+			return fmt.Errorf("warm local fallback %s: %w", b, err)
+		}
+	}
+	cfg.Local = local
+	c := cluster.New(cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return c.ListenAndServe(ctx, addr)
 }
 
 func run(addr, debugAddr, modelPath, warm string, cfg serve.Config) error {

@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"sort"
+
+	"analogfold/internal/core"
+	"analogfold/internal/obs"
+)
+
+// Request affinity is rendezvous (highest-random-weight) hashing over the
+// netlist digest. Rendezvous rather than a bucketed ring for two reasons:
+//
+//   - The full preference order falls out for free: sorting replicas by
+//     score(key, replica) yields each key's deterministic failover ladder,
+//     which is exactly what retry/hedge candidate selection needs.
+//   - Minimal disruption is structural, not probabilistic: removing a replica
+//     only remaps the keys it owned — the relative order of the survivors is
+//     untouched — so one replica dying does not reshuffle the warm caches of
+//     the others.
+
+// Digest is the consistent-hash key for a benchmark request: the FNV-1a hash
+// of the canonical netlist identity (circuit name, placement profile, and the
+// net list itself). Canonicalizing through core.ParseBenchmark means aliases
+// of the same netlist ("OTA1" vs "OTA1-A") share affinity — and therefore a
+// replica's warm flow cache. Unknown benches fall back to hashing the raw
+// string; the replica will reject them with a typed 400 either way.
+func Digest(bench string) uint64 {
+	ckt, prof, err := core.ParseBenchmark(bench)
+	if err != nil {
+		return obs.FNV64aString(bench)
+	}
+	h := obs.FNV64aString(ckt.Name)
+	h = h*1099511628211 ^ obs.FNV64aString(string(prof))
+	for _, n := range ckt.Nets {
+		h = h*1099511628211 ^ obs.FNV64aString(n.Name)
+	}
+	return h
+}
+
+// score is the rendezvous weight of one (key, replica) pair: the splitmix64
+// mix of the key against the replica's identity hash. Deterministic and
+// uniform, so each key sees an independent random order of replicas.
+func score(key, replicaHash uint64) uint64 {
+	return obs.Mix64(key ^ replicaHash)
+}
+
+// rankOrder returns replica indices in descending rendezvous score for key —
+// the key's full preference ladder. Ties (astronomically unlikely) break on
+// index so the order is total and deterministic.
+func rankOrder(key uint64, replicaHashes []uint64) []int {
+	order := make([]int, len(replicaHashes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		sa, sb := score(key, replicaHashes[order[a]]), score(key, replicaHashes[order[b]])
+		if sa != sb {
+			return sa > sb
+		}
+		return order[a] < order[b]
+	})
+	return order
+}

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"testing"
+
+	"analogfold/internal/obs"
+)
+
+func replicaHashes(urls ...string) []uint64 {
+	h := make([]uint64, len(urls))
+	for i, u := range urls {
+		h[i] = obs.FNV64aString(u)
+	}
+	return h
+}
+
+func TestRankOrderDeterministicTotalPermutation(t *testing.T) {
+	hashes := replicaHashes("http://a:1", "http://b:1", "http://c:1", "http://d:1")
+	for key := uint64(0); key < 64; key++ {
+		first := rankOrder(key, hashes)
+		if len(first) != len(hashes) {
+			t.Fatalf("key %d: order has %d entries, want %d", key, len(first), len(hashes))
+		}
+		seen := make(map[int]bool)
+		for _, i := range first {
+			if i < 0 || i >= len(hashes) || seen[i] {
+				t.Fatalf("key %d: order %v is not a permutation", key, first)
+			}
+			seen[i] = true
+		}
+		for rep := 0; rep < 3; rep++ {
+			again := rankOrder(key, hashes)
+			for j := range first {
+				if again[j] != first[j] {
+					t.Fatalf("key %d: order flapped between calls: %v vs %v", key, first, again)
+				}
+			}
+		}
+	}
+}
+
+// TestRendezvousDistribution: over many keys the first-choice assignment must
+// be roughly uniform — no replica starves, none dominates. Bounds are loose
+// (±60% of fair share) because this asserts the mixer works, not its exact
+// variance.
+func TestRendezvousDistribution(t *testing.T) {
+	hashes := replicaHashes("http://r0:8080", "http://r1:8080", "http://r2:8080", "http://r3:8080")
+	const keys = 4000
+	counts := make([]int, len(hashes))
+	for k := 0; k < keys; k++ {
+		key := obs.Mix64(uint64(k) * 0x9e3779b97f4a7c15)
+		counts[rankOrder(key, hashes)[0]]++
+	}
+	fair := keys / len(hashes)
+	for i, n := range counts {
+		if n < fair*2/5 || n > fair*8/5 {
+			t.Errorf("replica %d owns %d/%d keys (fair share %d): distribution skewed %v",
+				i, n, keys, fair, counts)
+		}
+	}
+}
+
+// TestMinimalDisruption is rendezvous hashing's structural guarantee: deleting
+// a replica only remaps keys it owned; every other key keeps its first choice.
+func TestMinimalDisruption(t *testing.T) {
+	urls := []string{"http://r0:8080", "http://r1:8080", "http://r2:8080", "http://r3:8080"}
+	all := replicaHashes(urls...)
+	const removed = 2
+	surv := make([]uint64, 0, len(all)-1)
+	survIdx := make([]int, 0, len(all)-1) // survivor position → original index
+	for i, h := range all {
+		if i != removed {
+			surv = append(surv, h)
+			survIdx = append(survIdx, i)
+		}
+	}
+	moved := 0
+	const keys = 2000
+	for k := 0; k < keys; k++ {
+		key := obs.Mix64(uint64(k)*0x9e3779b97f4a7c15 + 1)
+		before := rankOrder(key, all)[0]
+		after := survIdx[rankOrder(key, surv)[0]]
+		if before == removed {
+			moved++
+			continue // owned by the removed replica: must remap somewhere
+		}
+		if after != before {
+			t.Fatalf("key %d moved %d→%d though replica %d was untouched by the removal",
+				k, before, after, before)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed replica owned zero keys; disruption test is vacuous")
+	}
+}
+
+// TestDigestCanonicalizesAliases: a bare benchmark name and its explicit
+// profile-A spelling are the same netlist, so they must share affinity (and a
+// replica's warm flow cache). Distinct circuits and unknown benches must not
+// collide.
+func TestDigestCanonicalizesAliases(t *testing.T) {
+	if Digest("OTA1") != Digest("OTA1-A") {
+		t.Error("OTA1 and OTA1-A digest differently; aliases lose cache affinity")
+	}
+	if Digest("OTA1-A") == Digest("OTA2-A") {
+		t.Error("distinct circuits collide")
+	}
+	if Digest("OTA1-A") == Digest("OTA1-B") {
+		t.Error("distinct profiles collide")
+	}
+	// Unknown benches fall back to raw-string hashing, still deterministic
+	// and distinct.
+	if Digest("no-such-bench") != Digest("no-such-bench") {
+		t.Error("fallback digest not deterministic")
+	}
+	if Digest("no-such-bench") == Digest("no-such-bench-2") {
+		t.Error("fallback digests collide")
+	}
+}

@@ -189,6 +189,12 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 		return ctx, nil
 	}
 	s := &Span{t: t, id: t.nextID(), name: name, tsUS: t.nowUS()}
+	if rid := RequestID(ctx); rid != "" {
+		// A request-scoped span carries its request ID so hedged/failed-over
+		// requests can be stitched back together across replica flight
+		// recorders. Only paid when telemetry is enabled and an ID is present.
+		s.args = map[string]any{"request_id": rid}
+	}
 	if p, _ := ctx.Value(spanKey{}).(*Span); p != nil {
 		s.parent = p.id
 		s.track = p.track

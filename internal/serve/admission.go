@@ -77,13 +77,21 @@ func (a *admission) release() {
 	<-a.slots
 }
 
-// retryAfterSeconds is the Retry-After hint attached to shed responses: the
-// admission timeout rounded up to a whole second (minimum 1), i.e. the
-// soonest a retry could plausibly find the queue drained.
-func (a *admission) retryAfterSeconds() int {
-	s := int((a.timeout + time.Second - 1) / time.Second)
-	if s < 1 {
-		s = 1
+// retryAfterSeconds is the Retry-After hint attached to shed responses. The
+// floor is the admission timeout rounded up to a whole second (minimum 1) —
+// the soonest a retry could plausibly find the queue drained — plus a
+// deterministic jitter derived from the request's content hash. A fixed hint
+// would synchronize every shed client into one retry wave (a thundering herd
+// that re-sheds itself); hashing the request body spreads the wave over a few
+// seconds while keeping the hint reproducible for any given request.
+func (a *admission) retryAfterSeconds(reqHash uint64) int {
+	base := int((a.timeout + time.Second - 1) / time.Second)
+	if base < 1 {
+		base = 1
 	}
-	return s
+	spread := uint64(base)
+	if spread < 3 {
+		spread = 3
+	}
+	return base + int(reqHash%(spread+1))
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -98,6 +99,83 @@ func TestBreakerFailedProbeReopens(t *testing.T) {
 	clk.advance(2 * time.Minute)
 	if !b.allow() {
 		t.Fatal("no new probe after second cooldown")
+	}
+}
+
+// TestBreakerHalfOpenConcurrentProbes: when the cooldown elapses and a
+// convoy of requests arrives at once, exactly one is admitted as the
+// half-open probe. The losers must be refused — served from the ladder, not
+// piled onto a model that just proved itself faulty — and the breaker must
+// keep admitting exactly one probe per verdict cycle, never more.
+func TestBreakerHalfOpenConcurrentProbes(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Minute)
+	b.allow()
+	b.record(true) // trip
+	clk.advance(2 * time.Minute)
+
+	const clients = 32
+	var (
+		start    = make(chan struct{})
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		admitted int
+	)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if b.allow() {
+				mu.Lock()
+				admitted++
+				mu.Unlock()
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if admitted != 1 {
+		t.Fatalf("half-open admitted %d concurrent probes, want exactly 1", admitted)
+	}
+	if st, _, _ := b.snapshot(); st != "half-open" {
+		t.Fatalf("state = %s with probe in flight, want half-open", st)
+	}
+
+	// While the probe is in flight, later arrivals are still refused.
+	if b.allow() {
+		t.Fatal("late request admitted alongside the in-flight probe")
+	}
+
+	// Probe fails → open again; the losers' refusals must not have consumed
+	// anything: after another cooldown, exactly one new probe is admitted.
+	b.record(true)
+	if st, _, trips := b.snapshot(); st != "open" || trips != 2 {
+		t.Fatalf("state=%s trips=%d after failed probe, want open/2", st, trips)
+	}
+	clk.advance(2 * time.Minute)
+	admitted = 0
+	var wg2 sync.WaitGroup
+	start2 := make(chan struct{})
+	for i := 0; i < clients; i++ {
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			<-start2
+			if b.allow() {
+				mu.Lock()
+				admitted++
+				mu.Unlock()
+			}
+		}()
+	}
+	close(start2)
+	wg2.Wait()
+	if admitted != 1 {
+		t.Fatalf("second half-open cycle admitted %d probes, want exactly 1", admitted)
+	}
+	b.record(false)
+	if st, _, _ := b.snapshot(); st != "closed" {
+		t.Fatalf("state after good probe = %s, want closed", st)
 	}
 }
 

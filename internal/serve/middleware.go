@@ -5,7 +5,29 @@ import (
 	"net/http"
 
 	"analogfold/internal/fault"
+	"analogfold/internal/obs"
 )
+
+// HeaderRequestID is the wire header carrying the end-to-end request ID. The
+// cluster coordinator mints it, replicas echo it, and it lands on slog
+// records and span args at every layer, so a hedged or failed-over request
+// can be traced across every replica that touched it.
+const HeaderRequestID = "X-Request-ID"
+
+// withRequestID adopts the caller's X-Request-ID (the coordinator, a load
+// balancer, a curious curl) or mints one, echoes it on the response before
+// any body is written, and threads it down the context chain where spans and
+// logs pick it up.
+func (s *Server) withRequestID(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(HeaderRequestID)
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set(HeaderRequestID, id)
+		h(w, r.WithContext(obs.WithRequestID(r.Context(), id)))
+	}
+}
 
 // withRecovery converts a handler panic into a typed fault.ErrPanic response
 // instead of letting net/http kill the connection (or, for a panic outside a
@@ -19,7 +41,11 @@ func (s *Server) withRecovery(h http.HandlerFunc) http.HandlerFunc {
 				s.met.panics.Inc()
 				err := fault.New(fault.StageServe, fault.ErrPanic,
 					"%s %s: %v", r.Method, r.URL.Path, v)
-				s.logf("panic recovered: %v", err)
+				if rid := obs.RequestID(r.Context()); rid != "" {
+					s.logf("panic recovered [request_id %s]: %v", rid, err)
+				} else {
+					s.logf("panic recovered: %v", err)
+				}
 				writeError(w, err, 0)
 			}
 		}()

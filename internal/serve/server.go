@@ -189,8 +189,8 @@ func (s *Server) Warm(benches []string) error {
 // Handler returns the daemon's routing table.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/guidance", s.withRecovery(s.handleGuidance))
-	mux.HandleFunc("/v1/route", s.withRecovery(s.handleRoute))
+	mux.HandleFunc("/v1/guidance", s.withRequestID(s.withRecovery(s.handleGuidance)))
+	mux.HandleFunc("/v1/route", s.withRequestID(s.withRecovery(s.handleRoute)))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -235,7 +235,9 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, into any) (releas
 	}
 	waitStart := time.Now()
 	if err := s.adm.acquire(r.Context()); err != nil {
-		writeError(w, err, s.adm.retryAfterSeconds())
+		// The Retry-After jitter keys on the request content so identical
+		// retries get a consistent hint while distinct clients spread out.
+		writeError(w, err, s.adm.retryAfterSeconds(obs.FNV64a(body)))
 		return nil, false
 	}
 	s.met.queueWait.Observe(time.Since(waitStart))

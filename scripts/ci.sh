@@ -29,7 +29,8 @@ go test -race -count=1 \
     ./internal/tensor/ \
     ./internal/dataset/ \
     ./internal/route/ \
-    ./internal/serve/
+    ./internal/serve/ \
+    ./internal/cluster/
 
 echo "== chaos: go test -race -tags faultinject (fault-injection suite) =="
 # The faultinject build tag compiles the deterministic fault scheduler into
@@ -43,6 +44,13 @@ go test -race -count=1 -tags faultinject \
     ./internal/route/ \
     ./internal/core/ \
     ./internal/serve/
+
+echo "== cluster chaos: replica-kill suite (coordinator fault tolerance) =="
+# Kills replicas mid-drain, mid-request and mid-hedge under concurrent load:
+# zero client transport errors, bit-identical answers while any healthy
+# replica exists, accepted == answered + shed, no leaked goroutines after the
+# coordinator drains.
+go test -race -count=1 -tags faultinject ./internal/cluster/
 
 echo "== fuzz smoke (10s per target) =="
 # Short native-fuzz budgets: enough to catch a freshly introduced panic or
