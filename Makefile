@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet errcheck race chaos serve-chaos cluster-chaos fuzz-smoke bench bench-parallel bench-route bench-model obs-bench ci
+.PHONY: build test vet errcheck race chaos serve-chaos cluster-chaos fuzz-smoke bench bench-parallel bench-route bench-model bench-serve obs-bench ci
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ errcheck:
 # race runs the packages that execute work concurrently under the race
 # detector with short settings; the full suite under -race is much slower.
 race:
-	$(GO) test -race ./internal/obs/ ./internal/parallel/ ./internal/relax/ ./internal/circuit/ ./internal/gnn3d/ ./internal/ad/ ./internal/tensor/ ./internal/dataset/ ./internal/route/ ./internal/serve/ ./internal/cluster/
+	$(GO) test -race ./internal/obs/ ./internal/parallel/ ./internal/relax/ ./internal/circuit/ ./internal/gnn3d/ ./internal/ad/ ./internal/tensor/ ./internal/dataset/ ./internal/route/ ./internal/servecache/ ./internal/serve/ ./internal/cluster/
 
 # chaos compiles the deterministic fault scheduler into the injection points
 # (faultinject build tag) and runs the fault-injection suite under the race
@@ -73,6 +73,12 @@ bench-route:
 bench-model:
 	$(GO) test -run NONE -bench BenchmarkModelReport -benchtime 1x .
 	$(GO) test -run NONE -bench 'BenchmarkModelCore|BenchmarkCandidateScoring|BenchmarkRelaxStep' -benchmem -benchtime 100x ./internal/gnn3d/ ./internal/relax/
+
+# bench-serve measures batch-first serving (duplicate-heavy mix against the
+# result cache + singleflight, all-distinct mix through micro-batch scoring
+# waves, wave-scoring allocation model) and writes BENCH_serve.json.
+bench-serve:
+	$(GO) test -run NONE -bench BenchmarkServeThroughput -benchtime 1x .
 
 # obs-bench measures the telemetry layer's enabled-path overhead on each
 # instrumented hot path (routing, relaxation) and writes BENCH_obs.json;

@@ -57,6 +57,9 @@ func main() {
 	drainTO := fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on SIGTERM")
 	brkThreshold := fs.Int("breaker-threshold", 3, "consecutive model faults that open the circuit breaker")
 	brkCooldown := fs.Duration("breaker-cooldown", 30*time.Second, "open interval before a half-open probe")
+	cacheEntries := fs.Int("cache-entries", 1024, "content-addressed result cache bound (0 disables caching)")
+	batchWindow := fs.Duration("batch-window", 2*time.Millisecond, "guidance micro-batch admission window (0 disables batching)")
+	batchMax := fs.Int("batch-max", 8, "max requests coalesced into one guidance scoring wave")
 	coordinator := fs.Bool("coordinator", false, "run as the cluster coordinator instead of a worker daemon")
 	replicas := fs.String("replicas", "", "comma-separated replica base URLs (coordinator mode)")
 	probeInterval := fs.Duration("probe-interval", 2*time.Second, "replica health probe period (coordinator mode)")
@@ -107,6 +110,9 @@ func main() {
 		DrainTimeout:     *drainTO,
 		BreakerThreshold: *brkThreshold,
 		BreakerCooldown:  *brkCooldown,
+		CacheEntries:     *cacheEntries,
+		BatchWindow:      *batchWindow,
+		BatchMax:         *batchMax,
 		Opts:             o,
 		Logger:           lg,
 		Telemetry:        tel,

@@ -483,6 +483,11 @@ func (c *Coordinator) handleWork(w http.ResponseWriter, r *http.Request) {
 		span.Arg("replica", res.rep.url)
 		copyHeader(sw.Header(), res.header, "Content-Type")
 		copyHeader(sw.Header(), res.header, "Retry-After")
+		// The replica's cache verdict passes through so clients observe
+		// hit/miss/collapsed across the proxy: rendezvous sharding sends a
+		// key to the same replica every time, which is exactly what makes
+		// per-replica caches compose into one cluster-wide cache.
+		copyHeader(sw.Header(), res.header, serve.HeaderCache)
 		sw.Header().Set(HeaderReplica, res.rep.url)
 		sw.WriteHeader(res.status)
 		sw.Write(res.body)
@@ -497,6 +502,7 @@ func (c *Coordinator) handleWork(w http.ResponseWriter, r *http.Request) {
 		span.Arg("replica", res.rep.url).Arg("outcome", "shed")
 		copyHeader(sw.Header(), res.header, "Content-Type")
 		copyHeader(sw.Header(), res.header, "Retry-After")
+		copyHeader(sw.Header(), res.header, serve.HeaderCache)
 		sw.Header().Set(HeaderReplica, res.rep.url)
 		sw.WriteHeader(res.status)
 		sw.Write(res.body)

@@ -142,6 +142,28 @@ func benchWithFirstChoice(t *testing.T, c *Coordinator, want *replica) string {
 	return ""
 }
 
+// TestCacheHeaderPassthrough pins that a replica's cache-status header
+// survives the coordinator proxy: rendezvous affinity makes each replica's
+// result cache effective across the fleet, and clients can observe hit/miss/
+// collapsed exactly as when talking to a worker directly.
+func TestCacheHeaderPassthrough(t *testing.T) {
+	r := newStubReplica(t, func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set(serve.HeaderCache, "hit")
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"ok":true}`))
+	})
+	c := newTestCoordinator(t, Config{Replicas: []string{r.ts.URL}})
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+	resp, _ := postJSON(t, ts.URL+"/v1/guidance", `{"bench":"OTA1-A"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if g, w := resp.Header.Get(serve.HeaderCache), "hit"; g != w {
+		t.Fatalf("proxied cache header = %q, want %q", g, w)
+	}
+}
+
 func TestAffinityPinsBenchToOneReplica(t *testing.T) {
 	a := newStubReplica(t, okBody(`{"rung":"elite"}`))
 	b := newStubReplica(t, okBody(`{"rung":"elite"}`))

@@ -24,17 +24,14 @@ import (
 // of the same netlist ("OTA1" vs "OTA1-A") share affinity — and therefore a
 // replica's warm flow cache. Unknown benches fall back to hashing the raw
 // string; the replica will reject them with a typed 400 either way.
+// The digest itself lives in core (core.NetlistDigest) because the replica's
+// result cache addresses content by the same key — see internal/servecache.
 func Digest(bench string) uint64 {
 	ckt, prof, err := core.ParseBenchmark(bench)
 	if err != nil {
 		return obs.FNV64aString(bench)
 	}
-	h := obs.FNV64aString(ckt.Name)
-	h = h*1099511628211 ^ obs.FNV64aString(string(prof))
-	for _, n := range ckt.Nets {
-		h = h*1099511628211 ^ obs.FNV64aString(n.Name)
-	}
-	return h
+	return core.NetlistDigest(ckt, prof)
 }
 
 // score is the rendezvous weight of one (key, replica) pair: the splitmix64

@@ -55,26 +55,35 @@ func (f *Flow) LoadOrGenerateDataset(ctx context.Context, dir string) (*dataset.
 	return ds, nil
 }
 
-// LoadOrTrainModel returns the cached trained model when present, otherwise
-// trains on the (possibly cached) dataset and stores the result. The
-// heterogeneous graph is returned alongside, since every caller needs it.
+// LoadOrTrainModel returns the cached trained model when present and
+// consistent with this flow — the checkpoint's provenance stamp (circuit name
+// + normalized GNN config) must match, mirroring the dataset path's
+// Circuit/NumNets check — otherwise trains on the (possibly cached) dataset
+// and stores a freshly stamped result. The heterogeneous graph is returned
+// alongside, since every caller needs it.
 func (f *Flow) LoadOrTrainModel(ctx context.Context, dir string) (*gnn3d.Model, *hetgraph.Graph, error) {
 	hg, err := hetgraph.Build(f.Grid, hetgraph.Config{})
 	if err != nil {
 		return nil, nil, err
 	}
+	gcfg := f.Opts.GNN
+	gcfg.Seed = f.Opts.Seed
 	if dir != "" {
 		if m, err := gnn3d.Load(f.modelPath(dir)); err == nil {
-			return m, hg, nil
+			if err := m.ValidateStamp(f.Circuit.Name, gcfg); err == nil {
+				return m, hg, nil
+			}
+			// Stale or foreign checkpoint (wrong circuit, different GNN
+			// config, or a pre-stamp file): retrain instead of silently
+			// serving it; the fresh save below overwrites it.
 		}
 	}
 	ds, err := f.LoadOrGenerateDataset(ctx, dir)
 	if err != nil {
 		return nil, nil, err
 	}
-	gcfg := f.Opts.GNN
-	gcfg.Seed = f.Opts.Seed
 	m := gnn3d.New(gcfg)
+	m.Circuit = f.Circuit.Name
 	if _, err := m.Fit(ctx, hg, ds.Samples(), gnn3d.TrainConfig{Epochs: f.Opts.TrainEpochs, Seed: f.Opts.Seed}); err != nil {
 		return nil, nil, err
 	}

@@ -75,6 +75,60 @@ func TestModelCacheRoundTrip(t *testing.T) {
 	}
 }
 
+// TestModelCacheRetrainsOnStampMismatch pins the checkpoint provenance fix:
+// the cache key omits the GNN config, so a flow whose GNN shape changed maps
+// to the same checkpoint path — the stale file must be detected by its stamp
+// and retrained, never served.
+func TestModelCacheRetrainsOnStampMismatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model retraining in -short mode")
+	}
+	f, err := NewFlow(netlist.OTA1(), place.ProfileA, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	m1, _, err := f.LoadOrTrainModel(context.Background(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Circuit != "OTA1" {
+		t.Fatalf("trained checkpoint stamped %q, want OTA1", m1.Circuit)
+	}
+
+	// Same cache key, different GNN width: must retrain, not reuse.
+	wider := quickOpts()
+	wider.GNN.Hidden = 24
+	f2, err := NewFlow(netlist.OTA1(), place.ProfileA, wider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.CacheKey() != f.CacheKey() {
+		t.Fatalf("test premise broken: cache keys differ (%s vs %s)", f2.CacheKey(), f.CacheKey())
+	}
+	m2, _, err := f2.LoadOrTrainModel(context.Background(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Cfg.Hidden != 24 {
+		t.Fatalf("stale checkpoint served: Hidden = %d, want 24", m2.Cfg.Hidden)
+	}
+
+	// A checkpoint stamped for a different circuit at this path is likewise
+	// retrained and overwritten with a correctly stamped one.
+	m2.Circuit = "NOT-OTA1"
+	if err := m2.Save(f2.modelPath(dir)); err != nil {
+		t.Fatal(err)
+	}
+	m3, _, err := f2.LoadOrTrainModel(context.Background(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.Circuit != "OTA1" {
+		t.Fatalf("foreign-circuit checkpoint served: stamp %q", m3.Circuit)
+	}
+}
+
 func TestCacheDisabledByEmptyDir(t *testing.T) {
 	f, err := NewFlow(netlist.OTA2(), place.ProfileA, quickOpts())
 	if err != nil {

@@ -1,0 +1,23 @@
+package core
+
+import (
+	"analogfold/internal/netlist"
+	"analogfold/internal/obs"
+	"analogfold/internal/place"
+)
+
+// NetlistDigest is the canonical content digest of a benchmark's identity:
+// FNV-1a over the circuit name, placement profile, and the net list itself.
+// It is the single addressing authority shared by the cluster coordinator's
+// rendezvous hashing and the daemon's content-addressed result cache, so a
+// coordinator shards requests by exactly the key each replica caches under —
+// aliases of the same netlist ("OTA1" vs "OTA1-A") share both affinity and
+// cache entries.
+func NetlistDigest(c *netlist.Circuit, prof place.Profile) uint64 {
+	h := obs.FNV64aString(c.Name)
+	h = h*1099511628211 ^ obs.FNV64aString(string(prof))
+	for _, n := range c.Nets {
+		h = h*1099511628211 ^ obs.FNV64aString(n.Name)
+	}
+	return h
+}

@@ -63,6 +63,18 @@ func (f *Flow) RunAnalogFoldWarm(ctx context.Context, model *gnn3d.Model, hg *he
 // checkpoint, flow and options the guidance here is bit-identical to what the
 // full warm flow routes with.
 func (f *Flow) DeriveGuidanceWarm(ctx context.Context, model *gnn3d.Model, hg *hetgraph.Graph) (*relax.Result, error) {
+	return f.deriveGuidance(ctx, model, hg, false)
+}
+
+// DeriveGuidanceDeferred is DeriveGuidanceWarm with candidate scoring
+// deferred: Result.Predictions stays nil until ScoreGuidanceResults fills it.
+// The serving daemon's micro-batching stage uses it so the candidates of
+// every relaxation in a wave ride one stacked PredictBatch call.
+func (f *Flow) DeriveGuidanceDeferred(ctx context.Context, model *gnn3d.Model, hg *hetgraph.Graph) (*relax.Result, error) {
+	return f.deriveGuidance(ctx, model, hg, true)
+}
+
+func (f *Flow) deriveGuidance(ctx context.Context, model *gnn3d.Model, hg *hetgraph.Graph, deferScoring bool) (*relax.Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -80,13 +92,24 @@ func (f *Flow) DeriveGuidanceWarm(ctx context.Context, model *gnn3d.Model, hg *h
 	withPhase(sctx, "relaxation", func(pctx context.Context) {
 		rres, err = relax.Optimize(pctx, model, hg, relax.Config{
 			Restarts: o.RelaxRestarts, NDerive: o.NDerive, Seed: o.Seed,
-			MaxIter: 25, Workers: o.Workers,
+			MaxIter: 25, Workers: o.Workers, DeferScoring: deferScoring,
 		})
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: warm guidance: %w", err)
 	}
 	return rres, nil
+}
+
+// ScoreGuidanceResults is the wave-scoped second half of the deferred path:
+// it scores the candidates of every result in rs through a single stacked
+// PredictBatch call. Errors carry the same wrapping as a scoring failure
+// inside DeriveGuidanceWarm, so callers degrade identically on both paths.
+func ScoreGuidanceResults(ctx context.Context, model *gnn3d.Model, hg *hetgraph.Graph, rs []*relax.Result) error {
+	if err := relax.ScoreResults(ctx, model, hg, rs); err != nil {
+		return fmt.Errorf("core: warm guidance: %w", err)
+	}
+	return nil
 }
 
 // WithOptions returns a shallow request-scoped copy of the flow carrying the

@@ -136,6 +136,10 @@ type layer struct {
 // Model is the trained 3DGNN.
 type Model struct {
 	Cfg Config
+	// Circuit is the provenance stamp: the netlist the model was trained on.
+	// Set by the trainer before Save; Load restores it and ValidateStamp
+	// rejects a checkpoint whose stamp doesn't match the requesting flow.
+	Circuit string
 
 	apEnc *nn.MLP
 	mEnc  *nn.MLP
@@ -190,6 +194,7 @@ func New(cfg Config) *Model {
 // two backward passes through one Model races on those accumulators.
 func (m *Model) Clone() *Model {
 	c := New(m.Cfg)
+	c.Circuit = m.Circuit
 	c.YMean = m.YMean
 	c.YStd = m.YStd
 	c.CopyWeightsFrom(m)
@@ -203,7 +208,7 @@ func (m *Model) Clone() *Model {
 // serving daemon) share one trained model without per-worker clones.
 func (m *Model) Frozen() *Model {
 	f := &Model{
-		Cfg:   m.Cfg,
+		Cfg: m.Cfg, Circuit: m.Circuit,
 		apEnc: m.apEnc.Frozen(), mEnc: m.mEnc.Frozen(),
 		out: m.out.Frozen(), head: m.head.Frozen(),
 		mus: m.mus, YMean: m.YMean, YStd: m.YStd,

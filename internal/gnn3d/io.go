@@ -11,7 +11,11 @@ import (
 // modelFile is the JSON serialization of a trained model: configuration,
 // target normalization, and every parameter tensor in Params() order.
 type modelFile struct {
-	Format  string              `json:"format"`
+	Format string `json:"format"`
+	// Circuit stamps the checkpoint with its training netlist; omitempty
+	// keeps pre-stamp checkpoints loadable (they fail ValidateStamp, which
+	// callers treat as "retrain" — never as a hard error).
+	Circuit string              `json:"circuit,omitempty"`
 	Cfg     Config              `json:"config"`
 	YMean   [NumMetrics]float64 `json:"y_mean"`
 	YStd    [NumMetrics]float64 `json:"y_std"`
@@ -31,7 +35,7 @@ const modelFormat = "analogfold-3dgnn-v1"
 // choke on at startup — path holds either the previous complete model or the
 // new one.
 func (m *Model) Save(path string) error {
-	f := modelFile{Format: modelFormat, Cfg: m.Cfg, YMean: m.YMean, YStd: m.YStd}
+	f := modelFile{Format: modelFormat, Circuit: m.Circuit, Cfg: m.Cfg, YMean: m.YMean, YStd: m.YStd}
 	for _, p := range m.Params() {
 		f.Tensors = append(f.Tensors, serializedTensor{Shape: p.Value.Shape, Data: p.Value.Data})
 	}
@@ -60,6 +64,7 @@ func Load(path string) (*Model, error) {
 		return nil, fmt.Errorf("gnn3d: load: unsupported format %q", f.Format)
 	}
 	m := New(f.Cfg)
+	m.Circuit = f.Circuit
 	m.YMean = f.YMean
 	m.YStd = f.YStd
 	params := m.Params()
@@ -77,6 +82,21 @@ func Load(path string) (*Model, error) {
 		copy(p.Value.Data, st.Data)
 	}
 	return m, nil
+}
+
+// ValidateStamp reports whether a loaded checkpoint may stand in for a model
+// freshly trained for circuit with cfg. The comparison normalizes cfg exactly
+// as New would, so a zero-valued knob and its explicit default agree. A
+// mismatch — including the empty stamp of a pre-stamp checkpoint — means the
+// caller must retrain rather than silently serve a stale or foreign model.
+func (m *Model) ValidateStamp(circuit string, cfg Config) error {
+	if m.Circuit != circuit {
+		return fmt.Errorf("gnn3d: checkpoint stamped for circuit %q, want %q", m.Circuit, circuit)
+	}
+	if want := cfg.withDefaults(); m.Cfg != want {
+		return fmt.Errorf("gnn3d: checkpoint config %+v differs from requested %+v", m.Cfg, want)
+	}
+	return nil
 }
 
 func sameShape(a, b []int) bool {

@@ -1,0 +1,94 @@
+package relax
+
+import (
+	"context"
+	"testing"
+
+	"analogfold/internal/netlist"
+	"analogfold/internal/obs"
+)
+
+// TestDeferredScoringParity pins the invariant the serving batcher depends
+// on: DeferScoring + ScoreResults produces exactly the Predictions that the
+// inline Optimize path does, whether a result is scored alone or stacked
+// with others in one wave — ForwardBatch is row-independent, so wave
+// composition cannot change any row.
+func TestDeferredScoringParity(t *testing.T) {
+	c := netlist.OTA1()
+	g := buildGraph(t, c, 9)
+	m := trainedModel(t, g, 9)
+	cfg := Config{Restarts: 3, MaxIter: 10, NDerive: 2, Seed: 9}
+
+	inline, err := Optimize(context.Background(), m, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inline.Predictions) != len(inline.Guides) {
+		t.Fatalf("inline predictions %d != guides %d", len(inline.Predictions), len(inline.Guides))
+	}
+
+	dcfg := cfg
+	dcfg.DeferScoring = true
+	deferred, err := Optimize(context.Background(), m, g, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deferred.Predictions) != 0 {
+		t.Fatalf("deferred result already scored: %d predictions", len(deferred.Predictions))
+	}
+	if len(deferred.Guides) != len(inline.Guides) {
+		t.Fatalf("deferred guides %d != inline %d", len(deferred.Guides), len(inline.Guides))
+	}
+	if err := ScoreResults(context.Background(), m, g, []*Result{deferred}); err != nil {
+		t.Fatal(err)
+	}
+	for k := range inline.Predictions {
+		if deferred.Predictions[k] != inline.Predictions[k] {
+			t.Fatalf("solo deferred scoring diverges at candidate %d:\n%v\nvs\n%v",
+				k, deferred.Predictions[k], inline.Predictions[k])
+		}
+	}
+
+	// Stack the same result with a neighbor from a different seed: one shared
+	// scoring call, same rows bit for bit.
+	ocfg := dcfg
+	ocfg.Seed = 10
+	other, err := Optimize(context.Background(), m, g, ocfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Optimize(context.Background(), m, g, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	ctx := obs.WithTelemetry(context.Background(), obs.New(obs.Options{Seed: 9, Registry: reg}))
+	if err := ScoreResults(ctx, m, g, []*Result{other, again}); err != nil {
+		t.Fatal(err)
+	}
+	for k := range inline.Predictions {
+		if again.Predictions[k] != inline.Predictions[k] {
+			t.Fatalf("stacked deferred scoring diverges at candidate %d", k)
+		}
+	}
+	if n := reg.Counter("analogfold_relax_score_waves_total").Value(); n != 1 {
+		t.Fatalf("score waves = %d, want 1 shared PredictBatch", n)
+	}
+	want := int64(len(other.Guides) + len(again.Guides))
+	if n := reg.Counter("analogfold_relax_candidates_batched_total").Value(); n != want {
+		t.Fatalf("batched candidates = %d, want %d", n, want)
+	}
+}
+
+// TestScoreResultsEmpty: scoring nothing is a no-op, not an error.
+func TestScoreResultsEmpty(t *testing.T) {
+	c := netlist.OTA1()
+	g := buildGraph(t, c, 9)
+	m := trainedModel(t, g, 9)
+	if err := ScoreResults(context.Background(), m, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ScoreResults(context.Background(), m, g, []*Result{{}}); err != nil {
+		t.Fatal(err)
+	}
+}

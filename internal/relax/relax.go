@@ -82,6 +82,12 @@ type Config struct {
 	// time instead of a single stacked ForwardBatch — the ablation arm of the
 	// batched-candidate benchmark.
 	SequentialCandidates bool
+	// DeferScoring skips the final candidate-scoring pass entirely:
+	// Result.Predictions is left nil for the caller to fill later via
+	// ScoreResults. The serving daemon uses it to stack the candidates of
+	// several concurrent relaxations into one PredictBatch wave; Guides and
+	// Potentials are unaffected.
+	DeferScoring bool
 }
 
 func (c Config) withDefaults() Config {
@@ -518,6 +524,9 @@ func Optimize(ctx context.Context, m *gnn3d.Model, g *hetgraph.Graph, cfg Config
 	// path ran and how many candidates it carried — instrumentation sits
 	// outside the restart loop, so the hot path stays untouched and nothing
 	// allocates when telemetry is disabled.
+	if cfg.DeferScoring {
+		return res, nil
+	}
 	_, span := obs.StartSpan(ctx, "relax.candidates")
 	if cfg.SequentialCandidates {
 		for _, gd := range res.Guides {
@@ -543,6 +552,41 @@ func Optimize(ctx context.Context, m *gnn3d.Model, g *hetgraph.Graph, cfg Config
 	span.Arg("candidates", len(res.Guides)).Arg("batched", !cfg.SequentialCandidates)
 	span.End()
 	return res, nil
+}
+
+// ScoreResults fills Predictions for several deferred relaxation results
+// (Config.DeferScoring) by stacking every result's candidate guidance sets
+// into one PredictBatch call. Because ForwardBatch is row-independent, each
+// row is bit-identical to scoring that result alone — so wave composition
+// cannot change any individual response. Counters mirror Optimize's batched
+// branch, plus a per-call wave counter that serving tests pin against their
+// wave count ("one PredictBatch per wave").
+func ScoreResults(ctx context.Context, m *gnn3d.Model, g *hetgraph.Graph, rs []*Result) error {
+	var cs []*tensor.Tensor
+	for _, r := range rs {
+		for _, gd := range r.Guides {
+			cs = append(cs, tensor.FromSlice(gd.Flat(), len(gd.PerNet), 3))
+		}
+	}
+	if len(cs) == 0 {
+		return nil
+	}
+	_, span := obs.StartSpan(ctx, "relax.candidates")
+	defer span.End()
+	span.Arg("candidates", len(cs)).Arg("batched", true).Arg("results", len(rs))
+	preds, err := m.PredictBatch(g, cs)
+	if err != nil {
+		return fault.Wrap(fault.StageRelaxation, fault.ErrModelEval, err, "candidate scoring")
+	}
+	k := 0
+	for _, r := range rs {
+		r.Predictions = append([][gnn3d.NumMetrics]float64(nil), preds[k:k+len(r.Guides)]...)
+		k += len(r.Guides)
+	}
+	reg := obs.FromContext(ctx).Registry()
+	reg.Counter("analogfold_relax_candidates_batched_total").Add(int64(len(cs)))
+	reg.Counter("analogfold_relax_score_waves_total").Inc()
+	return nil
 }
 
 // isFinite reports a usable optimization outcome (finite, non-NaN).

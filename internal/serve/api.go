@@ -18,6 +18,7 @@ import (
 	"analogfold/internal/gnn3d"
 	"analogfold/internal/guidance"
 	"analogfold/internal/hetgraph"
+	"analogfold/internal/relax"
 )
 
 // GuidanceRequest asks for relaxation-derived guidance sets for a benchmark.
@@ -41,7 +42,10 @@ type GuidanceResponse struct {
 	CMax       float64        `json:"cmax"`
 	Guides     [][][3]float64 `json:"guides"` // [set][net][x y z]
 	Potentials []float64      `json:"potentials,omitempty"`
-	Events     []string       `json:"degradation_events,omitempty"`
+	// Predictions are the model's denormalized metric predictions for each
+	// guidance set (offset, CMRR, bandwidth, gain, noise), in Guides order.
+	Predictions [][gnn3d.NumMetrics]float64 `json:"predictions,omitempty"`
+	Events      []string                    `json:"degradation_events,omitempty"`
 }
 
 // RouteRequest asks for a full guided-routing run on a benchmark.
@@ -116,6 +120,14 @@ func BuildGuidanceResponse(ctx context.Context, f *core.Flow, model *gnn3d.Model
 		return uniformGuidanceResponse(rf, resp, ""), nil
 	}
 	rres, err := rf.DeriveGuidanceWarm(ctx, model, hg)
+	return finishGuidanceResponse(rf, resp, rres, err)
+}
+
+// finishGuidanceResponse turns a relaxation outcome into the wire shape. It
+// is the shared back half of the request-scoped path above and the daemon's
+// wave-batched path: both feed it the same (result, error) contract, which is
+// what keeps a batched response bit-identical to an unbatched one.
+func finishGuidanceResponse(rf *core.Flow, resp *GuidanceResponse, rres *relax.Result, err error) (*GuidanceResponse, error) {
 	if err != nil {
 		if fault.IsTimeout(err) {
 			return nil, err
@@ -133,6 +145,7 @@ func BuildGuidanceResponse(ctx context.Context, f *core.Flow, model *gnn3d.Model
 		resp.Guides[i] = set
 	}
 	resp.Potentials = append(resp.Potentials, rres.Potentials...)
+	resp.Predictions = append(resp.Predictions, rres.Predictions...)
 	return resp, nil
 }
 
@@ -237,6 +250,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 		http.Error(w, `{"error":{"kind":"internal","msg":"marshal failure"}}`, http.StatusInternalServerError)
 		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// writeBody writes pre-marshaled response bytes — the cache replay path: a
+// hit serves the exact bytes MarshalBody produced when the body was computed.
+func writeBody(w http.ResponseWriter, status int, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	w.Write(body)

@@ -1,0 +1,354 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"analogfold/internal/core"
+	"analogfold/internal/hetgraph"
+	"analogfold/internal/netlist"
+	"analogfold/internal/obs"
+	"analogfold/internal/place"
+)
+
+// cachedStubServer builds a server with the result cache on and doGuidance
+// replaced by a counting stub whose response the test controls per call.
+func cachedStubServer(t *testing.T, cfg Config, stub func(req GuidanceRequest, useModel bool) *GuidanceResponse) (*Server, *httptest.Server, *atomic.Int64) {
+	t.Helper()
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 64
+	}
+	if cfg.Opts.Samples == 0 {
+		cfg.Opts = testOpts()
+	}
+	s := New(nil, cfg)
+	// The cached path derives keys from the real flow, so the stub needs a
+	// real placed flow — not the empty stubFlow entry.
+	if err := s.Warm([]string{"OTA1-A"}); err != nil {
+		t.Fatal(err)
+	}
+	var executions atomic.Int64
+	s.doGuidance = func(ctx context.Context, f *core.Flow, hg *hetgraph.Graph, req GuidanceRequest, useModel bool) (*GuidanceResponse, error) {
+		executions.Add(1)
+		return stub(req, useModel), nil
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, &executions
+}
+
+func eliteStub(req GuidanceRequest, _ bool) *GuidanceResponse {
+	return &GuidanceResponse{
+		Bench: "OTA1-A", Seed: req.Seed, Rung: string(core.RungElite),
+		CMax: 2, Guides: [][][3]float64{{{1, 1, 1}}},
+	}
+}
+
+// TestCacheSingleflightCollapse pins the tentpole's duplicate-collapse
+// contract: K identical in-flight requests cost exactly one flow execution
+// and yield K identical bodies, with the cache header telling each request
+// how it was served.
+func TestCacheSingleflightCollapse(t *testing.T) {
+	const k = 6
+	computing := make(chan struct{})
+	gate := make(chan struct{})
+	var once sync.Once
+	s, ts, executions := cachedStubServer(t, Config{QueueCapacity: k},
+		func(req GuidanceRequest, _ bool) *GuidanceResponse {
+			once.Do(func() { close(computing) })
+			<-gate
+			return eliteStub(req, true)
+		})
+	bodies := make([][]byte, k)
+	headers := make([]string, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, b := postJSON(t, ts.URL+"/v1/guidance", `{"bench":"OTA1-A","seed":7}`)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d", i, resp.StatusCode)
+			}
+			bodies[i], headers[i] = b, resp.Header.Get(HeaderCache)
+		}(i)
+	}
+	<-computing
+	for s.cache.Stats().Collapses < k-1 {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("flow executions = %d, want 1", n)
+	}
+	miss, collapsed := 0, 0
+	for i := range bodies {
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("body %d differs from body 0:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+		switch headers[i] {
+		case "miss":
+			miss++
+		case "collapsed":
+			collapsed++
+		default:
+			t.Fatalf("request %d: header %q", i, headers[i])
+		}
+	}
+	if miss != 1 || collapsed != k-1 {
+		t.Fatalf("headers: %d miss / %d collapsed, want 1 / %d", miss, collapsed, k-1)
+	}
+	_, m := getMetrics(t, ts.URL)
+	if !m.Cache.Enabled || m.Cache.Misses != 1 || m.Cache.Collapses != k-1 {
+		t.Fatalf("metrics cache = %+v, want enabled, 1 miss, %d collapses", m.Cache, k-1)
+	}
+}
+
+// TestCacheHitReplaysBytes pins hit behavior: the second identical request is
+// served from the cache (no new execution), byte-identical, with the hit
+// header — and a request differing in any effective option misses.
+func TestCacheHitReplaysBytes(t *testing.T) {
+	_, ts, executions := cachedStubServer(t, Config{}, eliteStub)
+	resp1, b1 := postJSON(t, ts.URL+"/v1/guidance", `{"bench":"OTA1-A","seed":7}`)
+	resp2, b2 := postJSON(t, ts.URL+"/v1/guidance", `{"bench":"OTA1-A","seed":7}`)
+	if g, w := resp1.Header.Get(HeaderCache), "miss"; g != w {
+		t.Fatalf("first header = %q, want %q", g, w)
+	}
+	if g, w := resp2.Header.Get(HeaderCache), "hit"; g != w {
+		t.Fatalf("second header = %q, want %q", g, w)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("hit body differs:\n%s\nvs\n%s", b2, b1)
+	}
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("executions after hit = %d, want 1", n)
+	}
+	// A different seed is a different content address.
+	resp3, _ := postJSON(t, ts.URL+"/v1/guidance", `{"bench":"OTA1-A","seed":8}`)
+	if g, w := resp3.Header.Get(HeaderCache), "miss"; g != w {
+		t.Fatalf("distinct-seed header = %q, want %q", g, w)
+	}
+	if n := executions.Load(); n != 2 {
+		t.Fatalf("executions after distinct seed = %d, want 2", n)
+	}
+	_, m := getMetrics(t, ts.URL)
+	if m.Cache.Hits != 1 || m.Cache.Misses != 2 || m.Cache.Entries != 2 {
+		t.Fatalf("metrics cache = %+v, want 1 hit / 2 misses / 2 entries", m.Cache)
+	}
+}
+
+// TestCacheHitServedWhileBreakerOpen pins the breaker interaction: cached
+// elite bodies keep flowing while the breaker is open, because a hit replays
+// stored bytes without consulting the breaker or the model; only the
+// uncacheable breaker-open computes degrade.
+func TestCacheHitServedWhileBreakerOpen(t *testing.T) {
+	s, ts, executions := cachedStubServer(t, Config{BreakerThreshold: 3}, eliteStub)
+	_, prime := postJSON(t, ts.URL+"/v1/guidance", `{"bench":"OTA1-A","seed":7}`)
+	for i := 0; i < 3; i++ {
+		s.brk.record(true)
+	}
+	if state, _, _ := s.brk.snapshot(); state != "open" {
+		t.Fatalf("breaker state = %q, want open", state)
+	}
+	resp, b := postJSON(t, ts.URL+"/v1/guidance", `{"bench":"OTA1-A","seed":7}`)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get(HeaderCache) != "hit" {
+		t.Fatalf("breaker-open cached request: status %d, header %q, want 200 hit",
+			resp.StatusCode, resp.Header.Get(HeaderCache))
+	}
+	if !bytes.Equal(b, prime) {
+		t.Fatal("breaker-open hit body differs from primed elite body")
+	}
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("executions = %d: breaker-open hit touched the flow", n)
+	}
+	// An uncached key while open computes without the model and is NOT
+	// retained: the breaker-open shape must not poison the cache.
+	respMiss, _ := postJSON(t, ts.URL+"/v1/guidance", `{"bench":"OTA1-A","seed":9}`)
+	if respMiss.Header.Get(HeaderCache) != "miss" {
+		t.Fatalf("open-breaker new key header = %q, want miss", respMiss.Header.Get(HeaderCache))
+	}
+	if s.cache.Len() != 1 {
+		t.Fatalf("cache retained a breaker-open body: len=%d, want 1", s.cache.Len())
+	}
+}
+
+// TestCacheDegradedNotRetained pins that degraded bodies are served but never
+// replayed.
+func TestCacheDegradedNotRetained(t *testing.T) {
+	_, ts, executions := cachedStubServer(t, Config{},
+		func(req GuidanceRequest, _ bool) *GuidanceResponse {
+			r := eliteStub(req, true)
+			r.Rung, r.Degraded = string(core.RungUniform), true
+			return r
+		})
+	for i := 0; i < 2; i++ {
+		resp, _ := postJSON(t, ts.URL+"/v1/guidance", `{"bench":"OTA1-A","seed":7}`)
+		if resp.Header.Get(HeaderCache) != "miss" {
+			t.Fatalf("request %d header = %q, want miss (degraded never cached)",
+				i, resp.Header.Get(HeaderCache))
+		}
+	}
+	if n := executions.Load(); n != 2 {
+		t.Fatalf("executions = %d, want 2", n)
+	}
+}
+
+// TestCacheKeyCanonicalization pins the content-address derivation: zero-
+// valued request knobs normalize to the daemon defaults (same digest), any
+// differing effective knob or endpoint kind yields a distinct digest, and the
+// worker count — which cannot change outputs — is not part of the address.
+func TestCacheKeyCanonicalization(t *testing.T) {
+	f, err := core.NewFlow(netlist.OTA1(), place.ProfileA, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := testOpts() // Seed 1, RelaxRestarts 3, NDerive 2
+	base := cacheKeyFor("guidance", f, 0, 0, 0)
+	same := []string{
+		cacheKeyFor("guidance", f, o.Seed, o.RelaxRestarts, o.NDerive),
+		cacheKeyFor("guidance", f, o.Seed, 0, o.NDerive),
+		cacheKeyFor("guidance", f, 0, o.RelaxRestarts, 0),
+	}
+	for i, k := range same {
+		if k != base {
+			t.Errorf("canonical variant %d: %q != %q", i, k, base)
+		}
+	}
+	ow := o
+	ow.Workers = o.Workers + 6
+	if k := cacheKeyFor("guidance", f.WithOptions(ow), 0, 0, 0); k != base {
+		t.Errorf("worker count changed the key: %q != %q", k, base)
+	}
+	distinct := map[string]string{
+		"seed":     cacheKeyFor("guidance", f, o.Seed+1, 0, 0),
+		"restarts": cacheKeyFor("guidance", f, 0, o.RelaxRestarts+1, 0),
+		"nderive":  cacheKeyFor("guidance", f, 0, 0, o.NDerive+1),
+		"endpoint": cacheKeyFor("route", f, 0, 0, 0),
+	}
+	seen := map[string]string{base: "base"}
+	for name, k := range distinct {
+		if prev, dup := seen[k]; dup {
+			t.Errorf("%s key collides with %s: %q", name, prev, k)
+		}
+		seen[k] = name
+	}
+	// A different placement profile is a different netlist digest.
+	f2, err := core.NewFlow(netlist.OTA1(), place.ProfileB, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := cacheKeyFor("guidance", f2, 0, 0, 0); k == base {
+		t.Errorf("profile B key collides with profile A: %q", k)
+	}
+}
+
+// TestBatchWaveBitIdentity is the satellite's wave-vs-sequential pin: three
+// concurrent distinct requests coalesce into exactly one scoring wave
+// (BatchMax closes it deterministically), every body is byte-identical to the
+// -batch-window=0 reference path AND to the CLI builder, and the wave cost
+// exactly one PredictBatch call (serve wave counter == relax score-wave
+// counter == 1). Run under -race in CI, this is also the data-race proof for
+// the wave barrier.
+func TestBatchWaveBitIdentity(t *testing.T) {
+	model := trainedModel(t)
+	seeds := []int64{11, 12, 13}
+
+	tel := obs.New(obs.Options{Seed: 1})
+	batched := New(model, Config{
+		Opts: testOpts(), QueueCapacity: 8, CacheEntries: 64,
+		BatchWindow: 5 * time.Second, BatchMax: len(seeds),
+		Telemetry: tel,
+	})
+	if err := batched.Warm([]string{"OTA1-A"}); err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(batched.Handler())
+	defer tsA.Close()
+
+	waveBodies := make(map[int64][]byte)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, seed := range seeds {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			resp, b := postJSON(t, tsA.URL+"/v1/guidance",
+				fmt.Sprintf(`{"bench":"OTA1-A","seed":%d}`, seed))
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("seed %d: status %d: %s", seed, resp.StatusCode, b)
+			}
+			mu.Lock()
+			waveBodies[seed] = b
+			mu.Unlock()
+		}(seed)
+	}
+	wg.Wait()
+
+	_, m := getMetrics(t, tsA.URL)
+	if m.Batch.Waves != 1 {
+		t.Fatalf("batch waves = %d, want 1 (BatchMax=%d closes the wave)", m.Batch.Waves, len(seeds))
+	}
+	if want := int64(len(seeds) * testOpts().NDerive); m.Batch.Candidates != want {
+		t.Fatalf("batched candidates = %d, want %d", m.Batch.Candidates, want)
+	}
+	if m.Batch.Size.Count != 1 || m.Batch.Size.MeanMS != float64(len(seeds)) {
+		t.Fatalf("batch size view = %+v, want one observation of %d", m.Batch.Size, len(seeds))
+	}
+	if n := tel.Registry().Counter("analogfold_relax_score_waves_total").Value(); n != 1 {
+		t.Fatalf("relax score-wave calls = %d, want exactly 1 PredictBatch per wave", n)
+	}
+
+	// Reference arm: batch-window=0, cache off — the seed path.
+	sequential := New(model, Config{Opts: testOpts(), QueueCapacity: 8})
+	if err := sequential.Warm([]string{"OTA1-A"}); err != nil {
+		t.Fatal(err)
+	}
+	tsB := httptest.NewServer(sequential.Handler())
+	defer tsB.Close()
+	f, hg, err := sequential.flowFor("OTA1-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range seeds {
+		_, ref := postJSON(t, tsB.URL+"/v1/guidance",
+			fmt.Sprintf(`{"bench":"OTA1-A","seed":%d}`, seed))
+		if !bytes.Equal(waveBodies[seed], ref) {
+			t.Errorf("seed %d: batched body differs from batch-window=0 reference:\n%s\nvs\n%s",
+				seed, waveBodies[seed], ref)
+		}
+		// And both match the CLI artifact builder — the served==CLI pin
+		// extended to the batched path.
+		cliResp, err := BuildGuidanceResponse(context.Background(), f, model, hg,
+			GuidanceRequest{Bench: "OTA1-A", Seed: seed}, true)
+		if err != nil {
+			t.Fatalf("seed %d: CLI build: %v", seed, err)
+		}
+		cli, err := MarshalBody(cliResp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(waveBodies[seed], cli) {
+			t.Errorf("seed %d: batched body differs from CLI artifact", seed)
+		}
+	}
+
+	// Replay: the batched bodies are now cached — a repeat is a hit with the
+	// same bytes (cache on/off invariance of the body itself).
+	for _, seed := range seeds {
+		resp, b := postJSON(t, tsA.URL+"/v1/guidance",
+			fmt.Sprintf(`{"bench":"OTA1-A","seed":%d}`, seed))
+		if resp.Header.Get(HeaderCache) != "hit" || !bytes.Equal(b, waveBodies[seed]) {
+			t.Errorf("seed %d: replay not a byte-identical hit (header %q)",
+				seed, resp.Header.Get(HeaderCache))
+		}
+	}
+}

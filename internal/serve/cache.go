@@ -1,0 +1,36 @@
+package serve
+
+import (
+	"fmt"
+
+	"analogfold/internal/core"
+)
+
+// HeaderCache reports how the result cache satisfied a work request:
+// "hit" (stored body replayed), "miss" (this request executed the flow), or
+// "collapsed" (piggybacked on an identical in-flight execution). The cluster
+// coordinator forwards it verbatim, so clients see per-replica cache behavior
+// through the proxy. Absent when caching is disabled.
+const HeaderCache = "X-Analogfold-Cache"
+
+// cacheKeyFor canonicalizes a work request into its content address:
+// endpoint kind, the canonical netlist digest (shared with the coordinator's
+// rendezvous hashing, so shard affinity and cache keys agree), and the
+// effective options after zero-value normalization. Running the request knobs
+// through requestOptions first means `{"bench":"OTA1-A"}` and the same
+// request with every knob spelled out at its default digest identically,
+// while any differing effective knob yields a distinct key. Workers is
+// deliberately absent: outputs are pinned bit-identical for any worker count,
+// so it cannot distinguish results.
+func cacheKeyFor(kind string, f *core.Flow, seed int64, restarts, nderive int) string {
+	o := requestOptions(f, seed, restarts, nderive).Opts
+	return fmt.Sprintf("%s|%016x|s%d|r%d|n%d",
+		kind, core.NetlistDigest(f.Circuit, f.Profile), o.Seed, o.RelaxRestarts, o.NDerive)
+}
+
+// cacheable gates retention: only full-quality elite bodies are stored.
+// Degraded, breaker-open and error responses are served but never replayed —
+// a later identical request deserves a fresh shot at the elite rung.
+func cacheable(rung string, degraded bool, breaker string) bool {
+	return rung == string(core.RungElite) && !degraded && breaker == ""
+}

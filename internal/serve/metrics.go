@@ -22,6 +22,14 @@ type metrics struct {
 	guidance  *obs.Histogram
 	route     *obs.Histogram
 	relax     *obs.Histogram
+
+	// Micro-batching instruments: one wave == one shared PredictBatch call
+	// (the serving-throughput bench pins waves against the relax-side
+	// score-waves counter). batchSize buckets wave membership with the
+	// 1ms == 1 member convention of the duration-bucketed histogram.
+	batchWaves      *obs.Counter
+	batchCandidates *obs.Counter
+	batchSize       *obs.Histogram
 }
 
 func newMetrics(reg *obs.Registry) metrics {
@@ -31,13 +39,19 @@ func newMetrics(reg *obs.Registry) metrics {
 	reg.SetHelp("analogfold_serve_guidance_seconds", "/v1/guidance handler time after admission")
 	reg.SetHelp("analogfold_serve_route_seconds", "/v1/route handler time after admission")
 	reg.SetHelp("analogfold_serve_relax_seconds", "guide-generation stage time inside /v1/route")
+	reg.SetHelp("analogfold_serve_batch_waves_total", "guidance micro-batch waves scored (one PredictBatch call each)")
+	reg.SetHelp("analogfold_serve_batch_candidates_total", "candidate guidance sets scored through batched waves")
+	reg.SetHelp("analogfold_serve_batch_size", "members per scored wave (le_Nms bucket == N members, mean_ms == mean size)")
 	return metrics{
-		panics:    reg.Counter("analogfold_serve_panics_total"),
-		degraded:  reg.Counter("analogfold_serve_degraded_total"),
-		queueWait: reg.Histogram("analogfold_serve_queue_wait_seconds"),
-		guidance:  reg.Histogram("analogfold_serve_guidance_seconds"),
-		route:     reg.Histogram("analogfold_serve_route_seconds"),
-		relax:     reg.Histogram("analogfold_serve_relax_seconds"),
+		panics:          reg.Counter("analogfold_serve_panics_total"),
+		degraded:        reg.Counter("analogfold_serve_degraded_total"),
+		queueWait:       reg.Histogram("analogfold_serve_queue_wait_seconds"),
+		guidance:        reg.Histogram("analogfold_serve_guidance_seconds"),
+		route:           reg.Histogram("analogfold_serve_route_seconds"),
+		relax:           reg.Histogram("analogfold_serve_relax_seconds"),
+		batchWaves:      reg.Counter("analogfold_serve_batch_waves_total"),
+		batchCandidates: reg.Counter("analogfold_serve_batch_candidates_total"),
+		batchSize:       reg.Histogram("analogfold_serve_batch_size"),
 	}
 }
 
@@ -70,6 +84,18 @@ func (s *Server) registerOwnerMetrics(reg *obs.Registry) {
 		_, _, trips := s.brk.snapshot()
 		return float64(trips)
 	})
+	if s.cache != nil {
+		reg.SetHelp("analogfold_serve_cache_hits_total", "result-cache hits (stored body replayed, model untouched)")
+		reg.SetHelp("analogfold_serve_cache_misses_total", "result-cache misses (request executed the flow)")
+		reg.SetHelp("analogfold_serve_cache_evictions_total", "result-cache LRU evictions")
+		reg.SetHelp("analogfold_serve_cache_collapses_total", "singleflight collapses onto identical in-flight work")
+		reg.SetHelp("analogfold_serve_cache_entries", "stored result bodies")
+		reg.RegisterCounterFunc("analogfold_serve_cache_hits_total", func() float64 { return float64(s.cache.Stats().Hits) })
+		reg.RegisterCounterFunc("analogfold_serve_cache_misses_total", func() float64 { return float64(s.cache.Stats().Misses) })
+		reg.RegisterCounterFunc("analogfold_serve_cache_evictions_total", func() float64 { return float64(s.cache.Stats().Evictions) })
+		reg.RegisterCounterFunc("analogfold_serve_cache_collapses_total", func() float64 { return float64(s.cache.Stats().Collapses) })
+		reg.RegisterGaugeFunc("analogfold_serve_cache_entries", func() float64 { return float64(s.cache.Len()) })
+	}
 	b := s.build
 	reg.RegisterInfo("analogfold_build_info", map[string]string{
 		"goversion": b.GoVersion, "path": b.Path,
@@ -120,6 +146,22 @@ type MetricsSnapshot struct {
 		Trips             int64  `json:"trips"`
 	} `json:"breaker"`
 
+	Cache struct {
+		Enabled   bool  `json:"enabled"`
+		Entries   int   `json:"entries"`
+		Capacity  int   `json:"capacity"`
+		Hits      int64 `json:"hits"`
+		Misses    int64 `json:"misses"`
+		Evictions int64 `json:"evictions"`
+		Collapses int64 `json:"collapses"`
+	} `json:"cache"`
+
+	Batch struct {
+		Waves      int64        `json:"waves"`
+		Candidates int64        `json:"candidates"`
+		Size       obs.HistView `json:"size"`
+	} `json:"batch"`
+
 	Latency map[string]obs.HistView `json:"latency"`
 
 	Build BuildInfo `json:"build"`
@@ -135,6 +177,17 @@ func (s *Server) metricsSnapshot() MetricsSnapshot {
 	m.Panics = s.met.panics.Value()
 	m.Degraded = s.met.degraded.Value()
 	m.Breaker.State, m.Breaker.ConsecutiveFaults, m.Breaker.Trips = s.brk.snapshot()
+	if s.cache != nil {
+		st := s.cache.Stats()
+		m.Cache.Enabled = true
+		m.Cache.Entries = s.cache.Len()
+		m.Cache.Capacity = s.cache.Capacity()
+		m.Cache.Hits, m.Cache.Misses = st.Hits, st.Misses
+		m.Cache.Evictions, m.Cache.Collapses = st.Evictions, st.Collapses
+	}
+	m.Batch.Waves = s.met.batchWaves.Value()
+	m.Batch.Candidates = s.met.batchCandidates.Value()
+	m.Batch.Size = s.met.batchSize.View()
 	m.Latency = map[string]obs.HistView{
 		"queue_wait": s.met.queueWait.View(),
 		"guidance":   s.met.guidance.View(),

@@ -18,6 +18,7 @@ import (
 	"analogfold/internal/gnn3d"
 	"analogfold/internal/hetgraph"
 	"analogfold/internal/obs"
+	"analogfold/internal/servecache"
 )
 
 // Config sizes the daemon's robustness machinery. Zero values inherit the
@@ -41,6 +42,20 @@ type Config struct {
 	// half-open probe (default 30s).
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	// CacheEntries bounds the content-addressed result cache (0 disables
+	// caching — the zero value keeps the daemon's original request-scoped
+	// behavior). Responses are keyed by the canonical digest of (netlist,
+	// placement profile, effective options); identical in-flight requests
+	// collapse onto one execution regardless of this bound.
+	CacheEntries int
+	// BatchWindow is the micro-batching latency budget for /v1/guidance
+	// model-path work: concurrent distinct requests for the same benchmark
+	// arriving within the window have their candidate guidance sets scored
+	// through one PredictBatch call. 0 disables batching (the zero value —
+	// and the byte-identical reference path). BatchMax caps a wave's member
+	// count (default 8 when batching is on).
+	BatchWindow time.Duration
+	BatchMax    int
 	// Opts are the base flow options (seed, restart budget, workers, stage
 	// timeouts…) that per-request knobs override.
 	Opts core.Options
@@ -78,6 +93,9 @@ func (c Config) withDefaults() Config {
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 30 * time.Second
 	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 8
+	}
 	return c
 }
 
@@ -101,6 +119,8 @@ type Server struct {
 	met   metrics
 	reg   *obs.Registry
 	build BuildInfo
+	cache *servecache.Cache // nil when CacheEntries == 0
+	batch *batcher          // nil when BatchWindow == 0
 
 	mu    sync.Mutex
 	flows map[string]*flowEntry
@@ -129,12 +149,19 @@ func New(model *gnn3d.Model, cfg Config) *Server {
 		brk:     newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		reg:     reg,
 		build:   readBuildInfo(),
+		cache:   servecache.New(cfg.CacheEntries),
 		flows:   make(map[string]*flowEntry),
 		drained: make(chan struct{}),
+	}
+	if cfg.BatchWindow > 0 {
+		s.batch = newBatcher(s)
 	}
 	s.met = newMetrics(reg)
 	s.registerOwnerMetrics(reg)
 	s.doGuidance = func(ctx context.Context, f *core.Flow, hg *hetgraph.Graph, req GuidanceRequest, useModel bool) (*GuidanceResponse, error) {
+		if useModel && s.model != nil && s.batch != nil {
+			return s.buildGuidanceWave(ctx, f, hg, req)
+		}
 		return BuildGuidanceResponse(ctx, f, s.model, hg, req, useModel)
 	}
 	s.doRoute = func(ctx context.Context, f *core.Flow, hg *hetgraph.Graph, req RouteRequest, useModel bool) (*RouteResponse, *core.Outcome, error) {
@@ -263,14 +290,52 @@ func (s *Server) handleGuidance(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err, 0)
 		return
 	}
+	if s.cache == nil {
+		resp, err := s.computeGuidance(ctx, f, hg, req)
+		if resp == nil {
+			writeError(w, err, 0)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	// The cache lookup runs before the breaker gate: a hit replays stored
+	// bytes without touching the model, so it must neither consume a
+	// half-open probe slot nor be refused while the breaker is open.
+	key := cacheKeyFor("guidance", f, req.Seed, req.Restarts, req.NDerive)
+	body, st, err := s.cache.Do(ctx, key, func() ([]byte, bool, error) {
+		resp, cerr := s.computeGuidance(ctx, f, hg, req)
+		if resp == nil {
+			return nil, false, cerr
+		}
+		b, merr := MarshalBody(resp)
+		if merr != nil {
+			return nil, false, merr
+		}
+		return b, cacheable(resp.Rung, resp.Degraded, resp.Breaker), nil
+	})
+	w.Header().Set(HeaderCache, st.String())
+	span.Arg("cache", st.String())
+	if body == nil {
+		writeError(w, err, 0)
+		return
+	}
+	writeBody(w, http.StatusOK, body)
+}
+
+// computeGuidance is the shared uncached/cache-miss execution of one guidance
+// request: breaker gate, work function, breaker accounting, degradation
+// counting. A nil response means err must be written as the HTTP error; a
+// non-nil response is servable even when the pipeline reported a (degraded)
+// fault — exactly the pre-cache handler contract.
+func (s *Server) computeGuidance(ctx context.Context, f *core.Flow, hg *hetgraph.Graph, req GuidanceRequest) (*GuidanceResponse, error) {
 	useModel := s.brk.allow()
 	resp, err := s.doGuidance(ctx, f, hg, req, useModel)
 	if useModel {
 		s.recordModelOutcome(err)
 	}
 	if resp == nil {
-		writeError(w, err, 0)
-		return
+		return nil, err
 	}
 	if !useModel {
 		resp.Breaker = "open"
@@ -278,7 +343,7 @@ func (s *Server) handleGuidance(w http.ResponseWriter, r *http.Request) {
 	if resp.Degraded {
 		s.met.degraded.Add(1)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
 func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
@@ -300,14 +365,45 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err, 0)
 		return
 	}
+	if s.cache == nil {
+		resp, err := s.computeRoute(ctx, f, hg, req)
+		if resp == nil {
+			writeError(w, err, 0)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	key := cacheKeyFor("route", f, req.Seed, req.Restarts, req.NDerive)
+	body, st, err := s.cache.Do(ctx, key, func() ([]byte, bool, error) {
+		resp, cerr := s.computeRoute(ctx, f, hg, req)
+		if resp == nil {
+			return nil, false, cerr
+		}
+		b, merr := MarshalBody(resp)
+		if merr != nil {
+			return nil, false, merr
+		}
+		return b, cacheable(resp.Rung, resp.Degraded, resp.Breaker), nil
+	})
+	w.Header().Set(HeaderCache, st.String())
+	span.Arg("cache", st.String())
+	if body == nil {
+		writeError(w, err, 0)
+		return
+	}
+	writeBody(w, http.StatusOK, body)
+}
+
+// computeRoute mirrors computeGuidance for the full-flow endpoint.
+func (s *Server) computeRoute(ctx context.Context, f *core.Flow, hg *hetgraph.Graph, req RouteRequest) (*RouteResponse, error) {
 	useModel := s.brk.allow()
 	resp, out, err := s.doRoute(ctx, f, hg, req, useModel)
 	if err != nil {
 		if useModel {
 			s.recordModelOutcome(err)
 		}
-		writeError(w, err, 0)
-		return
+		return nil, err
 	}
 	if useModel {
 		s.recordModelOutcome(out.Degradation.ModelFault())
@@ -321,7 +417,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	if resp.Degraded {
 		s.met.degraded.Add(1)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
 // recordModelOutcome feeds the breaker after a model-path attempt. Timeouts

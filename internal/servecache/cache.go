@@ -1,0 +1,262 @@
+// Package servecache is the daemon's content-addressed result cache: response
+// bodies keyed by a canonical digest of (netlist digest, placement profile,
+// effective options), sharded GOMAXPROCS-ways with per-shard locking, bounded
+// LRU eviction, and singleflight collapse of duplicate in-flight work.
+//
+// The cache stores exact marshaled bodies ([]byte), so a hit replays the very
+// bytes the computing request wrote — byte identity between cached and
+// freshly computed responses is structural, not a property to re-verify.
+//
+// Singleflight: the first request for a key installs a pending entry and runs
+// the compute function; concurrent requests for the same key block on the
+// entry's done channel and receive the computed body without executing the
+// flow themselves ("collapsed"). Collapse is independent of cacheability —
+// a degraded body is shared with its concurrent duplicates but not retained.
+package servecache
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"analogfold/internal/obs"
+)
+
+// Status classifies how Do satisfied a request. The String form is the wire
+// value of the X-Analogfold-Cache response header.
+type Status int
+
+const (
+	// StatusMiss: this request executed the compute function.
+	StatusMiss Status = iota
+	// StatusHit: the body came from a completed cache entry.
+	StatusHit
+	// StatusCollapsed: the request piggybacked on an identical in-flight
+	// compute started by another request.
+	StatusCollapsed
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusHit:
+		return "hit"
+	case StatusCollapsed:
+		return "collapsed"
+	default:
+		return "miss"
+	}
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Collapses int64 `json:"collapses"`
+}
+
+// entry is one key's slot: pending while its compute runs (done open), then
+// either linked into the shard's LRU list (cacheable) or removed from the map
+// (error / uncacheable) — waiters still read body/err through the closed
+// channel either way.
+type entry struct {
+	key  string
+	body []byte
+	err  error
+	done chan struct{}
+
+	stored     bool
+	prev, next *entry
+}
+
+// shard is one lock domain: a map plus an intrusive LRU list over the stored
+// (completed, cacheable) entries. Pending entries live in the map but not in
+// the list, so they never count against the capacity bound.
+type shard struct {
+	mu    sync.Mutex
+	m     map[string]*entry
+	head  *entry // most recently used
+	tail  *entry // least recently used
+	count int    // stored entries
+	cap   int
+}
+
+// Cache is the sharded result cache. The zero value is not usable; construct
+// with New.
+type Cache struct {
+	shards []shard
+	mask   uint64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	collapses atomic.Int64
+}
+
+// New builds a cache bounded to roughly entries stored bodies, sharded
+// GOMAXPROCS-ways (rounded up to a power of two). Each shard holds an equal
+// slice of the budget, so the realized bound is shards·ceil(entries/shards).
+// entries <= 0 returns nil; a nil *Cache is the "caching disabled" value and
+// Do on it executes compute directly.
+func New(entries int) *Cache {
+	return newSharded(entries, runtime.GOMAXPROCS(0))
+}
+
+// newSharded is New with an explicit shard request — tests pin eviction
+// arithmetic without depending on the host's GOMAXPROCS.
+func newSharded(entries, shards int) *Cache {
+	if entries <= 0 {
+		return nil
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	perShard := (entries + n - 1) / n
+	c := &Cache{shards: make([]shard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*entry)
+		c.shards[i].cap = perShard
+	}
+	return c
+}
+
+// errPanic is what waiters observe when the computing request panicked; the
+// panic itself propagates to the computing request's recovery middleware.
+var errPanic = errors.New("servecache: compute panicked")
+
+// Do returns the body for key, computing it at most once across concurrent
+// callers. compute returns (body, cacheable, err); only cacheable bodies with
+// a nil error are retained. Waiters collapsed onto an in-flight compute
+// receive its body and error regardless of cacheability; a waiter whose ctx
+// expires first returns the context error instead.
+func (c *Cache) Do(ctx context.Context, key string, compute func() ([]byte, bool, error)) ([]byte, Status, error) {
+	if c == nil {
+		body, _, err := compute()
+		return body, StatusMiss, err
+	}
+	sh := &c.shards[obs.Mix64(obs.FNV64aString(key))&c.mask]
+	sh.mu.Lock()
+	if e, ok := sh.m[key]; ok {
+		if e.stored {
+			sh.moveFront(e)
+			sh.mu.Unlock()
+			c.hits.Add(1)
+			return e.body, StatusHit, nil
+		}
+		sh.mu.Unlock()
+		c.collapses.Add(1)
+		select {
+		case <-e.done:
+			return e.body, StatusCollapsed, e.err
+		case <-ctx.Done():
+			return nil, StatusCollapsed, ctx.Err()
+		}
+	}
+	e := &entry{key: key, done: make(chan struct{})}
+	sh.m[key] = e
+	sh.mu.Unlock()
+	c.misses.Add(1)
+
+	var cacheable bool
+	panicked := true
+	defer func() {
+		sh.mu.Lock()
+		if panicked || e.err != nil || !cacheable {
+			if panicked && e.err == nil {
+				e.err = errPanic
+			}
+			delete(sh.m, key)
+		} else {
+			e.stored = true
+			sh.pushFront(e)
+			for sh.count > sh.cap {
+				victim := sh.tail
+				sh.unlink(victim)
+				delete(sh.m, victim.key)
+				c.evictions.Add(1)
+			}
+		}
+		sh.mu.Unlock()
+		close(e.done)
+	}()
+	e.body, cacheable, e.err = compute()
+	panicked = false
+	return e.body, StatusMiss, e.err
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Collapses: c.collapses.Load(),
+	}
+}
+
+// Len is the number of stored (retained) bodies across all shards.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.count
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Capacity is the realized per-construction bound on stored bodies.
+func (c *Cache) Capacity() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.shards) * c.shards[0].cap
+}
+
+// pushFront links a newly stored entry at the MRU end. Caller holds sh.mu.
+func (sh *shard) pushFront(e *entry) {
+	e.prev, e.next = nil, sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+	sh.count++
+}
+
+// unlink removes a stored entry from the LRU list. Caller holds sh.mu.
+func (sh *shard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	sh.count--
+}
+
+// moveFront refreshes a stored entry's recency. Caller holds sh.mu.
+func (sh *shard) moveFront(e *entry) {
+	if sh.head == e {
+		return
+	}
+	sh.unlink(e)
+	sh.pushFront(e)
+}

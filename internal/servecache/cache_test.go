@@ -1,0 +1,222 @@
+package servecache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func mustDo(t *testing.T, c *Cache, key string, body string) Status {
+	t.Helper()
+	got, st, err := c.Do(context.Background(), key, func() ([]byte, bool, error) {
+		return []byte(body), true, nil
+	})
+	if err != nil {
+		t.Fatalf("Do(%q): %v", key, err)
+	}
+	if string(got) != body && st == StatusMiss {
+		t.Fatalf("Do(%q) = %q, want %q", key, got, body)
+	}
+	return st
+}
+
+func TestHitReturnsStoredBytes(t *testing.T) {
+	c := New(16)
+	if st := mustDo(t, c, "k", "v1"); st != StatusMiss {
+		t.Fatalf("first Do status = %v, want miss", st)
+	}
+	// The stored body wins even if a later compute would differ: content
+	// addressing assumes the key fully determines the value.
+	got, st, err := c.Do(context.Background(), "k", func() ([]byte, bool, error) {
+		return []byte("v2"), true, nil
+	})
+	if err != nil || st != StatusHit || string(got) != "v1" {
+		t.Fatalf("second Do = (%q, %v, %v), want (v1, hit, nil)", got, st, err)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Collapses != 0 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", s)
+	}
+}
+
+func TestErrorsAndUncacheableNotRetained(t *testing.T) {
+	c := New(16)
+	boom := errors.New("boom")
+	if _, _, err := c.Do(context.Background(), "k", func() ([]byte, bool, error) {
+		return nil, false, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("error body retained: len=%d", c.Len())
+	}
+	// Uncacheable (e.g. degraded) bodies are returned but not stored.
+	if _, st, _ := c.Do(context.Background(), "k", func() ([]byte, bool, error) {
+		return []byte("degraded"), false, nil
+	}); st != StatusMiss {
+		t.Fatalf("status = %v, want miss", st)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("uncacheable body retained: len=%d", c.Len())
+	}
+	if st := mustDo(t, c, "k", "v"); st != StatusMiss {
+		t.Fatalf("third Do status = %v, want miss (nothing retained)", st)
+	}
+}
+
+// TestLRUEvictionBoundUnderChurn streams far more distinct keys through the
+// cache than it can hold and pins both the bound and the eviction accounting.
+func TestLRUEvictionBoundUnderChurn(t *testing.T) {
+	const entries, shards, churn = 32, 4, 1000
+	c := newSharded(entries, shards)
+	capacity := c.Capacity()
+	if capacity < entries {
+		t.Fatalf("capacity %d < requested %d", capacity, entries)
+	}
+	for i := 0; i < churn; i++ {
+		mustDo(t, c, fmt.Sprintf("key-%d", i), "body")
+		if n := c.Len(); n > capacity {
+			t.Fatalf("after %d inserts: len %d exceeds capacity %d", i+1, n, capacity)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != churn {
+		t.Fatalf("misses = %d, want %d", s.Misses, churn)
+	}
+	if s.Evictions != churn-int64(c.Len()) {
+		t.Fatalf("evictions %d + retained %d != inserts %d", s.Evictions, c.Len(), churn)
+	}
+}
+
+// TestLRURecency pins that touching an entry protects it from eviction while
+// colder keys in the same shard are evicted first.
+func TestLRURecency(t *testing.T) {
+	c := newSharded(2, 1) // single shard, two slots: fully deterministic LRU
+	mustDo(t, c, "a", "A")
+	mustDo(t, c, "b", "B")
+	mustDo(t, c, "a", "A") // touch a: b is now LRU
+	mustDo(t, c, "c", "C") // evicts b
+	if st := mustDo(t, c, "a", "A"); st != StatusHit {
+		t.Fatalf("a status = %v, want hit (recently touched)", st)
+	}
+	if st := mustDo(t, c, "b", "B"); st != StatusMiss {
+		t.Fatalf("b status = %v, want miss (evicted as LRU)", st)
+	}
+}
+
+// TestSingleflightCollapse runs K concurrent Dos for one key against a gated
+// compute: exactly one executes, the rest collapse onto it and read the same
+// body.
+func TestSingleflightCollapse(t *testing.T) {
+	const k = 8
+	c := New(16)
+	computing := make(chan struct{})
+	gate := make(chan struct{})
+	executions := 0
+	results := make([][]byte, k)
+	statuses := make([]Status, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, st, err := c.Do(context.Background(), "k", func() ([]byte, bool, error) {
+				executions++
+				close(computing)
+				<-gate
+				return []byte("shared"), true, nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			results[i], statuses[i] = body, st
+		}(i)
+	}
+	<-computing // one goroutine is inside compute; now wait for the rest to pile up
+	for c.Stats().Collapses < k-1 {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+	if executions != 1 {
+		t.Fatalf("executions = %d, want 1", executions)
+	}
+	misses, collapsed := 0, 0
+	for i := range results {
+		if string(results[i]) != "shared" {
+			t.Fatalf("result %d = %q, want shared", i, results[i])
+		}
+		switch statuses[i] {
+		case StatusMiss:
+			misses++
+		case StatusCollapsed:
+			collapsed++
+		}
+	}
+	if misses != 1 || collapsed != k-1 {
+		t.Fatalf("statuses: %d miss / %d collapsed, want 1 / %d", misses, collapsed, k-1)
+	}
+}
+
+// TestCollapsedWaiterHonorsContext pins that a waiter whose context dies
+// before the compute finishes unblocks with the context error.
+func TestCollapsedWaiterHonorsContext(t *testing.T) {
+	c := New(16)
+	computing := make(chan struct{})
+	gate := make(chan struct{})
+	defer close(gate)
+	go func() {
+		c.Do(context.Background(), "k", func() ([]byte, bool, error) {
+			close(computing)
+			<-gate
+			return []byte("late"), true, nil
+		})
+	}()
+	<-computing
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, st, err := c.Do(ctx, "k", func() ([]byte, bool, error) {
+		t.Error("waiter executed compute")
+		return nil, false, nil
+	})
+	if st != StatusCollapsed || !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter = (%v, %v), want (collapsed, context.Canceled)", st, err)
+	}
+}
+
+// TestComputePanicReleasesWaiters pins that a panicking compute doesn't leave
+// a pending entry that deadlocks waiters or poisons the key.
+func TestComputePanicReleasesWaiters(t *testing.T) {
+	c := New(16)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate")
+			}
+		}()
+		c.Do(context.Background(), "k", func() ([]byte, bool, error) { panic("boom") })
+	}()
+	// The key must be recomputable afterwards.
+	if st := mustDo(t, c, "k", "v"); st != StatusMiss {
+		t.Fatalf("post-panic status = %v, want miss", st)
+	}
+}
+
+func TestNilCacheExecutesDirectly(t *testing.T) {
+	var c *Cache
+	body, st, err := c.Do(context.Background(), "k", func() ([]byte, bool, error) {
+		return []byte("direct"), true, nil
+	})
+	if err != nil || st != StatusMiss || string(body) != "direct" {
+		t.Fatalf("nil cache Do = (%q, %v, %v)", body, st, err)
+	}
+	if c.Len() != 0 || c.Capacity() != 0 || (c.Stats() != Stats{}) {
+		t.Fatal("nil cache reported non-zero state")
+	}
+	if New(0) != nil {
+		t.Fatal("New(0) should return the nil (disabled) cache")
+	}
+}

@@ -29,6 +29,7 @@ go test -race -count=1 \
     ./internal/tensor/ \
     ./internal/dataset/ \
     ./internal/route/ \
+    ./internal/servecache/ \
     ./internal/serve/ \
     ./internal/cluster/
 
@@ -72,6 +73,15 @@ echo "== model inference perf gate (writes BENCH_model.json) =="
 # at >= 5x fewer allocations than the transient path (wall-time assertions
 # are skipped on degenerate hosts).
 go test -run=NONE -bench=BenchmarkModelReport -benchtime=1x .
+
+echo "== serving throughput gate (writes BENCH_serve.json) =="
+# BenchmarkServeThroughput gates batch-first serving internally: cache misses
+# must equal the unique keys of the duplicate-heavy mix (duplicates collapse
+# or hit, never re-execute), every micro-batch wave must cost exactly one
+# PredictBatch (waves == relax score-wave counter), and wave scoring must
+# allocate >= 2x less than sequential per-member scoring. Wall-clock gates
+# (>= 5x duplicate-heavy speedup) are skipped on degenerate hosts.
+go test -run=NONE -bench=BenchmarkServeThroughput -benchtime=1x .
 
 echo "== unchecked-error grep =="
 ./scripts/errcheck.sh
