@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet errcheck race chaos serve-chaos cluster-chaos fuzz-smoke bench bench-parallel bench-route bench-model bench-serve obs-bench ci
+.PHONY: build test vet errcheck race chaos serve-chaos cluster-chaos dataset-chaos fuzz-smoke bench bench-parallel bench-route bench-model bench-serve obs-bench ci
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,13 @@ serve-chaos:
 # answered + shed), and the coordinator's drain must leak no goroutines.
 cluster-chaos:
 	$(GO) test -race -count=1 -tags faultinject ./internal/cluster/
+
+# dataset-chaos runs the corpus generator's fault-injection suite under the
+# race detector: injected label failures must drop samples (refusing the whole
+# corpus only past the half-empty threshold), NaN labels must never reach the
+# corpus, and cancellation mid-fan-out must leak no goroutines.
+dataset-chaos:
+	$(GO) test -race -count=1 -tags faultinject ./internal/dataset/
 
 # fuzz-smoke gives each native fuzz target a short budget: enough to catch a
 # freshly introduced panic or untyped error, cheap enough for every CI run.

@@ -15,16 +15,22 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"analogfold/internal/atomicfile"
 	"analogfold/internal/cliutil"
+	"analogfold/internal/cluster"
 	"analogfold/internal/core"
 	"analogfold/internal/dataset"
 	"analogfold/internal/drc"
@@ -328,6 +334,9 @@ func cmdDataset(ctx context.Context, args []string) (err error) {
 	out := fs.String("out", "dataset.json", "output file")
 	seed := fs.Int64("seed", 1, "seed")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	coordinator := fs.String("coordinator", "", "coordinator base URL (e.g. http://host:8000): farm shards across the cluster instead of generating locally")
+	shardSize := fs.Int("shard-size", 0, "samples per shard for distributed/resumable generation (0 = 32)")
+	resumeDir := fs.String("resume-dir", "", "crash-safe shard journal directory; a killed run restarted with the same flags resumes instead of regenerating")
 	obsFlags := cliutil.ObsFlags(fs)
 	pr := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -343,6 +352,15 @@ func cmdDataset(ctx context.Context, args []string) (err error) {
 		return err
 	}
 	defer pr.stop()
+	if *coordinator != "" {
+		// Distributed path: the coordinator leases shards to its replicas and
+		// answers with the dataset's canonical Save bytes, which are written
+		// verbatim — the file is byte-identical to a local run's.
+		return fetchDataset(ctx, *coordinator, cluster.DatasetRequest{
+			Bench: *bench, Samples: *n, Seed: *seed, ShardSize: *shardSize,
+			IncludeUniform: true,
+		}, *out)
+	}
 	c, prof, err := parseBench(*bench)
 	if err != nil {
 		return err
@@ -355,13 +373,80 @@ func cmdDataset(ctx context.Context, args []string) (err error) {
 	if err != nil {
 		return err
 	}
-	ds, err := dataset.Generate(ctx, g, dataset.Config{Samples: *n, Seed: *seed, Workers: *workers, IncludeUniform: true})
-	if err != nil {
-		return err
+	cfg := dataset.Config{Samples: *n, Seed: *seed, Workers: *workers,
+		IncludeUniform: true, ShardSize: *shardSize}
+	var ds *dataset.Dataset
+	if *resumeDir != "" {
+		var rep *dataset.ResumeReport
+		ds, rep, err = dataset.GenerateResumable(ctx, c.Name, len(c.Nets), cfg, *resumeDir, dataset.LocalExec(g, cfg))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("shards: %d resumed, %d generated, %d corrupt regenerated\n",
+			rep.Resumed, rep.Generated, rep.Corrupt)
+	} else {
+		ds, err = dataset.Generate(ctx, g, cfg)
+		if err != nil {
+			return err
+		}
 	}
 	if err := ds.Save(*out); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %d samples to %s\n", len(ds.Entries), *out)
 	return nil
+}
+
+// fetchDataset POSTs a distributed generation job to the coordinator and
+// writes the response body verbatim (atomically), then loads it back through
+// the digest-verifying dataset.Load so a truncated or corrupted transfer is
+// rejected instead of silently trained on.
+func fetchDataset(ctx context.Context, base string, req cluster.DatasetRequest, out string) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(base, "/")+"/v1/dataset", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("coordinator: HTTP %d: %s", resp.StatusCode, firstLine(b))
+	}
+	if err := atomicfile.WriteFile(out, b, 0o644); err != nil {
+		return err
+	}
+	ds, err := dataset.Load(out)
+	if err != nil {
+		return fmt.Errorf("coordinator response failed verification: %w", err)
+	}
+	if resumed := resp.Header.Get(cluster.HeaderResumed); resumed != "" && resumed != "0" {
+		fmt.Printf("shards resumed from coordinator journal: %s\n", resumed)
+	}
+	fmt.Printf("wrote %d samples (%d dropped) to %s via %s\n",
+		len(ds.Entries), ds.Dropped, out, base)
+	return nil
+}
+
+// firstLine trims an error body to its first line for terminal display.
+func firstLine(b []byte) string {
+	s := strings.TrimSpace(string(b))
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 200 {
+		s = s[:200]
+	}
+	return s
 }

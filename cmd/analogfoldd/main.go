@@ -69,6 +69,9 @@ func main() {
 	maxHedges := fs.Int("max-hedges", 1, "max hedged attempts per request (coordinator mode)")
 	retryBackoff := fs.Duration("retry-backoff", 5*time.Millisecond, "base failover backoff, doubled per attempt with hash-deterministic jitter (coordinator mode)")
 	busyDepth := fs.Int64("busy-queue-depth", 16, "scraped replica queue depth that grades it degraded (coordinator mode)")
+	leaseTTL := fs.Duration("lease-ttl", 5*time.Minute, "dataset shard lease tenure before the shard is re-dispatched (coordinator mode)")
+	datasetDir := fs.String("dataset-dir", "", "crash-safe dataset manifest journal root; empty disables resume (coordinator mode)")
+	datasetShardSize := fs.Int("dataset-shard-size", 0, "default samples per dataset shard (0 = 32, coordinator mode)")
 	opts := cliutil.OptionsFlags(fs)
 	logf := cliutil.LogFlags(fs)
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -85,17 +88,20 @@ func main() {
 	tel := obs.New(obs.Options{Seed: o.Seed, Logger: lg})
 	if *coordinator {
 		if err := runCoordinator(*addr, *warm, cluster.Config{
-			Replicas:        splitList(*replicas),
-			ProbeInterval:   *probeInterval,
-			AttemptTimeout:  *attemptTO,
-			HedgeAfter:      *hedgeAfter,
-			HedgePercentile: *hedgePct,
-			MaxHedges:       *maxHedges,
-			RetryBackoff:    *retryBackoff,
-			BusyQueueDepth:  *busyDepth,
-			DrainTimeout:    *drainTO,
-			Logger:          lg,
-			Telemetry:       tel,
+			Replicas:         splitList(*replicas),
+			ProbeInterval:    *probeInterval,
+			AttemptTimeout:   *attemptTO,
+			HedgeAfter:       *hedgeAfter,
+			HedgePercentile:  *hedgePct,
+			MaxHedges:        *maxHedges,
+			RetryBackoff:     *retryBackoff,
+			BusyQueueDepth:   *busyDepth,
+			DrainTimeout:     *drainTO,
+			LeaseTTL:         *leaseTTL,
+			DatasetDir:       *datasetDir,
+			DatasetShardSize: *datasetShardSize,
+			Logger:           lg,
+			Telemetry:        tel,
 		}, serve.Config{Opts: o, Logger: lg}); err != nil {
 			lg.Error("analogfoldd coordinator exiting", "err", err)
 			os.Exit(1)

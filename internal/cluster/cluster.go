@@ -49,6 +49,7 @@ import (
 	"sync"
 	"time"
 
+	"analogfold/internal/dataset"
 	"analogfold/internal/fault"
 	"analogfold/internal/obs"
 	"analogfold/internal/serve"
@@ -87,6 +88,19 @@ type Config struct {
 	BusyQueueDepth int64
 	// DrainTimeout bounds the graceful drain on shutdown (default 30s).
 	DrainTimeout time.Duration
+	// LeaseTTL bounds one replica's tenure on a dataset shard lease (default
+	// 5m): a replica that hasn't returned its shard within the TTL — or whose
+	// health probe grades it down mid-lease — forfeits the lease and the
+	// shard is re-dispatched down the failover ladder.
+	LeaseTTL time.Duration
+	// DatasetDir, when set, roots the crash-safe dataset manifest journals:
+	// each /v1/dataset job keeps its shard files and manifest in a
+	// per-job subdirectory so a restarted coordinator resumes instead of
+	// regenerating. Empty disables journaling (jobs run in memory).
+	DatasetDir string
+	// DatasetShardSize is the default samples-per-shard for /v1/dataset jobs
+	// that don't specify one (default dataset.DefaultShardSize).
+	DatasetShardSize int
 	// Local, when set, is the nil-model fallback server answering when every
 	// replica is down: the last rung of the cluster ladder.
 	Local *serve.Server
@@ -124,6 +138,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 30 * time.Second
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 5 * time.Minute
+	}
+	if c.DatasetShardSize <= 0 {
+		c.DatasetShardSize = dataset.DefaultShardSize
 	}
 	return c
 }
@@ -188,6 +208,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/guidance", c.handleWork)
 	mux.HandleFunc("/v1/route", c.handleWork)
+	mux.HandleFunc("/v1/dataset", c.handleDataset)
 	mux.HandleFunc("/healthz", c.handleHealthz)
 	mux.HandleFunc("/readyz", c.handleReadyz)
 	mux.HandleFunc("/metrics", c.handleMetrics)

@@ -22,6 +22,20 @@ type metrics struct {
 	failovers     atomic.Int64 // failover launches across all requests
 	hedges        atomic.Int64 // hedge launches across all requests
 	hedgeWins     atomic.Int64 // requests whose winning attempt was a hedge
+
+	// Distributed dataset generation accounting (datagen.go). The
+	// reconciliation invariant, exact at quiescence, is
+	// dsDispatched == dsCompleted + dsRedispatched: every shard launch is
+	// dispatched, every launch after a shard's first is redispatched, and
+	// every shard completes exactly once.
+	dsJobs         atomic.Int64 // /v1/dataset jobs started
+	dsCompleted    atomic.Int64 // shards completed (verified result accepted)
+	dsDispatched   atomic.Int64 // shard launches (first attempts, failovers, hedges, local)
+	dsRedispatched atomic.Int64 // shard launches after the shard's first
+	dsExpired      atomic.Int64 // leases forfeited by TTL or heartbeat expiry
+	dsCorrupt      atomic.Int64 // replica answers rejected by digest verification
+	dsLocal        atomic.Int64 // shards labeled by the embedded local server
+	dsResumed      atomic.Int64 // shards satisfied from the manifest journal
 }
 
 // registerCoordinatorMetrics exports the coordinator-level series as
@@ -40,6 +54,14 @@ func (c *Coordinator) registerCoordinatorMetrics(reg *obs.Registry) {
 	export("cluster_failovers_total", "Failover attempts launched after a retryable outcome.", &c.met.failovers)
 	export("cluster_hedges_total", "Hedged attempts launched after the latency budget.", &c.met.hedges)
 	export("cluster_hedge_wins_total", "Requests whose winning attempt was the hedge.", &c.met.hedgeWins)
+	export("cluster_dataset_jobs_total", "Distributed dataset generation jobs started.", &c.met.dsJobs)
+	export("cluster_dataset_shards_completed_total", "Dataset shards completed with a verified result.", &c.met.dsCompleted)
+	export("cluster_dataset_shards_dispatched_total", "Dataset shard launches (first attempts, failovers, hedges, local fallbacks).", &c.met.dsDispatched)
+	export("cluster_dataset_shards_redispatched_total", "Dataset shard launches after the shard's first.", &c.met.dsRedispatched)
+	export("cluster_dataset_leases_expired_total", "Dataset shard leases forfeited by TTL or heartbeat expiry.", &c.met.dsExpired)
+	export("cluster_dataset_shards_corrupt_total", "Replica shard answers rejected by digest verification.", &c.met.dsCorrupt)
+	export("cluster_dataset_shards_local_total", "Dataset shards labeled by the embedded local server.", &c.met.dsLocal)
+	export("cluster_dataset_shards_resumed_total", "Dataset shards satisfied from the manifest journal.", &c.met.dsResumed)
 	reg.RegisterGaugeFunc("cluster_replicas_up", func() float64 {
 		n := 0
 		for _, r := range c.replicas {
@@ -98,6 +120,17 @@ type MetricsSnapshot struct {
 	HedgeWins     int64             `json:"hedge_wins"`
 	HedgeBudgetMS int64             `json:"hedge_budget_ms"`
 	Replicas      []ReplicaSnapshot `json:"replicas"`
+
+	Dataset struct {
+		Jobs         int64 `json:"jobs"`
+		Completed    int64 `json:"completed"`
+		Dispatched   int64 `json:"dispatched"`
+		Redispatched int64 `json:"redispatched"`
+		Expired      int64 `json:"expired"`
+		Corrupt      int64 `json:"corrupt"`
+		Local        int64 `json:"local"`
+		Resumed      int64 `json:"resumed"`
+	} `json:"dataset"`
 }
 
 // MetricsSnapshot captures the coordinator's accounting and per-replica
@@ -115,6 +148,14 @@ func (c *Coordinator) MetricsSnapshot() MetricsSnapshot {
 		HedgeWins:     c.met.hedgeWins.Load(),
 		HedgeBudgetMS: c.hedgeDelay().Milliseconds(),
 	}
+	m.Dataset.Jobs = c.met.dsJobs.Load()
+	m.Dataset.Completed = c.met.dsCompleted.Load()
+	m.Dataset.Dispatched = c.met.dsDispatched.Load()
+	m.Dataset.Redispatched = c.met.dsRedispatched.Load()
+	m.Dataset.Expired = c.met.dsExpired.Load()
+	m.Dataset.Corrupt = c.met.dsCorrupt.Load()
+	m.Dataset.Local = c.met.dsLocal.Load()
+	m.Dataset.Resumed = c.met.dsResumed.Load()
 	for _, r := range c.replicas {
 		m.Replicas = append(m.Replicas, ReplicaSnapshot{
 			URL:        r.url,

@@ -30,6 +30,24 @@ func (f *Flow) modelPath(dir string) string {
 // consistent, otherwise generates and stores it. An empty dir disables
 // caching.
 func (f *Flow) LoadOrGenerateDataset(ctx context.Context, dir string) (*dataset.Dataset, error) {
+	return f.LoadOrGenerateDatasetExec(ctx, dir, nil)
+}
+
+// shardDir is the crash-safe shard journal directory for a cached dataset:
+// sibling to the final artifact, removed once the artifact is saved.
+func (f *Flow) shardDir(dir string) string {
+	return filepath.Join(dir, f.CacheKey()+"_shards")
+}
+
+// LoadOrGenerateDatasetExec is LoadOrGenerateDataset with a pluggable shard
+// executor: nil labels shards in-process on this flow's grid; the cluster
+// coordinator passes its lease dispatcher to farm shards across replicas.
+// With a cache dir the run is resumable — every completed shard is journaled
+// under <key>_shards/ and a restarted run regenerates only what's missing or
+// corrupt; the shard journal is cleaned up once the final artifact is saved.
+// Whichever path runs, the dataset is bit-identical to a single-process,
+// uninterrupted dataset.Generate (the dataset package's structural invariant).
+func (f *Flow) LoadOrGenerateDatasetExec(ctx context.Context, dir string, exec dataset.ShardExec) (*dataset.Dataset, error) {
 	if dir != "" {
 		if ds, err := dataset.Load(f.datasetPath(dir)); err == nil {
 			if ds.Circuit == f.Circuit.Name && ds.NumNets == len(f.Circuit.Nets) {
@@ -37,10 +55,18 @@ func (f *Flow) LoadOrGenerateDataset(ctx context.Context, dir string) (*dataset.
 			}
 		}
 	}
-	ds, err := dataset.Generate(ctx, f.Grid, dataset.Config{
+	cfg := dataset.Config{
 		Samples: f.Opts.Samples, Workers: f.Opts.Workers, Seed: f.Opts.Seed,
 		RouteCfg: f.Opts.RouteCfg, IncludeUniform: true,
-	})
+	}
+	if exec == nil {
+		exec = dataset.LocalExec(f.Grid, cfg)
+	}
+	sdir := ""
+	if dir != "" {
+		sdir = f.shardDir(dir)
+	}
+	ds, _, err := dataset.GenerateResumable(ctx, f.Circuit.Name, len(f.Circuit.Nets), cfg, sdir, exec)
 	if err != nil {
 		return nil, err
 	}
@@ -51,6 +77,10 @@ func (f *Flow) LoadOrGenerateDataset(ctx context.Context, dir string) (*dataset.
 		if err := ds.Save(f.datasetPath(dir)); err != nil {
 			return nil, fmt.Errorf("core: cache: %w", err)
 		}
+		// The final artifact is durable; the shard journal has served its
+		// purpose. Removal failure is cosmetic (a stale journal is header-
+		// checked on any future run), so it is deliberately best-effort.
+		_ = os.RemoveAll(sdir)
 	}
 	return ds, nil
 }

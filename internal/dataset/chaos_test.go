@@ -1,0 +1,125 @@
+//go:build faultinject
+
+package dataset
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"analogfold/internal/fault"
+	"analogfold/internal/fault/inject"
+	"analogfold/internal/netlist"
+)
+
+// waitGoroutines polls until the goroutine count settles back near the
+// baseline (same tolerance as the serve package's leak check).
+func waitGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+8 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Errorf("goroutine leak: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// TestChaosLabelFailuresDegradeThenRefuse walks the half-empty threshold
+// exactly: with Samples=8, four injected labeling failures still yield a
+// usable (degraded) corpus with exact Dropped accounting, while a fifth
+// pushes the corpus below half and the generator refuses with a typed
+// ErrInfeasible. Workers=1 pins the injection order so the counts are exact.
+func TestChaosLabelFailuresDegradeThenRefuse(t *testing.T) {
+	defer inject.Reset()
+	g := buildGrid(t, netlist.OTA1(), 31)
+	cfg := Config{Samples: 8, Seed: 3, Workers: 1, IncludeUniform: true}
+
+	inject.Configure(inject.Schedule{FailFirst: map[inject.Point]int{inject.DatasetLabelFail: 4}})
+	ds, err := Generate(context.Background(), g, cfg)
+	if err != nil {
+		t.Fatalf("4/8 failures must degrade, not abort: %v", err)
+	}
+	if ds.Dropped != 4 || len(ds.Entries) != 4 {
+		t.Errorf("dropped=%d entries=%d, want exactly 4/4", ds.Dropped, len(ds.Entries))
+	}
+
+	inject.Configure(inject.Schedule{FailFirst: map[inject.Point]int{inject.DatasetLabelFail: 5}})
+	if _, err := Generate(context.Background(), g, cfg); !errors.Is(err, fault.ErrInfeasible) {
+		t.Errorf("5/8 failures: err = %v, want ErrInfeasible", err)
+	}
+}
+
+// TestChaosNaNLabelsDropped: a degenerate simulation producing a NaN label is
+// dropped at the source — it must never appear in Entries, and the shard's
+// accounting must show it.
+func TestChaosNaNLabelsDropped(t *testing.T) {
+	defer inject.Reset()
+	g := buildGrid(t, netlist.OTA1(), 32)
+	cfg := Config{Samples: 6, Seed: 4, Workers: 1, IncludeUniform: true}
+
+	inject.Configure(inject.Schedule{FailFirst: map[inject.Point]int{inject.DatasetLabelNaN: 2}})
+	ds, err := Generate(context.Background(), g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Dropped != 2 || len(ds.Entries) != 4 {
+		t.Errorf("dropped=%d entries=%d, want 2/4", ds.Dropped, len(ds.Entries))
+	}
+	for i, e := range ds.Entries {
+		if !finiteLabels(e.Y) {
+			t.Errorf("entry %d carries a non-finite label %v", i, e.Y)
+		}
+	}
+	// The poisoned-then-dropped samples must not perturb the surviving ones:
+	// the survivors are bit-identical to the same indexes of a clean run.
+	inject.Reset()
+	clean, err := Generate(context.Background(), g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean.Entries) != 6 {
+		t.Fatalf("clean run dropped samples unexpectedly: %d entries", len(clean.Entries))
+	}
+	for _, e := range ds.Entries {
+		found := false
+		for _, c := range clean.Entries {
+			if e.Y == c.Y {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("surviving entry with labels %v not present in the clean run", e.Y)
+		}
+	}
+}
+
+// TestChaosCancellationMidFanOut: canceling the context mid-generation aborts
+// with a typed cancellation fault and leaks no worker goroutines.
+func TestChaosCancellationMidFanOut(t *testing.T) {
+	defer inject.Reset()
+	g := buildGrid(t, netlist.OTA1(), 33)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := Generate(ctx, g, Config{Samples: 64, Seed: 5, Workers: 2, IncludeUniform: true})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // land the cancel inside the fan-out
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, fault.ErrCanceled) && !errors.Is(err, context.Canceled) {
+			t.Errorf("canceled generation err = %v, want a cancellation fault", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("generation did not abort after cancel")
+	}
+	waitGoroutines(t, before)
+}

@@ -1,0 +1,263 @@
+package dataset
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"analogfold/internal/atomicfile"
+	"analogfold/internal/fault"
+	"analogfold/internal/grid"
+)
+
+// ShardExec produces one labeled shard. The two implementations are LocalExec
+// (label on this process's grid) and the cluster coordinator's lease
+// dispatcher (lease the shard to a replica, re-dispatch on failure); the
+// resumable generator is agnostic to which one it drives.
+type ShardExec func(ctx context.Context, sp ShardSpec) (*ShardResult, error)
+
+// LocalExec returns a ShardExec that labels shards in-process on g.
+func LocalExec(g *grid.Grid, cfg Config) ShardExec {
+	return func(ctx context.Context, sp ShardSpec) (*ShardResult, error) {
+		return GenerateShard(ctx, g, cfg, sp)
+	}
+}
+
+// ManifestName is the journal's filename inside a shard directory.
+const ManifestName = "manifest.json"
+
+// ManifestRecord journals one completed shard: its index-space coordinates,
+// entry/dropped accounting, content digest, and the shard file holding its
+// samples. A record is only trusted on resume if the file still exists and
+// its content re-verifies against the digest.
+type ManifestRecord struct {
+	Spec    ShardSpec `json:"spec"`
+	Entries int       `json:"entries"`
+	Dropped int       `json:"dropped"`
+	Digest  string    `json:"digest"`
+	File    string    `json:"file"` // shard filename, relative to the manifest's directory
+}
+
+// Manifest is the crash-safe generation journal. The header pins every input
+// that determines the sample index space; a resumed run whose config disagrees
+// with the header starts fresh rather than merging incompatible shards. The
+// journal is rewritten atomically (temp + fsync + rename) after every shard,
+// so a crash between shards loses at most the shard in flight — never a
+// recorded one, and never leaves a torn journal.
+type Manifest struct {
+	Circuit        string           `json:"circuit"`
+	NumNets        int              `json:"num_nets"`
+	CMax           float64          `json:"c_max"`
+	Samples        int              `json:"samples"`
+	ShardSize      int              `json:"shard_size"`
+	Seed           int64            `json:"seed"`
+	IncludeUniform bool             `json:"include_uniform"`
+	Records        []ManifestRecord `json:"records"`
+}
+
+// headerMatches reports whether the journal was written for the same sample
+// index space the config describes.
+func (m *Manifest) headerMatches(circuit string, numNets int, cfg Config) bool {
+	return m.Circuit == circuit && m.NumNets == numNets && m.CMax == cfg.CMax &&
+		m.Samples == cfg.Samples && m.ShardSize == cfg.ShardSize &&
+		m.Seed == cfg.Seed && m.IncludeUniform == cfg.IncludeUniform
+}
+
+// save atomically rewrites the journal.
+func (m *Manifest) save(dir string) error {
+	b, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		return fmt.Errorf("dataset: manifest: %w", err)
+	}
+	if err := atomicfile.WriteFile(filepath.Join(dir, ManifestName), b, 0o644); err != nil {
+		return fmt.Errorf("dataset: manifest: %w", err)
+	}
+	return nil
+}
+
+// LoadManifest reads the journal in dir, tolerating absence (nil, nil) and
+// treating an unreadable or malformed journal as absent — resume degrades to
+// a fresh run, never to an error the caller cannot generate through. Exported
+// for inspection tooling; generation goes through GenerateResumable.
+func LoadManifest(dir string) (*Manifest, error) {
+	b, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dataset: manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, nil // torn or foreign journal: regenerate everything
+	}
+	return &m, nil
+}
+
+// shardFileName names shard sp's on-disk file.
+func shardFileName(sp ShardSpec) string {
+	return fmt.Sprintf("shard_%04d.json", sp.Index)
+}
+
+// saveShardFile writes one shard atomically.
+func saveShardFile(dir string, sr *ShardResult) (string, error) {
+	b, err := json.MarshalIndent(sr, "", " ")
+	if err != nil {
+		return "", fmt.Errorf("dataset: shard %d: %w", sr.Index, err)
+	}
+	name := shardFileName(sr.Spec())
+	if err := atomicfile.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
+		return "", fmt.Errorf("dataset: shard %d: %w", sr.Index, err)
+	}
+	return name, nil
+}
+
+// loadShardFile reads and fully verifies one journaled shard. Any failure —
+// missing file, torn JSON, digest mismatch against either the content or the
+// manifest record, wrong coordinates — returns an error; the caller responds
+// by regenerating the shard, so corruption can only cost work, never
+// correctness.
+func loadShardFile(dir string, rec ManifestRecord) (*ShardResult, error) {
+	b, err := os.ReadFile(filepath.Join(dir, rec.File))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: shard %d: %w", rec.Spec.Index, err)
+	}
+	var sr ShardResult
+	if err := json.Unmarshal(b, &sr); err != nil {
+		return nil, fault.Wrap(fault.StageDatabase, fault.ErrShardCorrupt, err,
+			"dataset: shard file %s", rec.File)
+	}
+	if sr.Spec() != rec.Spec || sr.Digest != rec.Digest {
+		return nil, fault.New(fault.StageDatabase, fault.ErrShardCorrupt,
+			"dataset: shard file %s does not match its manifest record", rec.File)
+	}
+	if err := sr.Verify(); err != nil {
+		return nil, err
+	}
+	return &sr, nil
+}
+
+// ResumeReport accounts for how a resumable run's shards were satisfied.
+type ResumeReport struct {
+	Shards    int // total shards in the plan
+	Resumed   int // journaled shards that re-verified and were skipped
+	Corrupt   int // journaled shards whose file was missing/corrupt (regenerated)
+	Generated int // shards executed this run (missing + corrupt)
+}
+
+// GenerateResumable builds the full corpus shard by shard through exec,
+// journaling every completed shard in dir. A run killed at any point resumes
+// from the journal: verified shards are skipped, missing or corrupt ones are
+// regenerated, and the merged output is bit-identical to an uninterrupted run
+// — the headline invariant, pinned by TestResumeEqualsFresh. With dir == ""
+// no journal is kept and every shard is generated in-memory (still
+// bit-identical to plain Generate, for any shard size).
+//
+// circuit and numNets describe the design the shards must label; they pin the
+// journal header so a dir reused across designs or seeds starts fresh instead
+// of merging foreign shards.
+func GenerateResumable(ctx context.Context, circuit string, numNets int, cfg Config, dir string, exec ShardExec) (*Dataset, *ResumeReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg = cfg.withDefaults()
+	specs := Shards(cfg.Samples, cfg.ShardSize)
+	rep := &ResumeReport{Shards: len(specs)}
+
+	var m *Manifest
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, nil, fmt.Errorf("dataset: %w", err)
+		}
+		prev, err := LoadManifest(dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		if prev != nil && prev.headerMatches(circuit, numNets, cfg) {
+			m = prev
+		}
+		if m == nil {
+			m = &Manifest{
+				Circuit: circuit, NumNets: numNets, CMax: cfg.CMax,
+				Samples: cfg.Samples, ShardSize: cfg.ShardSize,
+				Seed: cfg.Seed, IncludeUniform: cfg.IncludeUniform,
+			}
+			if err := m.save(dir); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	// Index the journaled records by shard ordinal for the replay pass.
+	journaled := map[int]ManifestRecord{}
+	if m != nil {
+		for _, rec := range m.Records {
+			journaled[rec.Spec.Index] = rec
+		}
+	}
+
+	results := make([]*ShardResult, len(specs))
+	for i, sp := range specs {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fault.FromContext(fault.StageDatabase, err)
+		}
+		if rec, ok := journaled[sp.Index]; ok && rec.Spec == sp {
+			sr, err := loadShardFile(dir, rec)
+			if err == nil {
+				results[i] = sr
+				rep.Resumed++
+				continue
+			}
+			// The journal promised this shard but the file cannot back the
+			// promise: regenerate. Work lost, correctness kept.
+			rep.Corrupt++
+		}
+		sr, err := exec(ctx, sp)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := sr.Verify(); err != nil {
+			return nil, nil, err
+		}
+		if dir != "" {
+			// Shard file first, then the journal record — the record is the
+			// commit point, so a crash between the two writes merely reruns
+			// the shard.
+			name, err := saveShardFile(dir, sr)
+			if err != nil {
+				return nil, nil, err
+			}
+			rec := ManifestRecord{
+				Spec: sp, Entries: len(sr.Entries), Dropped: sr.Dropped,
+				Digest: sr.Digest, File: name,
+			}
+			// Replace a stale record (corrupt file regenerated) in place so
+			// the journal never carries two records for one shard.
+			replaced := false
+			for j := range m.Records {
+				if m.Records[j].Spec.Index == sp.Index {
+					m.Records[j] = rec
+					replaced = true
+					break
+				}
+			}
+			if !replaced {
+				m.Records = append(m.Records, rec)
+			}
+			if err := m.save(dir); err != nil {
+				return nil, nil, err
+			}
+		}
+		results[i] = sr
+		rep.Generated++
+	}
+
+	ds, err := MergeShards(cfg.Samples, results)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ds, rep, nil
+}

@@ -1,0 +1,368 @@
+package dataset
+
+import (
+	"context"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"analogfold/internal/fault"
+	"analogfold/internal/gnn3d"
+	"analogfold/internal/netlist"
+)
+
+func TestShardsPartition(t *testing.T) {
+	for _, tc := range []struct {
+		samples, size, want int
+	}{
+		{10, 3, 4}, {10, 10, 1}, {10, 32, 1}, {1, 1, 1}, {64, 0, 2}, {0, 4, 0},
+	} {
+		specs := Shards(tc.samples, tc.size)
+		if len(specs) != tc.want {
+			t.Errorf("Shards(%d,%d) = %d shards, want %d", tc.samples, tc.size, len(specs), tc.want)
+		}
+		next := 0
+		for i, sp := range specs {
+			if sp.Index != i {
+				t.Errorf("Shards(%d,%d)[%d].Index = %d", tc.samples, tc.size, i, sp.Index)
+			}
+			if sp.Lo != next {
+				t.Errorf("Shards(%d,%d): gap at %d (shard starts at %d)", tc.samples, tc.size, next, sp.Lo)
+			}
+			next = sp.Hi
+		}
+		if next != tc.samples {
+			t.Errorf("Shards(%d,%d) covers [0,%d), want [0,%d)", tc.samples, tc.size, next, tc.samples)
+		}
+	}
+}
+
+// TestShardMergeBitIdentity is the tentpole's golden test: for every shard
+// partition of the index space, generating the shards independently and
+// merging them produces a file byte-identical to a plain single-process
+// Generate. This is the property that lets shards run on any machine, be
+// re-dispatched after a lost lease, or resume across a crash without any
+// reconciliation beyond digest checks.
+func TestShardMergeBitIdentity(t *testing.T) {
+	g := buildGrid(t, netlist.OTA1(), 11)
+	cfg := Config{Samples: 6, Seed: 21, Workers: 2, IncludeUniform: true}
+	full, err := Generate(context.Background(), g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := full.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{1, 2, 4, 6} {
+		var shards []*ShardResult
+		for _, sp := range Shards(cfg.Samples, size) {
+			sr, err := GenerateShard(context.Background(), g, cfg, sp)
+			if err != nil {
+				t.Fatalf("shard size %d: shard %d: %v", size, sp.Index, err)
+			}
+			shards = append(shards, sr)
+		}
+		ds, err := MergeShards(cfg.Samples, shards)
+		if err != nil {
+			t.Fatalf("shard size %d: merge: %v", size, err)
+		}
+		got, err := ds.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("shard size %d: merged dataset not byte-identical to Generate", size)
+		}
+	}
+}
+
+func TestGenerateShardRejectsBadRange(t *testing.T) {
+	g := buildGrid(t, netlist.OTA1(), 12)
+	for _, sp := range []ShardSpec{
+		{Index: 0, Lo: -1, Hi: 2},
+		{Index: 0, Lo: 2, Hi: 2},
+		{Index: 0, Lo: 0, Hi: 9}, // beyond cfg.Samples
+	} {
+		_, err := GenerateShard(context.Background(), g, Config{Samples: 4, Seed: 1}, sp)
+		if !errors.Is(err, fault.ErrInvalidInput) {
+			t.Errorf("GenerateShard(%+v) err = %v, want ErrInvalidInput", sp, err)
+		}
+	}
+}
+
+func TestMergeShardsRejectsCorruption(t *testing.T) {
+	g := buildGrid(t, netlist.OTA1(), 13)
+	cfg := Config{Samples: 4, Seed: 5, IncludeUniform: true}
+	gen := func() []*ShardResult {
+		var shards []*ShardResult
+		for _, sp := range Shards(cfg.Samples, 2) {
+			sr, err := GenerateShard(context.Background(), g, cfg, sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shards = append(shards, sr)
+		}
+		return shards
+	}
+
+	// Tampered entry: the stamped digest no longer matches the content.
+	shards := gen()
+	shards[1].Entries[0].C[0] += 1e-9
+	if _, err := MergeShards(cfg.Samples, shards); !errors.Is(err, fault.ErrShardCorrupt) {
+		t.Errorf("tampered shard: err = %v, want ErrShardCorrupt", err)
+	}
+
+	// A shard with no digest at all must not merge either.
+	shards = gen()
+	shards[0].Digest = ""
+	if _, err := MergeShards(cfg.Samples, shards); !errors.Is(err, fault.ErrShardCorrupt) {
+		t.Errorf("digest-less shard: err = %v, want ErrShardCorrupt", err)
+	}
+
+	// Coverage gap: a missing shard is detected, not silently skipped.
+	shards = gen()
+	if _, err := MergeShards(cfg.Samples, shards[:1]); !errors.Is(err, fault.ErrInvalidInput) {
+		t.Errorf("gapped merge: err = %v, want ErrInvalidInput", err)
+	}
+
+	// Header disagreement: shards from different index spaces never mix.
+	shards = gen()
+	shards[1].CMax *= 2
+	if err := shards[1].SealDigest(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeShards(cfg.Samples, shards); !errors.Is(err, fault.ErrInvalidInput) {
+		t.Errorf("header mismatch: err = %v, want ErrInvalidInput", err)
+	}
+
+	if _, err := MergeShards(0, nil); !errors.Is(err, fault.ErrInvalidInput) {
+		t.Error("merge of zero shards must be rejected")
+	}
+}
+
+// TestResumeEqualsFresh pins the crash-safe headline invariant: a run killed
+// partway through and resumed in the same directory produces bytes identical
+// to an uninterrupted run, regenerating only the shards the journal cannot
+// vouch for.
+func TestResumeEqualsFresh(t *testing.T) {
+	g := buildGrid(t, netlist.OTA1(), 14)
+	cfg := Config{Samples: 6, Seed: 33, ShardSize: 2, IncludeUniform: true}
+	ctx := context.Background()
+
+	fresh, _, err := GenerateResumable(ctx, g.Place.Circuit.Name, len(g.Place.Circuit.Nets), cfg, "", LocalExec(g, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First attempt dies after two shards — the injected crash.
+	dir := t.TempDir()
+	boom := errors.New("simulated crash")
+	done := 0
+	crashExec := func(ctx context.Context, sp ShardSpec) (*ShardResult, error) {
+		if done >= 2 {
+			return nil, boom
+		}
+		done++
+		return GenerateShard(ctx, g, cfg, sp)
+	}
+	if _, _, err := GenerateResumable(ctx, g.Place.Circuit.Name, len(g.Place.Circuit.Nets), cfg, dir, crashExec); !errors.Is(err, boom) {
+		t.Fatalf("crashing run err = %v, want the injected crash", err)
+	}
+
+	// The resumed run replays the journal and only generates the remainder.
+	ds, rep, err := GenerateResumable(ctx, g.Place.Circuit.Name, len(g.Place.Circuit.Nets), cfg, dir, LocalExec(g, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shards != 3 || rep.Resumed != 2 || rep.Generated != 1 || rep.Corrupt != 0 {
+		t.Errorf("resume report = %+v, want 3 shards / 2 resumed / 1 generated", *rep)
+	}
+	got, err := ds.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatal("resumed dataset not byte-identical to an uninterrupted run")
+	}
+}
+
+// TestResumeRegeneratesCorruptShards: the journal's promise is only as good
+// as the bytes on disk — a truncated or deleted shard file is regenerated,
+// never trusted.
+func TestResumeRegeneratesCorruptShards(t *testing.T) {
+	g := buildGrid(t, netlist.OTA1(), 15)
+	cfg := Config{Samples: 6, Seed: 44, ShardSize: 2, IncludeUniform: true}
+	ctx := context.Background()
+	name, nets := g.Place.Circuit.Name, len(g.Place.Circuit.Nets)
+
+	dir := t.TempDir()
+	first, rep, err := GenerateResumable(ctx, name, nets, cfg, dir, LocalExec(g, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Generated != 3 {
+		t.Fatalf("first run generated %d shards, want 3", rep.Generated)
+	}
+	want, err := first.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate one journaled shard, delete another.
+	if err := os.WriteFile(filepath.Join(dir, shardFileName(ShardSpec{Index: 1, Lo: 2, Hi: 4})), []byte(`{"circ`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, shardFileName(ShardSpec{Index: 2, Lo: 4, Hi: 6}))); err != nil {
+		t.Fatal(err)
+	}
+
+	ds, rep, err := GenerateResumable(ctx, name, nets, cfg, dir, LocalExec(g, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resumed != 1 || rep.Corrupt != 2 || rep.Generated != 2 {
+		t.Errorf("resume report = %+v, want 1 resumed / 2 corrupt / 2 regenerated", *rep)
+	}
+	got, err := ds.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatal("dataset after corrupt-shard recovery not byte-identical")
+	}
+
+	// A third run resumes everything: recovery healed the journal.
+	_, rep, err = GenerateResumable(ctx, name, nets, cfg, dir, LocalExec(g, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resumed != 3 || rep.Generated != 0 {
+		t.Errorf("healed journal report = %+v, want all 3 resumed", *rep)
+	}
+}
+
+// TestResumeHeaderMismatchStartsFresh: a journal written for a different
+// config (here: another seed) must not contribute shards.
+func TestResumeHeaderMismatchStartsFresh(t *testing.T) {
+	g := buildGrid(t, netlist.OTA1(), 16)
+	ctx := context.Background()
+	name, nets := g.Place.Circuit.Name, len(g.Place.Circuit.Nets)
+	dir := t.TempDir()
+
+	cfgA := Config{Samples: 4, Seed: 1, ShardSize: 2, IncludeUniform: true}
+	if _, _, err := GenerateResumable(ctx, name, nets, cfgA, dir, LocalExec(g, cfgA)); err != nil {
+		t.Fatal(err)
+	}
+	cfgB := cfgA
+	cfgB.Seed = 2
+	ds, rep, err := GenerateResumable(ctx, name, nets, cfgB, dir, LocalExec(g, cfgB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resumed != 0 || rep.Generated != 2 {
+		t.Errorf("foreign-journal report = %+v, want everything regenerated", *rep)
+	}
+	fresh, _, err := GenerateResumable(ctx, name, nets, cfgB, "", LocalExec(g, cfgB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := ds.Marshal()
+	b, _ := fresh.Marshal()
+	if string(a) != string(b) {
+		t.Fatal("seed-2 dataset over a seed-1 journal differs from a clean seed-2 run")
+	}
+}
+
+// TestSaveStampsDigestLoadVerifies covers the dataset-level digest satellite:
+// Save stamps a content digest, Load verifies it, a tampered file is rejected
+// as a typed fault, and legacy digest-less files still load.
+func TestSaveStampsDigestLoadVerifies(t *testing.T) {
+	g := buildGrid(t, netlist.OTA1(), 17)
+	ds, err := Generate(context.Background(), g, Config{Samples: 4, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ds.json")
+	if err := ds.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Digest == "" {
+		t.Fatal("Save did not stamp a content digest")
+	}
+
+	// Flip one byte of content (not of the digest): Load must reject.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := []byte(string(b))
+	// CMax is serialized as a plain number; nudge its first digit.
+	idx := -1
+	for i := 0; i < len(tampered)-1; i++ {
+		if string(tampered[i:i+8]) == `"c_max":` {
+			idx = i + 9
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatal("c_max field not found in saved dataset")
+	}
+	if tampered[idx] != '9' {
+		tampered[idx] = '9'
+	} else {
+		tampered[idx] = '8'
+	}
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, fault.ErrInvalidInput) {
+		t.Errorf("tampered dataset: Load err = %v, want ErrInvalidInput", err)
+	}
+
+	// A legacy file with no digest field loads (forward compatibility with
+	// caches written before digests existed).
+	legacy := *ds
+	legacy.Digest = ""
+	lb, err := marshalCompact(&legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, lb, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err != nil {
+		t.Errorf("legacy digest-less dataset must load, got %v", err)
+	}
+}
+
+// TestValidateRejectsNonFiniteLabels exercises the Load-side finiteness gate
+// directly: JSON cannot encode NaN, so the validator is tested on an
+// in-memory dataset rather than through a file.
+func TestValidateRejectsNonFiniteLabels(t *testing.T) {
+	for _, poison := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		d := &Dataset{Circuit: "X", NumNets: 1, CMax: 1,
+			Entries: []Entry{{C: []float64{1, 2, 3}}}}
+		d.Entries[0].Y = [gnn3d.NumMetrics]float64{0, 0, poison, 0, 0}
+		if err := d.validate("mem"); !errors.Is(err, fault.ErrInvalidInput) {
+			t.Errorf("validate with label %v: err = %v, want ErrInvalidInput", poison, err)
+		}
+	}
+	// A shard carrying a non-finite label is equally rejected.
+	sr := &ShardResult{Circuit: "X", NumNets: 1, CMax: 1, Lo: 0, Hi: 1,
+		Entries: []Entry{{C: []float64{1, 2, 3}}}}
+	sr.Entries[0].Y = [gnn3d.NumMetrics]float64{math.NaN()}
+	if err := sr.Verify(); !errors.Is(err, fault.ErrInvalidInput) {
+		t.Errorf("shard with NaN label: Verify err = %v, want ErrInvalidInput", err)
+	}
+}

@@ -57,6 +57,14 @@ var (
 	// handler): the panic value is preserved in the message so a handler bug
 	// surfaces as a typed fault instead of killing the daemon.
 	ErrPanic = errors.New("panic")
+	// ErrLeaseExpired marks a distributed work lease that outlived its TTL or
+	// whose holder's heartbeat (health probe) graded the holder down: the work
+	// is presumed lost and must be re-dispatched.
+	ErrLeaseExpired = errors.New("lease expired")
+	// ErrShardCorrupt marks a dataset shard whose content digest does not
+	// match its manifest record or wire header: the bytes cannot be trusted
+	// and the shard must be regenerated.
+	ErrShardCorrupt = errors.New("shard corrupt")
 )
 
 // Stage names the pipeline stage a fault is attributed to. The constants

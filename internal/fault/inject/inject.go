@@ -25,4 +25,12 @@ const (
 	// StageLatency stalls a pipeline stage, simulating a hung restart or
 	// an overloaded host, to exercise stage deadlines.
 	StageLatency Point = "core.stage.latency"
+	// DatasetLabelFail makes one dataset sample's labeling fail, simulating
+	// an adversarial guidance draw that the router cannot complete; the
+	// sample must be dropped, not abort the corpus.
+	DatasetLabelFail Point = "dataset.label.fail"
+	// DatasetLabelNaN poisons one dataset sample's label vector with NaN,
+	// simulating a degenerate simulation result; the non-finite sample must
+	// be dropped before it can reach a training loss.
+	DatasetLabelNaN Point = "dataset.label.nan"
 )

@@ -30,6 +30,13 @@ type metrics struct {
 	batchWaves      *obs.Counter
 	batchCandidates *obs.Counter
 	batchSize       *obs.Histogram
+
+	// Dataset-shard instruments: the /v1/dataset/shard labeling endpoint the
+	// cluster coordinator leases distributed generation work through.
+	shard         *obs.Histogram
+	shardRequests *obs.Counter
+	shardEntries  *obs.Counter
+	shardDropped  *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) metrics {
@@ -42,6 +49,10 @@ func newMetrics(reg *obs.Registry) metrics {
 	reg.SetHelp("analogfold_serve_batch_waves_total", "guidance micro-batch waves scored (one PredictBatch call each)")
 	reg.SetHelp("analogfold_serve_batch_candidates_total", "candidate guidance sets scored through batched waves")
 	reg.SetHelp("analogfold_serve_batch_size", "members per scored wave (le_Nms bucket == N members, mean_ms == mean size)")
+	reg.SetHelp("analogfold_serve_dataset_shard_seconds", "/v1/dataset/shard handler time after admission")
+	reg.SetHelp("analogfold_serve_dataset_shards_total", "dataset shards labeled successfully")
+	reg.SetHelp("analogfold_serve_dataset_entries_total", "dataset samples labeled across served shards")
+	reg.SetHelp("analogfold_serve_dataset_dropped_total", "dataset samples dropped (failed or non-finite labels) across served shards")
 	return metrics{
 		panics:          reg.Counter("analogfold_serve_panics_total"),
 		degraded:        reg.Counter("analogfold_serve_degraded_total"),
@@ -52,6 +63,10 @@ func newMetrics(reg *obs.Registry) metrics {
 		batchWaves:      reg.Counter("analogfold_serve_batch_waves_total"),
 		batchCandidates: reg.Counter("analogfold_serve_batch_candidates_total"),
 		batchSize:       reg.Histogram("analogfold_serve_batch_size"),
+		shard:           reg.Histogram("analogfold_serve_dataset_shard_seconds"),
+		shardRequests:   reg.Counter("analogfold_serve_dataset_shards_total"),
+		shardEntries:    reg.Counter("analogfold_serve_dataset_entries_total"),
+		shardDropped:    reg.Counter("analogfold_serve_dataset_dropped_total"),
 	}
 }
 
@@ -162,6 +177,12 @@ type MetricsSnapshot struct {
 		Size       obs.HistView `json:"size"`
 	} `json:"batch"`
 
+	Dataset struct {
+		Shards  int64 `json:"shards"`
+		Entries int64 `json:"entries"`
+		Dropped int64 `json:"dropped"`
+	} `json:"dataset"`
+
 	Latency map[string]obs.HistView `json:"latency"`
 
 	Build BuildInfo `json:"build"`
@@ -188,11 +209,15 @@ func (s *Server) metricsSnapshot() MetricsSnapshot {
 	m.Batch.Waves = s.met.batchWaves.Value()
 	m.Batch.Candidates = s.met.batchCandidates.Value()
 	m.Batch.Size = s.met.batchSize.View()
+	m.Dataset.Shards = s.met.shardRequests.Value()
+	m.Dataset.Entries = s.met.shardEntries.Value()
+	m.Dataset.Dropped = s.met.shardDropped.Value()
 	m.Latency = map[string]obs.HistView{
-		"queue_wait": s.met.queueWait.View(),
-		"guidance":   s.met.guidance.View(),
-		"route":      s.met.route.View(),
-		"relax":      s.met.relax.View(),
+		"queue_wait":    s.met.queueWait.View(),
+		"guidance":      s.met.guidance.View(),
+		"route":         s.met.route.View(),
+		"relax":         s.met.relax.View(),
+		"dataset_shard": s.met.shard.View(),
 	}
 	m.Build = s.build
 	return m

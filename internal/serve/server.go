@@ -218,6 +218,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/guidance", s.withRequestID(s.withRecovery(s.handleGuidance)))
 	mux.HandleFunc("/v1/route", s.withRequestID(s.withRecovery(s.handleRoute)))
+	mux.HandleFunc("/v1/dataset/shard", s.withRequestID(s.withRecovery(s.handleDatasetShard)))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)

@@ -44,13 +44,24 @@ go test -race -count=1 -tags faultinject \
     ./internal/relax/ \
     ./internal/route/ \
     ./internal/core/ \
-    ./internal/serve/
+    ./internal/serve/ \
+    ./internal/dataset/
+
+echo "== shard-merge bit-identity gate =="
+# The load-bearing invariant of distributed generation: a corpus assembled
+# from independently generated shards (any shard size) must be byte-identical
+# to an uninterrupted single-process run, and a journal-resumed run must be
+# byte-identical to a fresh one. Named runs so a regression fails loudly here
+# rather than inside the larger suites.
+go test -count=1 -run 'TestShardMergeBitIdentity|TestResumeEqualsFresh' ./internal/dataset/
 
 echo "== cluster chaos: replica-kill suite (coordinator fault tolerance) =="
 # Kills replicas mid-drain, mid-request and mid-hedge under concurrent load:
 # zero client transport errors, bit-identical answers while any healthy
 # replica exists, accepted == answered + shed, no leaked goroutines after the
-# coordinator drains.
+# coordinator drains. Also covers dataset shard leases: holders killed
+# mid-shard, heartbeat-expired leases, and digest-forged answers must all
+# re-dispatch with dispatched == completed + redispatched.
 go test -race -count=1 -tags faultinject ./internal/cluster/
 
 echo "== fuzz smoke (10s per target) =="
