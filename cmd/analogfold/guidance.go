@@ -31,7 +31,8 @@ func cmdTrain(ctx context.Context, args []string) (err error) {
 		return err
 	}
 	defer ob.CloseInto(&err)
-	ctx = ob.WithContext(ctx)
+	ctx, end := ob.WithSpan(ctx, "cli.train")
+	defer end()
 	c, p, err := parseBench(*bench)
 	if err != nil {
 		return err
@@ -71,7 +72,8 @@ func cmdGuidance(ctx context.Context, args []string) (err error) {
 		return err
 	}
 	defer ob.CloseInto(&err)
-	ctx = ob.WithContext(ctx)
+	ctx, end := ob.WithSpan(ctx, "cli.guidance")
+	defer end()
 	c, p, err := parseBench(*bench)
 	if err != nil {
 		return err

@@ -138,7 +138,8 @@ func cmdTable2(ctx context.Context, args []string) (err error) {
 		return err
 	}
 	defer ob.CloseInto(&err)
-	ctx = ob.WithContext(ctx)
+	ctx, end := ob.WithSpan(ctx, "cli.table2")
+	defer end()
 	if err := prof.start(); err != nil {
 		return err
 	}
@@ -198,7 +199,8 @@ func cmdFig5(ctx context.Context, args []string) (err error) {
 		return err
 	}
 	defer ob.CloseInto(&err)
-	ctx = ob.WithContext(ctx)
+	ctx, end := ob.WithSpan(ctx, "cli.fig5")
+	defer end()
 	if err := prof.start(); err != nil {
 		return err
 	}
@@ -347,7 +349,8 @@ func cmdDataset(ctx context.Context, args []string) (err error) {
 		return err
 	}
 	defer ob.CloseInto(&err)
-	ctx = ob.WithContext(ctx)
+	ctx, end := ob.WithSpan(ctx, "cli.dataset")
+	defer end()
 	if err := pr.start(); err != nil {
 		return err
 	}

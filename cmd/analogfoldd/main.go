@@ -6,7 +6,7 @@
 //
 //	POST /v1/guidance  {"bench":"OTA1-A","seed":7}   → guidance sets
 //	POST /v1/route     {"bench":"OTA1-A"}            → routed result + metrics
-//	GET  /healthz /readyz /metrics /debug/flight
+//	GET  /healthz /readyz /metrics /debug/flight /debug/slo
 //
 // With -debug-addr a second listener serves net/http/pprof, /debug/vars and
 // the flight recorder, kept off the service port so profiling endpoints are
@@ -72,6 +72,8 @@ func main() {
 	leaseTTL := fs.Duration("lease-ttl", 5*time.Minute, "dataset shard lease tenure before the shard is re-dispatched (coordinator mode)")
 	datasetDir := fs.String("dataset-dir", "", "crash-safe dataset manifest journal root; empty disables resume (coordinator mode)")
 	datasetShardSize := fs.Int("dataset-shard-size", 0, "default samples per dataset shard (0 = 32, coordinator mode)")
+	sloLatencyMS := fs.Int("slo-latency-ms", 0, "latency SLO target in milliseconds for the /debug/slo burn-rate engine (0 disables the latency objective)")
+	sloAvailability := fs.Float64("slo-availability", 0, "availability SLO objective, e.g. 0.999 (0 disables; both 0 turns /debug/slo off)")
 	opts := cliutil.OptionsFlags(fs)
 	logf := cliutil.LogFlags(fs)
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -102,7 +104,9 @@ func main() {
 			DatasetShardSize: *datasetShardSize,
 			Logger:           lg,
 			Telemetry:        tel,
-		}, serve.Config{Opts: o, Logger: lg}); err != nil {
+			SLOLatency:       time.Duration(*sloLatencyMS) * time.Millisecond,
+			SLOAvailability:  *sloAvailability,
+		}, serve.Config{Opts: o, Logger: lg, Telemetry: tel}); err != nil {
 			lg.Error("analogfoldd coordinator exiting", "err", err)
 			os.Exit(1)
 		}
@@ -119,6 +123,8 @@ func main() {
 		CacheEntries:     *cacheEntries,
 		BatchWindow:      *batchWindow,
 		BatchMax:         *batchMax,
+		SLOLatency:       time.Duration(*sloLatencyMS) * time.Millisecond,
+		SLOAvailability:  *sloAvailability,
 		Opts:             o,
 		Logger:           lg,
 		Telemetry:        tel,

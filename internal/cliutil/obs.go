@@ -73,6 +73,16 @@ func (o *Obs) WithContext(ctx context.Context) context.Context {
 	return obs.WithTelemetry(ctx, o.Telemetry)
 }
 
+// WithSpan attaches the telemetry sink to ctx and opens the subcommand's
+// root span, so every phase span in a -trace-out artifact hangs off one
+// named root instead of floating free. The returned end function must run
+// before Close; without -trace-out both the span and end are free no-ops.
+func (o *Obs) WithSpan(ctx context.Context, name string) (context.Context, func()) {
+	ctx = o.WithContext(ctx)
+	ctx, span := obs.StartSpan(ctx, name)
+	return ctx, span.End
+}
+
 // Close writes the -trace-out artifact (atomic temp+rename, like every other
 // CLI artifact). Call it once the run finished; a no-op without -trace-out.
 func (o *Obs) Close() error {

@@ -46,6 +46,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -109,6 +110,13 @@ type Config struct {
 	Logger    *slog.Logger
 	// Telemetry backs the coordinator's /metrics registry and span recorder.
 	Telemetry *obs.Telemetry
+	// SLOLatency and SLOAvailability configure the coordinator's burn-rate
+	// engine over the proxy path (served at /debug/slo). Zero for both leaves
+	// the engine off; see obs.SLOConfig for window defaults.
+	SLOLatency      time.Duration
+	SLOAvailability float64
+	SLOFastWindow   time.Duration
+	SLOSlowWindow   time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -158,6 +166,8 @@ type Coordinator struct {
 	met      metrics
 	reg      *obs.Registry
 	lat      latHist
+	slo      *obs.SLO
+	stages   *obs.StageMetrics
 
 	stopc    chan struct{}
 	wg       sync.WaitGroup
@@ -186,7 +196,13 @@ func New(cfg Config) *Coordinator {
 		reg:     reg,
 		stopc:   make(chan struct{}),
 		drained: make(chan struct{}),
+		stages:  obs.NewStageMetrics(reg, "analogfold_cluster"),
 	}
+	c.slo = obs.NewSLO(obs.SLOConfig{
+		LatencyTarget: cfg.SLOLatency, Availability: cfg.SLOAvailability,
+		FastWindow: cfg.SLOFastWindow, SlowWindow: cfg.SLOSlowWindow,
+	})
+	c.slo.Register(reg, "analogfold_cluster")
 	for _, u := range cfg.Replicas {
 		c.replicas = append(c.replicas, newReplica(u))
 	}
@@ -212,6 +228,8 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("/healthz", c.handleHealthz)
 	mux.HandleFunc("/readyz", c.handleReadyz)
 	mux.HandleFunc("/metrics", c.handleMetrics)
+	mux.HandleFunc("/debug/flight", c.handleFlight)
+	mux.HandleFunc("/debug/slo", c.handleSLO)
 	return mux
 }
 
@@ -245,6 +263,7 @@ type attemptResult struct {
 	body   []byte
 	err    error
 	hedged bool
+	dur    time.Duration // round trip of this attempt (proxy-overhead attribution)
 }
 
 // retryable reports whether the ladder should move on: transport errors,
@@ -261,10 +280,17 @@ const maxResponseBytes = 8 << 20
 // attempt proxies one request to one replica and reports the outcome. It
 // always sends exactly one result, and the results channel is buffered to
 // the candidate count, so attempt goroutines can never block or leak past
-// the request.
+// the request. Each attempt — winner, hedged loser, failover retry — is a
+// span of its own under the request's cluster.proxy span; the outbound
+// traceparent carries the attempt span's identity, so replica-side spans
+// merge into the coordinator trace as children of the exact attempt that
+// triggered them.
 func (c *Coordinator) attempt(ctx context.Context, rep *replica, path string, body []byte, reqID string, hedged bool, out chan<- *attemptResult) {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
 	defer cancel()
+	actx, span := obs.StartSpan(actx, "cluster.attempt")
+	span.Arg("replica", rep.url).Arg("hedged", hedged)
+	defer span.End()
 	rep.requests.Add(1)
 	if hedged {
 		rep.hedges.Add(1)
@@ -276,6 +302,7 @@ func (c *Coordinator) attempt(ctx context.Context, rep *replica, path string, bo
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(serve.HeaderRequestID, reqID)
+	obs.InjectTraceparent(actx, req.Header)
 	start := time.Now()
 	resp, err := c.client.Do(req)
 	if err != nil {
@@ -300,13 +327,38 @@ func (c *Coordinator) attempt(ctx context.Context, rep *replica, path string, bo
 		out <- &attemptResult{rep: rep, err: rerr, hedged: hedged}
 		return
 	}
+	// The body is fully read, so any announced trailers are in. Merging here
+	// — not at the winner-selection point — is what lands hedged losers' and
+	// failed-over attempts' replica-side spans in the coordinator trace too.
+	c.importTrailerSpans(resp.Trailer.Get(serve.TrailerSpans), resp.Trailer.Get(serve.TrailerClock), rep.url)
 	if resp.StatusCode >= http.StatusInternalServerError {
 		rep.markFailure(false)
 	} else {
 		rep.markSuccess()
 		c.lat.observe(time.Since(start))
 	}
-	out <- &attemptResult{rep: rep, status: resp.StatusCode, header: resp.Header, body: b, hedged: hedged}
+	span.Arg("status", resp.StatusCode)
+	out <- &attemptResult{rep: rep, status: resp.StatusCode, header: resp.Header, body: b, hedged: hedged, dur: time.Since(start)}
+}
+
+// importTrailerSpans merges one replica response's exported span summaries
+// into the coordinator's flight recorder. The replica's wall clock at
+// response completion (TrailerClock) against the coordinator's clock at read
+// estimates the inter-process clock offset; imported timestamps are rebased
+// by it and the residual is annotated on each imported span (DESIGN.md §16).
+func (c *Coordinator) importTrailerSpans(spans, clock, proc string) {
+	if spans == "" || !c.cfg.Telemetry.Enabled() {
+		return
+	}
+	sums, err := obs.DecodeSpanSummaries(spans)
+	if err != nil || len(sums) == 0 {
+		return
+	}
+	var offsetUS int64
+	if cus, perr := strconv.ParseInt(clock, 10, 64); perr == nil && cus != 0 {
+		offsetUS = cus - time.Now().UnixMicro()
+	}
+	c.cfg.Telemetry.ImportSpans(sums, proc, offsetUS)
 }
 
 // raceStats is one request's failover/hedge accounting.
@@ -454,6 +506,7 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 func (c *Coordinator) handleWork(w http.ResponseWriter, r *http.Request) {
 	sw := &statusWriter{ResponseWriter: w}
 	c.met.accepted.Add(1)
+	handlerStart := time.Now()
 	defer func() {
 		// Every accepted request is accounted exactly once: a 503 of any
 		// provenance (replica shed passthrough, local-fallback shed, full
@@ -463,6 +516,7 @@ func (c *Coordinator) handleWork(w http.ResponseWriter, r *http.Request) {
 		} else {
 			c.met.answered.Add(1)
 		}
+		c.slo.Record(time.Since(handlerStart), sw.status < http.StatusInternalServerError)
 	}()
 
 	if r.Method != http.MethodPost {
@@ -489,8 +543,44 @@ func (c *Coordinator) handleWork(w http.ResponseWriter, r *http.Request) {
 	}
 	sw.Header().Set(serve.HeaderRequestID, reqID)
 	ctx := obs.WithRequestID(r.Context(), reqID)
-	ctx, span := obs.StartSpan(obs.WithTelemetry(ctx, c.cfg.Telemetry), "cluster.proxy")
+	ctx = obs.WithTelemetry(ctx, c.cfg.Telemetry)
+	// A caller-sent traceparent (another tier, a tracing client) makes the
+	// proxy span a child of the caller's trace instead of a new root.
+	if tc, ok := obs.ParseTraceparent(r.Header.Get(obs.HeaderTraceparent)); ok {
+		ctx = obs.WithRemoteParent(ctx, tc)
+	}
+	var stages *obs.StageBreakdown
+	if c.cfg.Telemetry.Enabled() {
+		stages = &obs.StageBreakdown{}
+		ctx = obs.WithStages(ctx, stages)
+		defer func() { c.stages.Record(stages, reqID) }()
+	}
+	ctx, span := obs.StartSpan(ctx, "cluster.proxy")
 	defer span.Arg("bench", breq.Bench).Arg("path", r.URL.Path).End()
+
+	// finishTiming attributes everything the coordinator added on top of the
+	// winning attempt's round trip — candidate ranking, failover backoffs,
+	// hedge waits — to the proxy stage and sets the response timing header:
+	// the replica's own stage breakdown with the proxy overhead appended.
+	finishTiming := func(res *attemptResult) {
+		if stages == nil {
+			return
+		}
+		if overhead := time.Since(handlerStart) - res.dur; overhead > 0 {
+			stages.Add(obs.StageProxy, overhead)
+		}
+		timing := res.header.Get(serve.HeaderTiming)
+		if own := stages.TimingHeader(); own != "" {
+			if timing != "" {
+				timing += ", " + own
+			} else {
+				timing = own
+			}
+		}
+		if timing != "" {
+			sw.Header().Set(serve.HeaderTiming, timing)
+		}
+	}
 
 	key := Digest(breq.Bench)
 	res, stats := c.raceReplicas(ctx, c.candidates(key), r.URL.Path, body, reqID, key)
@@ -510,6 +600,7 @@ func (c *Coordinator) handleWork(w http.ResponseWriter, r *http.Request) {
 		// per-replica caches compose into one cluster-wide cache.
 		copyHeader(sw.Header(), res.header, serve.HeaderCache)
 		sw.Header().Set(HeaderReplica, res.rep.url)
+		finishTiming(res)
 		sw.WriteHeader(res.status)
 		sw.Write(res.body)
 		return
@@ -525,6 +616,7 @@ func (c *Coordinator) handleWork(w http.ResponseWriter, r *http.Request) {
 		copyHeader(sw.Header(), res.header, "Retry-After")
 		copyHeader(sw.Header(), res.header, serve.HeaderCache)
 		sw.Header().Set(HeaderReplica, res.rep.url)
+		finishTiming(res)
 		sw.WriteHeader(res.status)
 		sw.Write(res.body)
 		return
@@ -545,6 +637,10 @@ func (c *Coordinator) handleWork(w http.ResponseWriter, r *http.Request) {
 		}
 		lr.Header.Set("Content-Type", "application/json")
 		lr.Header.Set(serve.HeaderRequestID, reqID)
+		// The embedded server is in-process: with a shared Telemetry its spans
+		// land in the same flight recorder, and the injected traceparent
+		// parents them under this proxy span — no trailer round trip needed.
+		obs.InjectTraceparent(ctx, lr.Header)
 		c.local.ServeHTTP(sw, lr)
 		return
 	}
@@ -625,6 +721,43 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, c.MetricsSnapshot())
+}
+
+// handleFlight serves the coordinator's flight recorder — which, because
+// every traced proxy and shard attempt imports its replica's span summaries,
+// renders as ONE merged Chrome trace spanning every process that touched a
+// request: coordinator spans on the local pid, each replica's imported spans
+// on a pid of their own, parent/child edges intact across the wire.
+func (c *Coordinator) handleFlight(w http.ResponseWriter, r *http.Request) {
+	rec := c.cfg.Telemetry.Recorder()
+	if r.URL.Query().Get("format") == "trace" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		if err := c.cfg.Telemetry.WriteTrace(w); err != nil {
+			c.logw(r.Context(), "flight: trace write failed", "err", err)
+		}
+		return
+	}
+	snap := serve.FlightSnapshot{Total: rec.Total(), Dropped: rec.Dropped(), Events: rec.Snapshot()}
+	if snap.Events == nil {
+		snap.Events = []obs.FlightEvent{}
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleSLO serves the coordinator's burn-rate engine: SLOReport JSON by
+// default, Prometheus text with ?format=prom — the same contract the replica
+// daemon serves at its /debug/slo.
+func (c *Coordinator) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		if err := c.slo.WritePrometheus(w, "analogfold_cluster"); err != nil {
+			c.logw(r.Context(), "slo: prometheus write failed", "err", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, c.slo.Report())
 }
 
 // logw logs through the configured logger with the request ID attached.

@@ -115,8 +115,15 @@ func (c *Coordinator) attemptShard(ctx context.Context, rep *replica, body []byt
 	out <- res
 }
 
-// doShardRequest is the transport half of a lease attempt.
+// doShardRequest is the transport half of a lease attempt. Each attempt is a
+// span under the job's cluster.dataset span, and the outbound request carries
+// the job's request ID plus the attempt span's traceparent — so a shard
+// re-dispatched after lease expiry still logs and traces under the request ID
+// the coordinator minted when the job arrived.
 func (c *Coordinator) doShardRequest(ctx context.Context, rep *replica, body []byte, want dataset.ShardSpec, hedged bool) *shardAttempt {
+	ctx, span := obs.StartSpan(ctx, "cluster.shard.attempt")
+	span.Arg("replica", rep.url).Arg("shard", want.Index).Arg("hedged", hedged)
+	defer span.End()
 	rep.requests.Add(1)
 	if hedged {
 		rep.hedges.Add(1)
@@ -126,6 +133,10 @@ func (c *Coordinator) doShardRequest(ctx context.Context, rep *replica, body []b
 		return &shardAttempt{rep: rep, err: err, hedged: hedged}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if rid := obs.RequestID(ctx); rid != "" {
+		req.Header.Set(serve.HeaderRequestID, rid)
+	}
+	obs.InjectTraceparent(ctx, req.Header)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		// A loser canceled because a sibling won must not poison the
@@ -144,6 +155,10 @@ func (c *Coordinator) doShardRequest(ctx context.Context, rep *replica, body []b
 		}
 		return &shardAttempt{rep: rep, err: rerr, hedged: hedged}
 	}
+	// Body fully read → trailers are in; merge the replica's span export so
+	// shard labeling shows up in the coordinator's merged trace even when the
+	// lease was later forfeited or lost a redispatch race.
+	c.importTrailerSpans(resp.Trailer.Get(serve.TrailerSpans), resp.Trailer.Get(serve.TrailerClock), rep.url)
 	if resp.StatusCode != http.StatusOK {
 		if resp.StatusCode >= http.StatusInternalServerError {
 			rep.markFailure(false)
@@ -235,6 +250,7 @@ func (c *Coordinator) leaseShard(ctx context.Context, shardKey uint64, body []by
 				last = res
 				if res.expired {
 					c.met.dsExpired.Add(1)
+					c.logw(ctx, "shard lease expired", "shard", sp.Index, "replica", res.rep.url)
 				}
 				if res.corrupt {
 					c.met.dsCorrupt.Add(1)
@@ -379,7 +395,11 @@ func (c *Coordinator) handleDataset(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set(serve.HeaderRequestID, reqID)
 	ctx := obs.WithRequestID(r.Context(), reqID)
-	ctx, span := obs.StartSpan(obs.WithTelemetry(ctx, c.cfg.Telemetry), "cluster.dataset")
+	ctx = obs.WithTelemetry(ctx, c.cfg.Telemetry)
+	if tc, ok := obs.ParseTraceparent(r.Header.Get(obs.HeaderTraceparent)); ok {
+		ctx = obs.WithRemoteParent(ctx, tc)
+	}
+	ctx, span := obs.StartSpan(ctx, "cluster.dataset")
 	defer span.Arg("bench", req.Bench).End()
 
 	ds, rep, err := c.GenerateDataset(ctx, req)
@@ -394,10 +414,7 @@ func (c *Coordinator) handleDataset(w http.ResponseWriter, r *http.Request) {
 	}
 	span.Arg("shards", rep.Shards).Arg("resumed", rep.Resumed)
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set(HeaderResumed, itoa(int64(rep.Resumed)))
+	w.Header().Set(HeaderResumed, obs.Itoa(int64(rep.Resumed)))
 	w.WriteHeader(http.StatusOK)
 	w.Write(out)
 }
-
-// itoa delegates to the shared allocation-light int formatter.
-func itoa(n int64) string { return obs.Itoa(n) }

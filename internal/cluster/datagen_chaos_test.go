@@ -13,7 +13,6 @@ import (
 	"testing"
 	"time"
 
-	"analogfold/internal/core"
 	"analogfold/internal/dataset"
 	"analogfold/internal/serve"
 )
@@ -54,27 +53,6 @@ func newShardStub(t *testing.T, fn http.HandlerFunc) *shardStub {
 	st.ts = httptest.NewServer(mux)
 	t.Cleanup(st.ts.Close)
 	return st
-}
-
-// benchWithShardOnReplica finds a benchmark whose single-shard dataset job
-// (shard index 0) rendezvous-ranks the wanted replica first. Ports vary per
-// run; 20 benches make a miss astronomically unlikely.
-func benchWithShardOnReplica(t *testing.T, c *Coordinator, want *replica) string {
-	t.Helper()
-	for _, ckt := range []string{"OTA1", "OTA2", "OTA3", "OTA4", "OTA5"} {
-		for _, prof := range []string{"A", "B", "C", "D"} {
-			bench := ckt + "-" + prof
-			cir, p, err := core.ParseBenchmark(bench)
-			if err != nil {
-				continue
-			}
-			if c.candidates(shardKeyFor(core.NetlistDigest(cir, p), 0))[0].url == want.url {
-				return bench
-			}
-		}
-	}
-	t.Skip("no benchmark's shard hashed to the wanted replica (p≈2^-20); rerun")
-	return ""
 }
 
 // reconcile asserts the dataset ledger's chaos invariant at quiescence:

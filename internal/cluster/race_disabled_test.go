@@ -1,0 +1,7 @@
+//go:build !race
+
+package cluster
+
+// raceEnabled reports whether the race detector is compiled in; timing-
+// sensitive tests scale their deadlines by its ~10x slowdown.
+const raceEnabled = false

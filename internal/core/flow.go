@@ -109,11 +109,33 @@ func (o Options) withDefaults() Options {
 // Figure-5 stages instead of one undifferentiated flow, and opens a telemetry
 // span of the same name so -trace-out renders the stage timeline. The
 // caller's context flows through unchanged, so cancellation crosses the label
-// boundary; with no telemetry attached the span is a nil no-op.
+// boundary; with no telemetry attached the span is a nil no-op. Phases that
+// map onto a request latency stage additionally feed the context's
+// StageBreakdown, which is how serving requests attribute relax and route
+// time without the handlers instrumenting core internals.
 func withPhase(ctx context.Context, phase string, fn func(context.Context)) {
 	sctx, span := obs.StartSpan(ctx, phase)
-	defer span.End()
+	start := time.Now()
+	defer func() {
+		if st, ok := phaseStage(phase); ok {
+			obs.StagesFrom(ctx).Add(st, time.Since(start))
+		}
+		span.End()
+	}()
 	pprof.Do(sctx, pprof.Labels("phase", phase), fn)
+}
+
+// phaseStage maps a Figure-5 phase onto the request-latency stage taxonomy.
+// Only the phases a warm serving request can run are mapped; cold-flow phases
+// (placement, training) never execute under a request's StageBreakdown.
+func phaseStage(phase string) (obs.StageID, bool) {
+	switch phase {
+	case "relaxation":
+		return obs.StageRelax, true
+	case "guided-routing":
+		return obs.StageRoute, true
+	}
+	return 0, false
 }
 
 // stageCtx derives the per-stage context: Opts.StageTimeout bounds each stage

@@ -19,6 +19,8 @@ type FlightEvent struct {
 	Phase  string         `json:"ph"`
 	TSUS   int64          `json:"ts_us"`
 	DurUS  int64          `json:"dur_us,omitempty"`
+	Trace  string         `json:"trace,omitempty"` // 32-hex distributed trace ID
+	Proc   string         `json:"proc,omitempty"`  // originating process ("" = this one)
 	Args   map[string]any `json:"args,omitempty"`
 }
 

@@ -64,11 +64,17 @@ const HistBuckets = 21
 
 // Histogram is a lock-free log-scale latency histogram — the same
 // power-of-two millisecond bucketing the serving daemon has always exported,
-// now shared by every stage of the pipeline.
+// now shared by every stage of the pipeline. ObserveExemplar additionally
+// tracks the slowest observation's correlation ID (a request ID) so the tail
+// of every distribution points at a concrete traceable request.
 type Histogram struct {
 	buckets [HistBuckets]atomic.Int64
 	count   atomic.Int64
 	sumUS   atomic.Int64
+
+	exMu    sync.Mutex
+	exDurUS int64
+	exID    string
 }
 
 // Observe records one duration.
@@ -89,12 +95,34 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.sumUS.Add(d.Microseconds())
 }
 
+// ObserveExemplar records one duration and, when it is the slowest seen so
+// far, captures id as the histogram's slowest exemplar.
+func (h *Histogram) ObserveExemplar(d time.Duration, id string) {
+	if h == nil {
+		return
+	}
+	h.Observe(d)
+	if id == "" {
+		return
+	}
+	us := d.Microseconds()
+	h.exMu.Lock()
+	if us >= h.exDurUS {
+		h.exDurUS = us
+		h.exID = id
+	}
+	h.exMu.Unlock()
+}
+
 // HistView is the JSON rendering of one histogram — the /metrics wire shape
 // dashboards key on ("le_<2^k>ms" → count, "inf" for the overflow bucket).
+// SlowestID/SlowestMS carry the slowest exemplar when one was captured.
 type HistView struct {
-	Count   int64            `json:"count"`
-	MeanMS  float64          `json:"mean_ms"`
-	Buckets map[string]int64 `json:"buckets,omitempty"`
+	Count     int64            `json:"count"`
+	MeanMS    float64          `json:"mean_ms"`
+	Buckets   map[string]int64 `json:"buckets,omitempty"`
+	SlowestID string           `json:"slowest_request,omitempty"`
+	SlowestMS float64          `json:"slowest_ms,omitempty"`
 }
 
 // View snapshots the histogram into its JSON shape.
@@ -115,6 +143,11 @@ func (h *Histogram) View() HistView {
 				}
 			}
 		}
+		h.exMu.Lock()
+		if v.SlowestID = h.exID; v.SlowestID != "" {
+			v.SlowestMS = float64(h.exDurUS) / 1e3
+		}
+		h.exMu.Unlock()
 	}
 	return v
 }

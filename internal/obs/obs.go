@@ -59,6 +59,7 @@ type Options struct {
 type Telemetry struct {
 	clock       Clock
 	epoch       time.Time
+	epochUnixUS int64
 	seed        int64
 	idCounter   atomic.Uint64
 	trackCount  atomic.Uint64
@@ -82,9 +83,11 @@ func New(opts Options) *Telemetry {
 	if opts.Registry == nil {
 		opts.Registry = NewRegistry()
 	}
+	epoch := opts.Clock()
 	return &Telemetry{
 		clock:       opts.Clock,
-		epoch:       opts.Clock(),
+		epoch:       epoch,
+		epochUnixUS: epoch.UnixMicro(),
 		seed:        opts.Seed,
 		sampleEvery: opts.SampleEvery,
 		rec:         NewFlightRecorder(opts.FlightCapacity),
@@ -171,18 +174,26 @@ func FromContext(ctx context.Context) *Telemetry {
 // Span is one timed region of the pipeline. A nil *Span (no telemetry in the
 // context) is inert: End and Arg are no-ops.
 type Span struct {
-	t      *Telemetry
-	id     uint64
-	parent uint64
-	track  uint64
-	name   string
-	tsUS   int64
-	args   map[string]any
+	t       *Telemetry
+	id      uint64
+	parent  uint64
+	track   uint64
+	name    string
+	traceID string
+	rid     string
+	tsUS    int64
+	args    map[string]any
+	col     *SpanCollector
 }
 
 // StartSpan opens a span named name under the context's active span and
 // returns a derived context carrying it. Without telemetry it returns ctx
 // unchanged and a nil span, allocating nothing.
+//
+// Trace identity: a child span inherits its parent's trace ID (and span
+// collector). A root span joins the trace of a remote parent attached with
+// WithRemoteParent — parenting itself under the remote span ID — or, absent
+// one, mints a fresh trace ID from the deterministic ID stream.
 func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	t := FromContext(ctx)
 	if t == nil {
@@ -193,17 +204,52 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 		// A request-scoped span carries its request ID so hedged/failed-over
 		// requests can be stitched back together across replica flight
 		// recorders. Only paid when telemetry is enabled and an ID is present.
+		s.rid = rid
 		s.args = map[string]any{"request_id": rid}
 	}
 	if p, _ := ctx.Value(spanKey{}).(*Span); p != nil {
 		s.parent = p.id
 		s.track = p.track
+		s.traceID = p.traceID
+		s.col = p.col
 	} else {
 		// Root spans each get their own display track so concurrent method
 		// runs render as separate rows in chrome://tracing.
 		s.track = t.trackCount.Add(1)
+		s.col = SpanCollectorFrom(ctx)
+		if tc, ok := RemoteParent(ctx); ok {
+			s.parent = tc.SpanID
+			s.traceID = tc.TraceID
+		} else {
+			s.traceID = t.newTraceID()
+		}
 	}
 	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// newTraceID mints a 32-hex trace ID from two draws of the deterministic
+// span-ID stream.
+func (t *Telemetry) newTraceID() string {
+	buf := make([]byte, 0, 32)
+	buf = appendHex16(buf, t.nextID())
+	buf = appendHex16(buf, t.nextID())
+	return string(buf)
+}
+
+// TraceID returns the span's 32-hex trace ID ("" on nil).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.traceID
+}
+
+// ID returns the span's ID (0 on nil).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
 }
 
 // Arg attaches a key/value rendered into the span's trace args. Returns the
@@ -219,15 +265,24 @@ func (s *Span) Arg(key string, value any) *Span {
 	return s
 }
 
-// End closes the span and records it in the flight recorder.
+// End closes the span, records it in the flight recorder, and — when the
+// originating request carries a span collector — appends a compact summary
+// for cross-process export.
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
+	durUS := s.t.nowUS() - s.tsUS
 	s.t.rec.Record(FlightEvent{
-		ID: s.id, Parent: s.parent, Track: s.track, Name: s.name,
-		Phase: PhaseSpan, TSUS: s.tsUS, DurUS: s.t.nowUS() - s.tsUS, Args: s.args,
+		ID: s.id, Parent: s.parent, Track: s.track, Name: s.name, Trace: s.traceID,
+		Phase: PhaseSpan, TSUS: s.tsUS, DurUS: durUS, Args: s.args,
 	})
+	if s.col != nil {
+		s.col.add(SpanSummary{
+			ID: s.id, Parent: s.parent, Name: s.name, Trace: s.traceID,
+			StartUnixUS: s.t.epochUnixUS + s.tsUS, DurUS: durUS, RequestID: s.rid,
+		})
+	}
 }
 
 // Event records an instant event under the context's active span. Callers on
@@ -239,11 +294,12 @@ func Event(ctx context.Context, name string, args map[string]any) {
 		return
 	}
 	var parent, track uint64
+	var trace string
 	if p, _ := ctx.Value(spanKey{}).(*Span); p != nil {
-		parent, track = p.id, p.track
+		parent, track, trace = p.id, p.track, p.traceID
 	}
 	t.rec.Record(FlightEvent{
-		Parent: parent, Track: track, Name: name,
+		Parent: parent, Track: track, Name: name, Trace: trace,
 		Phase: PhaseInstant, TSUS: t.nowUS(), Args: args,
 	})
 }

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"log/slog"
+	"net/http"
 	"testing"
 	"time"
 )
@@ -95,6 +96,8 @@ func TestDisabledPathAllocationFree(t *testing.T) {
 	ctx := context.Background()
 	var c *Counter
 	var h *Histogram
+	var slo *SLO
+	hdr := make(http.Header, 1)
 	allocs := testing.AllocsPerRun(100, func() {
 		sctx, span := StartSpan(ctx, "stage")
 		tel := FromContext(sctx)
@@ -103,6 +106,14 @@ func TestDisabledPathAllocationFree(t *testing.T) {
 		}
 		c.Inc()
 		h.Observe(time.Millisecond)
+		h.ObserveExemplar(time.Millisecond, "rid")
+		StagesFrom(sctx).Add(StageQueue, time.Millisecond)
+		if _, ok := ActiveTraceContext(sctx); ok {
+			t.Error("disabled context reported an active trace")
+		}
+		InjectTraceparent(sctx, hdr)
+		slo.Record(time.Millisecond, true)
+		SpanCollectorFrom(sctx).add(SpanSummary{})
 		span.End()
 	})
 	if allocs != 0 {

@@ -29,13 +29,24 @@ type chromeTrace struct {
 }
 
 // WriteTraceEvents renders flight-recorder events as Chrome trace_event
-// JSON. Every event lands on pid 1; each root span (and its subtree) gets
-// its own tid so concurrent method runs display as separate rows.
+// JSON. Local events land on pid 1; events imported from other processes
+// (Proc != "") each get their own pid, named by a process_name metadata
+// event, so a merged cross-process trace renders as one timeline with one
+// row group per process. Within a process, each root span (and its subtree)
+// gets its own tid so concurrent method runs display as separate rows.
 func WriteTraceEvents(w io.Writer, events []FlightEvent) error {
 	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(events))}
+	pids := map[string]int{"": 1}
+	var procs []string
 	for _, e := range events {
+		pid, ok := pids[e.Proc]
+		if !ok {
+			pid = 1 + len(pids)
+			pids[e.Proc] = pid
+			procs = append(procs, e.Proc)
+		}
 		ce := chromeEvent{
-			Name: e.Name, Phase: e.Phase, TS: e.TSUS, PID: 1, TID: e.Track, Args: e.Args,
+			Name: e.Name, Phase: e.Phase, TS: e.TSUS, PID: pid, TID: e.Track, Args: e.Args,
 		}
 		if e.Phase == PhaseSpan {
 			dur := e.DurUS
@@ -45,6 +56,19 @@ func WriteTraceEvents(w io.Writer, events []FlightEvent) error {
 			ce.Scope = "t"
 		}
 		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	if len(procs) > 0 {
+		// Multi-process trace: name every pid (metadata events, ph "M").
+		meta := make([]chromeEvent, 0, len(procs)+1)
+		meta = append(meta, chromeEvent{
+			Name: "process_name", Phase: "M", PID: 1, Args: map[string]any{"name": "local"},
+		})
+		for _, p := range procs {
+			meta = append(meta, chromeEvent{
+				Name: "process_name", Phase: "M", PID: pids[p], Args: map[string]any{"name": p},
+			})
+		}
+		out.TraceEvents = append(meta, out.TraceEvents...)
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)

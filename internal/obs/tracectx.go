@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+)
+
+// Distributed trace context. Every request entering the serving surface gets
+// a trace ID (minted at its root span) that rides next to X-Request-ID on
+// every internal hop in a W3C-traceparent-style header:
+//
+//	traceparent: 00-<32 hex trace id>-<16 hex parent span id>-01
+//
+// The receiving process parses the header into a TraceContext, attaches it to
+// the context with WithRemoteParent, and its next root span inherits the
+// trace ID and parents itself under the remote span — which is what lets the
+// coordinator merge replica span summaries into one tree (DESIGN.md §16).
+
+// HeaderTraceparent is the propagation header (lower-case per W3C trace
+// context; Go's http.Header canonicalises it either way).
+const HeaderTraceparent = "Traceparent"
+
+// TraceContext identifies a position in a distributed trace: the trace and
+// the span that is the causal parent of whatever the receiver does next.
+type TraceContext struct {
+	TraceID string // 32 lower-case hex digits
+	SpanID  uint64 // parent span ID (non-zero when valid)
+}
+
+// Valid reports whether the context names a real trace position.
+func (tc TraceContext) Valid() bool { return len(tc.TraceID) == 32 && tc.SpanID != 0 }
+
+const hexDigits = "0123456789abcdef"
+
+// appendHex16 renders v as exactly 16 lower-case hex digits.
+func appendHex16(dst []byte, v uint64) []byte {
+	var buf [16]byte
+	for i := 15; i >= 0; i-- {
+		buf[i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+	return append(dst, buf[:]...)
+}
+
+// parseHex16 parses exactly 16 lower-case hex digits.
+func parseHex16(s string) (uint64, bool) {
+	if len(s) != 16 {
+		return 0, false
+	}
+	var v uint64
+	for i := 0; i < 16; i++ {
+		c := s[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		default:
+			return 0, false
+		}
+		v = v<<4 | d
+	}
+	return v, true
+}
+
+// isHex32 reports whether s is 32 lower-case hex digits.
+func isHex32(s string) bool {
+	if len(s) != 32 {
+		return false
+	}
+	for i := 0; i < 32; i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// FormatTraceparent renders "00-<traceid>-<spanid>-01". Invalid contexts
+// render as "".
+func FormatTraceparent(tc TraceContext) string {
+	if !tc.Valid() {
+		return ""
+	}
+	buf := make([]byte, 0, 55)
+	buf = append(buf, "00-"...)
+	buf = append(buf, tc.TraceID...)
+	buf = append(buf, '-')
+	buf = appendHex16(buf, tc.SpanID)
+	buf = append(buf, "-01"...)
+	return string(buf)
+}
+
+// ParseTraceparent parses the wire form produced by FormatTraceparent. It is
+// strict: version 00, lower-case hex, sampled flag 01.
+func ParseTraceparent(s string) (TraceContext, bool) {
+	// "00-" + 32 + "-" + 16 + "-01" = 55 bytes.
+	if len(s) != 55 || s[:3] != "00-" || s[35] != '-' || s[52:] != "-01" {
+		return TraceContext{}, false
+	}
+	traceID := s[3:35]
+	if !isHex32(traceID) {
+		return TraceContext{}, false
+	}
+	spanID, ok := parseHex16(s[36:52])
+	if !ok || spanID == 0 {
+		return TraceContext{}, false
+	}
+	return TraceContext{TraceID: traceID, SpanID: spanID}, true
+}
+
+// remoteKey carries an inbound remote parent on the context chain.
+type remoteKey struct{}
+
+// WithRemoteParent attaches an inbound trace context: the next root span
+// started under ctx joins tc's trace as a child of tc.SpanID. Invalid
+// contexts return ctx unchanged.
+func WithRemoteParent(ctx context.Context, tc TraceContext) context.Context {
+	if !tc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteKey{}, tc)
+}
+
+// RemoteParent returns the inbound trace context attached by
+// WithRemoteParent, if any.
+func RemoteParent(ctx context.Context) (TraceContext, bool) {
+	if ctx == nil {
+		return TraceContext{}, false
+	}
+	tc, ok := ctx.Value(remoteKey{}).(TraceContext)
+	return tc, ok
+}
+
+// ActiveTraceContext returns the trace position of the context's active span
+// (the span's own ID — the position a downstream hop should parent under).
+func ActiveTraceContext(ctx context.Context) (TraceContext, bool) {
+	if ctx == nil {
+		return TraceContext{}, false
+	}
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	if s == nil || s.traceID == "" {
+		return TraceContext{}, false
+	}
+	return TraceContext{TraceID: s.traceID, SpanID: s.id}, true
+}
+
+// InjectTraceparent stamps the active span's trace position onto an outbound
+// header set. Without an active span (telemetry disabled, or a call path with
+// no span) it does nothing and allocates nothing.
+func InjectTraceparent(ctx context.Context, h http.Header) {
+	tc, ok := ActiveTraceContext(ctx)
+	if !ok {
+		return
+	}
+	h.Set(HeaderTraceparent, FormatTraceparent(tc))
+}

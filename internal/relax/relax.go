@@ -18,6 +18,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"analogfold/internal/ad"
 	"analogfold/internal/fault"
@@ -528,6 +529,7 @@ func Optimize(ctx context.Context, m *gnn3d.Model, g *hetgraph.Graph, cfg Config
 		return res, nil
 	}
 	_, span := obs.StartSpan(ctx, "relax.candidates")
+	scoreStart := time.Now()
 	if cfg.SequentialCandidates {
 		for _, gd := range res.Guides {
 			y, err := m.Predict(g, tensor.FromSlice(gd.Flat(), numNets, 3))
@@ -551,6 +553,7 @@ func Optimize(ctx context.Context, m *gnn3d.Model, g *hetgraph.Graph, cfg Config
 	}
 	span.Arg("candidates", len(res.Guides)).Arg("batched", !cfg.SequentialCandidates)
 	span.End()
+	obs.StagesFrom(ctx).Add(obs.StageScore, time.Since(scoreStart))
 	return res, nil
 }
 
@@ -573,6 +576,8 @@ func ScoreResults(ctx context.Context, m *gnn3d.Model, g *hetgraph.Graph, rs []*
 	}
 	_, span := obs.StartSpan(ctx, "relax.candidates")
 	defer span.End()
+	scoreStart := time.Now()
+	defer func() { obs.StagesFrom(ctx).Add(obs.StageScore, time.Since(scoreStart)) }()
 	span.Arg("candidates", len(cs)).Arg("batched", true).Arg("results", len(rs))
 	preds, err := m.PredictBatch(g, cs)
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 	"analogfold/internal/gnn3d"
 	"analogfold/internal/guidance"
 	"analogfold/internal/hetgraph"
+	"analogfold/internal/obs"
 	"analogfold/internal/relax"
 )
 
@@ -268,7 +269,7 @@ func writeBody(w http.ResponseWriter, status int, body []byte) {
 func writeError(w http.ResponseWriter, err error, retryAfterSeconds int) {
 	status := httpStatus(err)
 	if status == http.StatusServiceUnavailable && retryAfterSeconds > 0 {
-		w.Header().Set("Retry-After", itoa(int64(retryAfterSeconds)))
+		w.Header().Set("Retry-After", obs.Itoa(int64(retryAfterSeconds)))
 	}
 	writeJSON(w, status, ErrorBody{Error: errorDetail(err)})
 }

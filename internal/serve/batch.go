@@ -49,10 +49,17 @@ type wave struct {
 	closed   bool
 }
 
-// waveMember carries one request's relaxation outcome across the barrier.
+// waveMember carries one request's relaxation outcome across the barrier,
+// plus the observability state captured at join time: the request's stage
+// breakdown (shared scoring time is attributed to every member) and its
+// trace position (the wave's background span parents under the first traced
+// member so batch-wave scoring stays causally linked in a merged trace).
 type waveMember struct {
-	res *relax.Result
-	err error
+	res    *relax.Result
+	err    error
+	stages *obs.StageBreakdown
+	tc     obs.TraceContext
+	tcOK   bool
 }
 
 func newBatcher(s *Server) *batcher {
@@ -119,10 +126,29 @@ func (s *Server) runWave(wv *wave) {
 		// background context carrying only the daemon's telemetry; members
 		// whose own deadlines expire stop waiting without wedging the wave.
 		ctx := obs.WithTelemetry(context.Background(), s.cfg.Telemetry)
+		// The wave span parents under the first traced member, so background
+		// scoring stays attached to that request's distributed trace instead
+		// of floating as an orphan root.
+		for _, m := range wv.members {
+			if m.tcOK {
+				ctx = obs.WithRemoteParent(ctx, m.tc)
+				break
+			}
+		}
+		ctx, span := obs.StartSpan(ctx, "serve.batch.wave")
+		scoreStart := time.Now()
 		wv.scoreErr = core.ScoreGuidanceResults(ctx, s.model, wv.hg, rs)
+		scoreDur := time.Since(scoreStart)
+		span.Arg("members", len(wv.members)).Arg("scored", len(rs)).End()
 		n := 0
 		for _, r := range rs {
 			n += len(r.Guides)
+		}
+		// Shared scoring time is real wall time on every member's critical
+		// path (all members block on wv.scored), so each gets the full
+		// duration in its score stage.
+		for _, m := range wv.members {
+			m.stages.Add(obs.StageScore, scoreDur)
 		}
 		s.met.batchCandidates.Add(int64(n))
 	}
@@ -147,12 +173,20 @@ func (s *Server) buildGuidanceWave(ctx context.Context, f *core.Flow, hg *hetgra
 		Rung:  string(core.RungElite),
 	}
 	wv, m := s.batch.join(f.Name(), hg)
+	m.stages = obs.StagesFrom(ctx)
+	m.tc, m.tcOK = obs.ActiveTraceContext(ctx)
 	m.res, m.err = rf.DeriveGuidanceDeferred(ctx, s.model, hg)
 	wv.derives.Done()
+	waitStart := time.Now()
 	select {
 	case <-wv.scored:
 	case <-ctx.Done():
 		return nil, fault.FromContext(fault.StageServe, ctx.Err())
+	}
+	// Time parked at the wave barrier beyond this member's own share of the
+	// scoring work is batch-wave wait.
+	if wait := time.Since(waitStart) - m.stages.Get(obs.StageScore); wait > 0 {
+		m.stages.Add(obs.StageBatchWait, wait)
 	}
 	rres, err := m.res, m.err
 	if err == nil && wv.scoreErr != nil {

@@ -77,5 +77,8 @@ func (s *Server) handleDatasetShard(w http.ResponseWriter, r *http.Request) {
 	s.met.shardRequests.Add(1)
 	s.met.shardEntries.Add(int64(len(sr.Entries)))
 	s.met.shardDropped.Add(int64(sr.Dropped))
+	s.logCtx(ctx, "dataset shard labeled",
+		"bench", req.Bench, "index", req.Index, "lo", req.Lo, "hi", req.Hi,
+		"entries", len(sr.Entries), "dropped", sr.Dropped)
 	writeJSON(w, http.StatusOK, sr)
 }

@@ -7,10 +7,6 @@ import (
 	"analogfold/internal/obs"
 )
 
-// itoa formats a non-negative int64 without fmt (Retry-After headers and
-// error paths stay allocation-light). It delegates to the shared obs helper.
-func itoa(n int64) string { return obs.Itoa(n) }
-
 // metrics holds the daemon's registry-backed instruments. The handles are
 // resolved once at construction — hot handlers touch only atomics — and the
 // same registry is rendered both as the legacy /metrics JSON snapshot and as
@@ -37,6 +33,11 @@ type metrics struct {
 	shardRequests *obs.Counter
 	shardEntries  *obs.Counter
 	shardDropped  *obs.Counter
+
+	// stages aggregates every request's latency attribution (queue wait,
+	// batch wait, cache, relax, route, score) into per-stage histograms with
+	// slowest-exemplar capture.
+	stages *obs.StageMetrics
 }
 
 func newMetrics(reg *obs.Registry) metrics {
@@ -67,6 +68,7 @@ func newMetrics(reg *obs.Registry) metrics {
 		shardRequests:   reg.Counter("analogfold_serve_dataset_shards_total"),
 		shardEntries:    reg.Counter("analogfold_serve_dataset_entries_total"),
 		shardDropped:    reg.Counter("analogfold_serve_dataset_dropped_total"),
+		stages:          obs.NewStageMetrics(reg, "analogfold_serve"),
 	}
 }
 
@@ -185,6 +187,10 @@ type MetricsSnapshot struct {
 
 	Latency map[string]obs.HistView `json:"latency"`
 
+	// Stages is the per-stage latency attribution (only stages that saw
+	// traffic), each with its slowest-exemplar request ID.
+	Stages map[string]obs.HistView `json:"stages,omitempty"`
+
 	Build BuildInfo `json:"build"`
 }
 
@@ -219,6 +225,7 @@ func (s *Server) metricsSnapshot() MetricsSnapshot {
 		"relax":         s.met.relax.View(),
 		"dataset_shard": s.met.shard.View(),
 	}
+	m.Stages = s.met.stages.Views()
 	m.Build = s.build
 	return m
 }

@@ -69,6 +69,15 @@ type Config struct {
 	// /debug/flight) and its registry backs /metrics. When nil the daemon
 	// still keeps a private registry so /metrics works, but records no spans.
 	Telemetry *obs.Telemetry
+	// SLOLatency and SLOAvailability configure the burn-rate SLO engine
+	// served at /debug/slo: a per-request latency objective and a shared
+	// availability/compliance target (e.g. 0.999). Both zero disables the
+	// engine. SLOFastWindow/SLOSlowWindow override the burn-rate evaluation
+	// horizons (defaults 5m / 1h).
+	SLOLatency      time.Duration
+	SLOAvailability float64
+	SLOFastWindow   time.Duration
+	SLOSlowWindow   time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -121,6 +130,7 @@ type Server struct {
 	build BuildInfo
 	cache *servecache.Cache // nil when CacheEntries == 0
 	batch *batcher          // nil when BatchWindow == 0
+	slo   *obs.SLO          // nil when no objective configured
 
 	mu    sync.Mutex
 	flows map[string]*flowEntry
@@ -156,6 +166,11 @@ func New(model *gnn3d.Model, cfg Config) *Server {
 	if cfg.BatchWindow > 0 {
 		s.batch = newBatcher(s)
 	}
+	s.slo = obs.NewSLO(obs.SLOConfig{
+		LatencyTarget: cfg.SLOLatency, Availability: cfg.SLOAvailability,
+		FastWindow: cfg.SLOFastWindow, SlowWindow: cfg.SLOSlowWindow,
+	})
+	s.slo.Register(reg, "analogfold_serve")
 	s.met = newMetrics(reg)
 	s.registerOwnerMetrics(reg)
 	s.doGuidance = func(ctx context.Context, f *core.Flow, hg *hetgraph.Graph, req GuidanceRequest, useModel bool) (*GuidanceResponse, error) {
@@ -216,13 +231,14 @@ func (s *Server) Warm(benches []string) error {
 // Handler returns the daemon's routing table.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/guidance", s.withRequestID(s.withRecovery(s.handleGuidance)))
-	mux.HandleFunc("/v1/route", s.withRequestID(s.withRecovery(s.handleRoute)))
-	mux.HandleFunc("/v1/dataset/shard", s.withRequestID(s.withRecovery(s.handleDatasetShard)))
+	mux.HandleFunc("/v1/guidance", s.withObs(s.withRecovery(s.handleGuidance)))
+	mux.HandleFunc("/v1/route", s.withObs(s.withRecovery(s.handleRoute)))
+	mux.HandleFunc("/v1/dataset/shard", s.withObs(s.withRecovery(s.handleDatasetShard)))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/flight", s.handleFlight)
+	mux.HandleFunc("/debug/slo", s.handleSLO)
 	return mux
 }
 
@@ -239,6 +255,7 @@ func (s *Server) DebugHandler() http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/flight", s.handleFlight)
+	mux.HandleFunc("/debug/slo", s.handleSLO)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
@@ -268,7 +285,9 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, into any) (releas
 		writeError(w, err, s.adm.retryAfterSeconds(obs.FNV64a(body)))
 		return nil, false
 	}
-	s.met.queueWait.Observe(time.Since(waitStart))
+	wait := time.Since(waitStart)
+	s.met.queueWait.Observe(wait)
+	obs.StagesFrom(r.Context()).Add(obs.StageQueue, wait)
 	return s.adm.release, true
 }
 
@@ -304,6 +323,7 @@ func (s *Server) handleGuidance(w http.ResponseWriter, r *http.Request) {
 	// bytes without touching the model, so it must neither consume a
 	// half-open probe slot nor be refused while the breaker is open.
 	key := cacheKeyFor("guidance", f, req.Seed, req.Restarts, req.NDerive)
+	lookupStart := time.Now()
 	body, st, err := s.cache.Do(ctx, key, func() ([]byte, bool, error) {
 		resp, cerr := s.computeGuidance(ctx, f, hg, req)
 		if resp == nil {
@@ -315,6 +335,11 @@ func (s *Server) handleGuidance(w http.ResponseWriter, r *http.Request) {
 		}
 		return b, cacheable(resp.Rung, resp.Degraded, resp.Breaker), nil
 	})
+	if st != servecache.StatusMiss {
+		// Hits and collapses spent their whole Do inside the cache layer; a
+		// miss's time is attributed by the compute stages themselves.
+		obs.StagesFrom(ctx).Add(obs.StageCache, time.Since(lookupStart))
+	}
 	w.Header().Set(HeaderCache, st.String())
 	span.Arg("cache", st.String())
 	if body == nil {
@@ -376,6 +401,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := cacheKeyFor("route", f, req.Seed, req.Restarts, req.NDerive)
+	lookupStart := time.Now()
 	body, st, err := s.cache.Do(ctx, key, func() ([]byte, bool, error) {
 		resp, cerr := s.computeRoute(ctx, f, hg, req)
 		if resp == nil {
@@ -387,6 +413,9 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		}
 		return b, cacheable(resp.Rung, resp.Degraded, resp.Breaker), nil
 	})
+	if st != servecache.StatusMiss {
+		obs.StagesFrom(ctx).Add(obs.StageCache, time.Since(lookupStart))
+	}
 	w.Header().Set(HeaderCache, st.String())
 	span.Arg("cache", st.String())
 	if body == nil {
@@ -471,6 +500,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.metricsSnapshot())
+}
+
+// handleSLO serves the burn-rate engine: the SLOReport as JSON by default,
+// or Prometheus text exposition with ?format=prom. With no objectives
+// configured it reports {"enabled":false} rather than an error, so probes can
+// always scrape it.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		if err := s.slo.WritePrometheus(w, "analogfold_serve"); err != nil {
+			s.logf("slo: prometheus write: %v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, s.slo.Report())
 }
 
 // FlightSnapshot is the JSON body of GET /debug/flight: the bounded ring's

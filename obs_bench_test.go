@@ -21,13 +21,26 @@ import (
 	"analogfold/internal/tech"
 )
 
-// obsBenchRow is one workload's row in the BENCH_obs.json report.
+// obsBenchRow is one workload's row in the BENCH_obs.json report. A run that
+// measures faster with telemetry on than off is scheduling noise, not a real
+// speedup: its overhead is clamped to 0 and the row flagged noise_floor.
 type obsBenchRow struct {
 	Workload    string  `json:"workload"`
 	OffMs       float64 `json:"off_ms"`
 	OnMs        float64 `json:"on_ms"`
 	OverheadPct float64 `json:"overhead_pct"`
+	NoiseFloor  bool    `json:"noise_floor,omitempty"`
 	Events      uint64  `json:"events_recorded"`
+}
+
+// overheadPct computes the on-vs-off overhead, clamping negative values
+// (below the measurement noise floor) to zero with a flag.
+func overheadPct(off, on time.Duration) (float64, bool) {
+	pct := (on.Seconds()/off.Seconds() - 1) * 100
+	if pct < 0 {
+		return 0, true
+	}
+	return pct, false
 }
 
 // obsReport is the machine-readable output of BenchmarkObsOverhead, with the
@@ -112,16 +125,56 @@ func BenchmarkObsOverhead(b *testing.B) {
 		tel := obs.New(obs.Options{Seed: 1})
 		ctx := obs.WithTelemetry(context.Background(), tel)
 		on := medianWall(b, reps, func() error { return w.run(ctx) })
+		pct, noise := overheadPct(off, on)
 		row := obsBenchRow{
 			Workload:    w.name,
 			OffMs:       float64(off.Microseconds()) / 1e3,
 			OnMs:        float64(on.Microseconds()) / 1e3,
-			OverheadPct: (on.Seconds()/off.Seconds() - 1) * 100,
+			OverheadPct: pct,
+			NoiseFloor:  noise,
 			Events:      tel.Recorder().Total(),
 		}
 		rep.Rows = append(rep.Rows, row)
-		b.Logf("%-6s off %8.2fms  on %8.2fms  overhead %+6.2f%%  events=%d",
-			w.name, row.OffMs, row.OnMs, row.OverheadPct, row.Events)
+		b.Logf("%-9s off %8.2fms  on %8.2fms  overhead %+6.2f%%  noise_floor=%v events=%d",
+			w.name, row.OffMs, row.OnMs, row.OverheadPct, row.NoiseFloor, row.Events)
+	}
+
+	// The propagation workload isolates the cross-process tracing machinery:
+	// "off" is plain enabled telemetry, "on" additionally joins a remote
+	// parent, collects span summaries, and encodes the response trailer —
+	// exactly what a traced serve request pays over an untraced one.
+	{
+		telOff := obs.New(obs.Options{Seed: 1})
+		ctxOff := obs.WithTelemetry(context.Background(), telOff)
+		if err := workloads[1].run(ctxOff); err != nil { // warm-up
+			b.Fatal(err)
+		}
+		off := medianWall(b, reps, func() error { return workloads[1].run(ctxOff) })
+		telOn := obs.New(obs.Options{Seed: 1})
+		remote := obs.TraceContext{TraceID: "0123456789abcdef0123456789abcdef", SpanID: 0x42}
+		on := medianWall(b, reps, func() error {
+			ctx := obs.WithTelemetry(context.Background(), telOn)
+			ctx = obs.WithRemoteParent(ctx, remote)
+			col := obs.NewSpanCollector(obs.MaxExportSpans)
+			ctx = obs.WithSpanCollector(ctx, col)
+			if err := workloads[1].run(ctx); err != nil {
+				return err
+			}
+			_ = col.EncodeJSON()
+			return nil
+		})
+		pct, noise := overheadPct(off, on)
+		row := obsBenchRow{
+			Workload:    "propagate",
+			OffMs:       float64(off.Microseconds()) / 1e3,
+			OnMs:        float64(on.Microseconds()) / 1e3,
+			OverheadPct: pct,
+			NoiseFloor:  noise,
+			Events:      telOn.Recorder().Total(),
+		}
+		rep.Rows = append(rep.Rows, row)
+		b.Logf("%-9s off %8.2fms  on %8.2fms  overhead %+6.2f%%  noise_floor=%v events=%d",
+			row.Workload, row.OffMs, row.OnMs, row.OverheadPct, row.NoiseFloor, row.Events)
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -175,5 +228,65 @@ func TestObsOverheadSmoke(t *testing.T) {
 	}
 	if tel.Recorder().Total() == 0 {
 		t.Error("telemetry-on run recorded no events — instrumentation is disconnected")
+	}
+}
+
+// TestPropagationOverheadSmoke enforces the tentpole's propagation budget:
+// joining a remote trace and collecting span summaries for trailer export
+// must stay within 5% of a plain telemetry-enabled run (plus the same
+// scheduling-noise slack as TestObsOverheadSmoke).
+func TestPropagationOverheadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overhead timing in -short mode")
+	}
+	g := obsGrid(t)
+	gd := guidance.Uniform(len(g.Place.Circuit.Nets))
+	run := func(ctx context.Context) error {
+		_, err := route.RouteCtx(ctx, g, gd, route.Config{})
+		return err
+	}
+	// Both paths mirror a serve handler: a root span around the work. The
+	// traced path additionally joins the remote parent, collects summaries,
+	// and encodes the trailer — the propagation delta under test.
+	telOff := obs.New(obs.Options{Seed: 1})
+	ctxOff := obs.WithTelemetry(context.Background(), telOff)
+	if err := run(ctxOff); err != nil { // warm-up
+		t.Fatal(err)
+	}
+	const reps = 5
+	off := medianWall(t, reps, func() error {
+		sctx, span := obs.StartSpan(ctxOff, "request")
+		defer span.End()
+		return run(sctx)
+	})
+
+	telOn := obs.New(obs.Options{Seed: 1})
+	remote := obs.TraceContext{TraceID: "0123456789abcdef0123456789abcdef", SpanID: 0x42}
+	var exported int
+	on := medianWall(t, reps, func() error {
+		ctx := obs.WithTelemetry(context.Background(), telOn)
+		ctx = obs.WithRemoteParent(ctx, remote)
+		col := obs.NewSpanCollector(obs.MaxExportSpans)
+		ctx = obs.WithSpanCollector(ctx, col)
+		sctx, span := obs.StartSpan(ctx, "request")
+		if err := run(sctx); err != nil {
+			span.End()
+			return err
+		}
+		span.End()
+		if s := col.EncodeJSON(); s != "" {
+			exported = len(s)
+		}
+		return nil
+	})
+
+	slack := 10 * time.Millisecond
+	budget := time.Duration(float64(off)*1.05) + slack
+	t.Logf("route median: plain=%v traced=%v budget=%v trailer_bytes=%d", off, on, budget, exported)
+	if on > budget {
+		t.Errorf("propagation overhead too high: traced=%v > 1.05*plain+%v (plain=%v)", on, slack, off)
+	}
+	if exported == 0 {
+		t.Error("traced run exported no span summaries — the collector is disconnected")
 	}
 }

@@ -47,6 +47,16 @@ go test -race -count=1 -tags faultinject \
     ./internal/serve/ \
     ./internal/dataset/
 
+echo "== trace-merge golden gate (cross-process span stitching) =="
+# The distributed-tracing invariant: span summaries imported from a replica
+# are remapped into a collision-free ID namespace with their parent edges
+# intact, and an end-to-end coordinator run (forced failover + sharded dataset
+# job) yields ONE merged Chrome trace where every replica-side span descends
+# from the coordinator root. Named runs so a stitching regression fails loudly
+# here rather than inside the larger suites.
+go test -count=1 -run 'TestImportSpansRemap|TestTraceparentRoundTrip' ./internal/obs/
+go test -count=1 -run 'TestMergedTraceAcrossProcesses' ./internal/cluster/
+
 echo "== shard-merge bit-identity gate =="
 # The load-bearing invariant of distributed generation: a corpus assembled
 # from independently generated shards (any shard size) must be byte-identical
@@ -105,6 +115,22 @@ if grep -rn 'fmt\.Print' \
     --include='*.go' --exclude='*_test.go' \
     internal/route/ internal/relax/ internal/gnn3d/ internal/serve/; then
   echo "FAIL: fmt.Print* in instrumented packages — use obs spans/events or slog" >&2
+  exit 1
+fi
+
+echo "== handler-span grep (every work handler opens a span) =="
+# Every HTTP work/proxy handler must open an obs span so per-request latency
+# attribution and cross-process trace merging see every hop; health probes and
+# metrics scrapes are exempt. The awk pass extracts each handler body (first
+# column-0 closing brace ends it) and requires an obs.StartSpan call inside.
+if ! awk '
+  /^func .*handle(Guidance|Route|DatasetShard|Work|Dataset)\(/ { name = $0; in_fn = 1; ok = 0; next }
+  in_fn && /obs\.StartSpan/ { ok = 1 }
+  in_fn && /^}/ { if (!ok) { printf "missing obs.StartSpan in: %s\n", name; bad = 1 } in_fn = 0 }
+  END { exit bad }
+' internal/serve/server.go internal/serve/dataset.go \
+  internal/cluster/cluster.go internal/cluster/datagen.go; then
+  echo "FAIL: work handler without a span — every HTTP work endpoint must call obs.StartSpan" >&2
   exit 1
 fi
 
